@@ -1,0 +1,122 @@
+// Command gpmatch matches a pattern file against a data graph file.
+//
+// Usage:
+//
+//	gpmatch -graph g.graph -pattern p.pattern [-algo match|bfs|2hop|sim|vf2|ullmann]
+//	        [-result] [-limit 100] [-time]
+//
+// The default algorithm is the paper's cubic-time Match (bounded
+// simulation over a distance matrix). -result additionally prints the
+// result graph; vf2/ullmann print embeddings under the traditional
+// subgraph-isomorphism semantics (-limit caps them).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gpm"
+)
+
+func main() {
+	var (
+		graphPath   = flag.String("graph", "", "data graph file (required)")
+		patternPath = flag.String("pattern", "", "pattern file (required)")
+		algo        = flag.String("algo", "match", "match | bfs | 2hop | sim | vf2 | ullmann")
+		showResult  = flag.Bool("result", false, "print the result graph (bounded simulation only)")
+		limit       = flag.Int("limit", 100, "embedding cap for vf2/ullmann")
+		showTime    = flag.Bool("time", false, "print elapsed time")
+	)
+	flag.Parse()
+	if *graphPath == "" || *patternPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*graphPath, *patternPath, *algo, *showResult, *limit, *showTime); err != nil {
+		fmt.Fprintln(os.Stderr, "gpmatch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphPath, patternPath, algo string, showResult bool, limit int, showTime bool) error {
+	g, err := gpm.LoadGraphFile(graphPath)
+	if err != nil {
+		return err
+	}
+	p, err := gpm.LoadPatternFile(patternPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %d nodes, %d edges; pattern: %d nodes, %d edges\n",
+		g.N(), g.M(), p.N(), p.EdgeCount())
+	start := time.Now()
+	defer func() {
+		if showTime {
+			fmt.Printf("elapsed: %v\n", time.Since(start))
+		}
+	}()
+
+	switch algo {
+	case "match", "bfs", "2hop":
+		var o gpm.DistOracle
+		switch algo {
+		case "match":
+			o = gpm.NewMatrixOracle(g)
+		case "bfs":
+			o = gpm.NewBFSOracle(g)
+		default:
+			o = gpm.NewTwoHopOracle(g)
+		}
+		res, err := gpm.MatchWithOracle(p, g, o)
+		if err != nil {
+			return err
+		}
+		printMatch(res)
+		if showResult {
+			fmt.Print(gpm.ResultGraphOf(res, o).String())
+		}
+	case "sim":
+		rel, ok, err := gpm.Simulate(p, g)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("plain simulation: ok=%v\n", ok)
+		for u, l := range rel {
+			fmt.Printf("  sim(%d): %d nodes\n", u, len(l))
+		}
+	case "vf2", "ullmann":
+		opts := gpm.IsoOptions{MaxEmbeddings: limit}
+		var enum *gpm.Enumeration
+		if algo == "vf2" {
+			enum = gpm.VF2(p, g, opts)
+		} else {
+			enum = gpm.Ullmann(p, g, opts)
+		}
+		fmt.Printf("%s: %d embeddings (complete=%v, steps=%d)\n",
+			algo, len(enum.Embeddings), enum.Complete, enum.Steps)
+		for i, emb := range enum.Embeddings {
+			if i >= 10 {
+				fmt.Printf("  ... %d more\n", len(enum.Embeddings)-10)
+				break
+			}
+			fmt.Printf("  %v\n", emb)
+		}
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+	return nil
+}
+
+func printMatch(res *gpm.Result) {
+	fmt.Printf("bounded simulation: ok=%v, |S|=%d pairs\n", res.OK(), res.Pairs())
+	for u := 0; u < res.Pattern().N(); u++ {
+		mat := res.Mat(u)
+		fmt.Printf("  mat(%d) [%s]: %d nodes", u, res.Pattern().Pred(u), len(mat))
+		if len(mat) <= 12 {
+			fmt.Printf(" %v", mat)
+		}
+		fmt.Println()
+	}
+}

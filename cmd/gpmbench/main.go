@@ -1,0 +1,50 @@
+// Command gpmbench regenerates the paper's tables and figures against the
+// synthetic dataset stand-ins.
+//
+// Usage:
+//
+//	gpmbench [-exp all|datasets|6a|6b|6c|6d|6e|6f|6g|6h|6i|6j|6k|fig9|gr|aff|2hop|ablation]
+//	         [-scale 0.15] [-seed N] [-patterns 5] [-nodes N] [-v]
+//
+// -scale 1.0 reproduces the paper's exact dataset sizes; the default keeps
+// the distance matrices laptop-sized. EXPERIMENTS.md records reference
+// output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpm/internal/bench"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (see DESIGN.md per-experiment index)")
+		scale    = flag.Float64("scale", 0.15, "dataset scale factor in (0,1]; 1.0 = paper-exact sizes")
+		seed     = flag.Int64("seed", 0, "base RNG seed (0 = built-in default)")
+		patterns = flag.Int("patterns", 0, "patterns averaged per data point (0 = default 5; paper used 20)")
+		nodes    = flag.Int("nodes", 0, "synthetic graph node count (0 = 20000*scale; paper used 20000)")
+		verbose  = flag.Bool("v", false, "log progress to stderr")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{
+		Scale:      *scale,
+		Seed:       *seed,
+		Patterns:   *patterns,
+		SynthNodes: *nodes,
+	}
+	if *verbose {
+		cfg.Progress = os.Stderr
+	}
+	tables, err := bench.ByID(*exp, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, t := range tables {
+		t.Fprint(os.Stdout)
+	}
+}

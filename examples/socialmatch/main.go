@@ -1,0 +1,97 @@
+// Socialmatch reproduces Fig. 2's P1/G1 (Example 2.1): a founder (A)
+// looking for a software engineer and an HR expert within two hops, plus
+// golf-playing sales managers close to both and connected back to A by an
+// unbounded friend chain. It then deletes one edge and maintains the
+// match incrementally, replaying the appendix's Match⁻ walk-through.
+//
+// Run with: go run ./examples/socialmatch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpm"
+)
+
+func main() {
+	flagPred := func(name string) gpm.Predicate {
+		return gpm.Predicate{{Attr: name, Op: gpm.OpEQ, Val: gpm.Int(1)}}
+	}
+
+	// Pattern P1.
+	p := gpm.NewPattern()
+	a := p.AddNode(flagPred("isA"))
+	se := p.AddNode(flagPred("isSE"))
+	hr := p.AddNode(flagPred("isHR"))
+	dm := p.AddNode(gpm.Predicate{
+		{Attr: "isDM", Op: gpm.OpEQ, Val: gpm.Int(1)},
+		{Attr: "hobby", Op: gpm.OpEQ, Val: gpm.Str("golf")},
+	})
+	p.MustAddEdge(a, se, 2)
+	p.MustAddEdge(a, hr, 2)
+	p.MustAddEdge(se, dm, 1)
+	p.MustAddEdge(hr, dm, 2)
+	p.MustAddEdge(dm, a, gpm.Unbounded)
+
+	// Data graph G1. Node 3 is both an HR expert and a software engineer.
+	g := gpm.NewGraph(0)
+	nA := g.AddNode(gpm.Attrs{"isA": gpm.Int(1)})
+	nSE := g.AddNode(gpm.Attrs{"isSE": gpm.Int(1)})
+	nHR := g.AddNode(gpm.Attrs{"isHR": gpm.Int(1)})
+	nHRSE := g.AddNode(gpm.Attrs{"isHR": gpm.Int(1), "isSE": gpm.Int(1)})
+	nDMl := g.AddNode(gpm.Attrs{"isDM": gpm.Int(1), "hobby": gpm.Str("golf")})
+	nDMr := g.AddNode(gpm.Attrs{"isDM": gpm.Int(1), "hobby": gpm.Str("golf")})
+	names := []string{"A", "SE", "HR", "(HR,SE)", "DM_l", "DM_r"}
+	g.AddEdge(nA, nHR)
+	g.AddEdge(nHR, nHRSE)
+	g.AddEdge(nSE, nDMl)
+	g.AddEdge(nSE, nHRSE)
+	g.AddEdge(nHRSE, nDMr)
+	g.AddEdge(nHRSE, nA)
+	g.AddEdge(nDMr, nA)
+	g.AddEdge(nDMl, nSE)
+
+	// Incremental matcher: matrix plus match maintained under updates.
+	dyn := gpm.NewDynamicMatrix(g)
+	m, err := gpm.NewIncrementalMatcher(p, dyn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show := func() {
+		for u, label := range []string{"A ", "SE", "HR", "DM"} {
+			fmt.Printf("  %s -> ", label)
+			for _, x := range m.Mat(u) {
+				fmt.Printf("%s ", names[x])
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println("initial maximum match (Example 2.2's S1):")
+	show()
+
+	// The appendix Match⁻ example: remove (SE, (HR,SE)).
+	fmt.Println("\ndeleting edge SE -> (HR,SE) ...")
+	delta, err := m.Apply([]gpm.Update{gpm.DeleteEdge(nSE, nHRSE)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("removed pairs: %d, added: %d, |AFF1|=%d (distance pairs touched)\n",
+		len(delta.Removed), len(delta.Added), delta.Aff1)
+	fmt.Println("match after deletion (DM_l and the lone SE drop out):")
+	show()
+
+	// Putting the edge back restores S1 (the pattern is cyclic, so the
+	// matcher transparently falls back to the batch algorithm and says so).
+	fmt.Println("\nre-inserting the edge ...")
+	delta, err = m.Apply([]gpm.Update{gpm.InsertEdge(nSE, nHRSE)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restored %d pairs (batch fallback used: %v)\n", len(delta.Added), delta.Recomputed)
+	show()
+	_ = se
+	_ = hr
+	_ = dm
+	_ = a
+}

@@ -1,0 +1,94 @@
+// Youtube runs the paper's Example 2.3 / Fig. 3(b) pattern P′ against the
+// synthetic YouTube recommendation network: long, old videos recommending
+// popular low-comment videos, leading to neil010's uploads and onward to
+// highly-rated People videos and sparsely-rated Travel & Places videos.
+//
+// On the synthetic stand-in the strict 1-hop version of P′ is usually too
+// selective — which demonstrates the paper's central point: sweeping the
+// hop bound k turns an empty answer into a community (appendix Fig. 9).
+//
+// Run with: go run ./examples/youtube [-scale 0.15]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"gpm"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.15, "dataset scale factor (1.0 = paper-size: 14829 nodes)")
+	flag.Parse()
+
+	g, err := gpm.Dataset("youtube", 42, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("YouTube stand-in: %s\n", gpm.Stats(g))
+
+	start := time.Now()
+	oracle := gpm.NewMatrixOracle(g)
+	fmt.Printf("distance matrix built in %v (shared across every pattern below)\n\n", time.Since(start))
+
+	pred := func(s string) gpm.Predicate {
+		p, err := gpm.ParsePredicate(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p
+	}
+
+	// P′ of Example 2.3, parameterised by the hop bound k on every edge.
+	build := func(k int) *gpm.Pattern {
+		p := gpm.NewPattern()
+		p3 := p.AddNode(pred("length > 120 && age > 365"))
+		p2 := p.AddNode(pred("comments < 16 && views >= 700"))
+		p4 := p.AddNode(pred("uploader = neil010"))
+		p1 := p.AddNode(pred("category = People && rate > 4.5"))
+		p5 := p.AddNode(pred(`category = "Travel & Places" && ratings < 30`))
+		p.MustAddEdge(p3, p2, k)
+		p.MustAddEdge(p2, p4, k)
+		p.MustAddEdge(p4, p1, k)
+		p.MustAddEdge(p4, p5, k)
+		return p
+	}
+
+	fmt.Printf("%-6s %-8s %-8s %-12s %s\n", "k", "match", "|S|", "time", "result graph")
+	for k := 1; k <= 5; k++ {
+		p := build(k)
+		t0 := time.Now()
+		res, err := gpm.MatchWithOracle(p, g, oracle)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(t0)
+		rgInfo := "-"
+		if res.OK() {
+			rg := gpm.ResultGraphOf(res, oracle)
+			n, e := rg.Size()
+			rgInfo = fmt.Sprintf("%d nodes, %d edges", n, e)
+		}
+		fmt.Printf("%-6d %-8v %-8d %-12v %s\n", k, res.OK(), res.Pairs(), elapsed, rgInfo)
+	}
+	fmt.Println("\nas the paper's Fig. 9 shows, matches appear past a bound threshold and then saturate.")
+
+	// Breakdown at the first matching bound.
+	for k := 1; k <= 6; k++ {
+		res, err := gpm.MatchWithOracle(build(k), g, oracle)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.OK() {
+			continue
+		}
+		labels := []string{"p3 (long+old)", "p2 (popular)", "p4 (neil010)", "p1 (People)", "p5 (Travel)"}
+		fmt.Printf("\ncommunity found at k=%d:\n", k)
+		for u, l := range labels {
+			fmt.Printf("  %-14s -> %d videos\n", l, len(res.Mat(u)))
+		}
+		break
+	}
+}

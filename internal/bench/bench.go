@@ -1,0 +1,143 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§5 and the appendix) against the synthetic dataset
+// stand-ins. Each experiment returns a Table whose rows mirror the
+// paper's axes; cmd/gpmbench prints them, and bench_test.go wraps the
+// underlying operations as testing.B benchmarks.
+//
+// Absolute numbers differ from the paper (different hardware, synthetic
+// data, configurable scale); the shapes — who wins, by what factor,
+// where crossovers fall — are the reproduction target. EXPERIMENTS.md
+// records a paper-vs-measured comparison for every experiment.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Config scales and seeds the experiments. The zero value gets laptop
+// defaults from withDefaults; Scale 1.0 reproduces the paper's exact
+// dataset sizes (a 15K-node distance matrix needs ~900 MB).
+type Config struct {
+	Scale      float64   // dataset scale factor in (0, 1]
+	Seed       int64     // base RNG seed
+	Patterns   int       // patterns averaged per data point (paper: 20)
+	SynthNodes int       // node count for synthetic-graph experiments (paper: 20000)
+	VF2MaxEmb  int       // embedding budget for VF2/SubIso
+	VF2MaxStep int64     // search-step budget for VF2/SubIso
+	Progress   io.Writer // optional progress log
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 || c.Scale > 1 {
+		c.Scale = 0.15
+	}
+	if c.Seed == 0 {
+		c.Seed = 20100913 // VLDB 2010 started September 13
+	}
+	if c.Patterns <= 0 {
+		c.Patterns = 5
+	}
+	if c.SynthNodes <= 0 {
+		c.SynthNodes = int(20000 * c.Scale)
+		if c.SynthNodes < 500 {
+			c.SynthNodes = 500
+		}
+	}
+	if c.VF2MaxEmb <= 0 {
+		c.VF2MaxEmb = 10000
+	}
+	if c.VF2MaxStep <= 0 {
+		c.VF2MaxStep = 5_000_000
+	}
+	return c
+}
+
+func (c Config) logf(format string, args ...interface{}) {
+	if c.Progress != nil {
+		fmt.Fprintf(c.Progress, format+"\n", args...)
+	}
+}
+
+// Table is one regenerated paper artefact.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Note appends a free-text note printed under the table.
+func (t *Table) Note(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(widths) {
+				for pad := len(cell); pad < widths[i]; pad++ {
+					b.WriteByte(' ')
+				}
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	printRow(t.Columns)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// timed runs f and returns its wall-clock duration.
+func timed(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000)
+}
+
+func msAvg(total time.Duration, n int) string {
+	if n == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", float64(total.Microseconds())/1000/float64(n))
+}
+
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }

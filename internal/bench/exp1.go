@@ -1,0 +1,320 @@
+package bench
+
+import (
+	"fmt"
+
+	"gpm/internal/core"
+	"gpm/internal/datasets"
+	"gpm/internal/generator"
+	"gpm/internal/graph"
+	"gpm/internal/pattern"
+	"gpm/internal/subiso"
+)
+
+// youtube returns the YouTube stand-in at the configured scale.
+func youtube(cfg Config) *graph.Graph {
+	g, err := datasets.ByName("youtube", cfg.Seed, cfg.Scale)
+	if err != nil {
+		panic(err) // name is static; cannot happen
+	}
+	return g
+}
+
+func dataset(cfg Config, name string) *graph.Graph {
+	g, err := datasets.ByName(name, cfg.Seed, cfg.Scale)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Datasets regenerates the §5 dataset table (with degree statistics).
+func Datasets(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:      "datasets",
+		Title:   "Real-life dataset stand-ins (paper §5 table)",
+		Columns: []string{"dataset", "|V|", "|E|", "paper |V|", "paper |E|", "avg deg", "max in"},
+	}
+	paper := map[string][2]int{
+		"matter":  {datasets.MatterNodes, datasets.MatterEdges},
+		"pblog":   {datasets.PBlogNodes, datasets.PBlogEdges},
+		"youtube": {datasets.YouTubeNodes, datasets.YouTubeEdges},
+	}
+	for _, name := range []string{"matter", "pblog", "youtube"} {
+		g := dataset(cfg, name)
+		st := graph.ComputeStats(g)
+		t.AddRow(name,
+			fmt.Sprintf("%d", st.Nodes), fmt.Sprintf("%d", st.Edges),
+			fmt.Sprintf("%d", paper[name][0]), fmt.Sprintf("%d", paper[name][1]),
+			f2(st.AvgDegree), fmt.Sprintf("%d", st.MaxIn))
+	}
+	t.Note("scale factor %.2f; scale 1.0 reproduces the paper's sizes exactly", cfg.Scale)
+	return t
+}
+
+// patternBatch generates n patterns of shape P(|Vp|, |Ep|, k) against g,
+// varying the seed per pattern.
+func patternBatch(cfg Config, g *graph.Graph, n, vp, ep, k int) []*pattern.Pattern {
+	out := make([]*pattern.Pattern, n)
+	for i := range out {
+		out[i] = generator.Pattern(generator.PatternConfig{
+			Nodes: vp, Edges: ep, K: k, C: 2, PredAttrs: 2,
+			Seed: cfg.Seed + int64(1000*i) + int64(vp*31+ep*7+k),
+		}, g)
+	}
+	return out
+}
+
+// isoPatternBatch is patternBatch with IsoBias: patterns that also admit
+// an isomorphic embedding, needed for fair SubIso/VF2 comparisons.
+func isoPatternBatch(cfg Config, g *graph.Graph, n, vp, ep, k int) []*pattern.Pattern {
+	out := make([]*pattern.Pattern, n)
+	for i := range out {
+		out[i] = generator.Pattern(generator.PatternConfig{
+			Nodes: vp, Edges: ep, K: k, C: 2, PredAttrs: 1, IsoBias: true,
+			Seed: cfg.Seed + int64(1000*i) + int64(vp*31+ep*7+k),
+		}, g)
+	}
+	return out
+}
+
+// dagPatternBatch is patternBatch filtered to DAG patterns (regenerating
+// with shifted seeds), for the incremental experiments.
+func dagPatternBatch(cfg Config, g *graph.Graph, n, vp, ep, k int) []*pattern.Pattern {
+	out := make([]*pattern.Pattern, 0, n)
+	for shift := int64(0); len(out) < n && shift < int64(50*n); shift++ {
+		p := generator.Pattern(generator.PatternConfig{
+			Nodes: vp, Edges: ep, K: k, C: 2, PredAttrs: 2,
+			Seed: cfg.Seed + shift*977 + int64(vp),
+		}, g)
+		if p.IsDAG() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Fig6a reproduces Exp-1's effectiveness comparison (the prose behind
+// Fig. 6(a)): Match vs SubIso (Ullmann) on YouTube — average matches per
+// pattern node and how many patterns each method fails on entirely.
+func Fig6a(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	g := youtube(cfg)
+	oracle := core.BuildMatrixOracle(g)
+	patterns := isoPatternBatch(cfg, g, cfg.Patterns*4, 4, 4, 3)
+
+	t := &Table{
+		ID:      "6a",
+		Title:   "Exp-1 effectiveness: Match vs SubIso on YouTube (20 patterns in the paper)",
+		Columns: []string{"metric", "Match", "SubIso"},
+	}
+	var (
+		matchFail, subFail       int
+		matchPerNode, subPerNode float64
+		counted                  int
+	)
+	for _, p := range patterns {
+		res, err := core.MatchWithOracle(p, g, oracle)
+		if err != nil {
+			continue
+		}
+		enum := subiso.Ullmann(p, g, subiso.Options{MaxEmbeddings: cfg.VF2MaxEmb, MaxSteps: cfg.VF2MaxStep})
+		if !res.OK() {
+			matchFail++
+		}
+		if len(enum.Embeddings) == 0 {
+			subFail++
+		}
+		counted++
+		matchPerNode += float64(res.Pairs()) / float64(p.N())
+		pairs := enum.PairsPerNode(p.N())
+		distinct := 0
+		for _, l := range pairs {
+			distinct += len(l)
+		}
+		subPerNode += float64(distinct) / float64(p.N())
+	}
+	t.AddRow("avg matches per pattern node",
+		f2(matchPerNode/float64(counted)), f2(subPerNode/float64(counted)))
+	t.AddRow("patterns with no match at all",
+		fmt.Sprintf("%d/%d", matchFail, counted), fmt.Sprintf("%d/%d", subFail, counted))
+
+	// The two published sample patterns and their result-graph sizes.
+	for name, sp := range map[string]*pattern.Pattern{
+		"sample P1": datasets.YouTubeSampleP1(),
+		"sample P2": datasets.YouTubeSampleP2(),
+	} {
+		res, err := core.MatchWithOracle(sp, g, oracle)
+		if err != nil {
+			continue
+		}
+		rg := core.BuildResultGraph(res, oracle)
+		nodes, edges := rg.Size()
+		t.Note("%s: ok=%v, |S|=%d pairs, result graph %d nodes / %d edges",
+			name, res.OK(), res.Pairs(), nodes, edges)
+	}
+	t.Note("paper: SubIso failed on 2/20 patterns; Match found ~5-9 matches per node vs 1 for SubIso")
+	return t
+}
+
+// Fig6bc reproduces Fig. 6(b) (efficiency: Match total / Match process /
+// VF2) and Fig. 6(c) (#matches: Match vs VF2) on YouTube for pattern
+// sizes P(3,3,3) .. P(8,8,3).
+func Fig6bc(cfg Config) (*Table, *Table) {
+	cfg = cfg.withDefaults()
+	g := youtube(cfg)
+	var oracle *core.MatrixOracle
+	matrixTime := timed(func() { oracle = core.BuildMatrixOracle(g) })
+
+	tb := &Table{
+		ID:      "6b",
+		Title:   "Fig 6(b): Match vs VF2 efficiency on YouTube (ms)",
+		Columns: []string{"pattern", "Match(total)", "Match(process)", "VF2"},
+	}
+	tc := &Table{
+		ID:      "6c",
+		Title:   "Fig 6(c): number of matches, Match (|S| pairs) vs VF2 (embeddings)",
+		Columns: []string{"pattern", "Match", "VF2", "VF2 complete"},
+	}
+	tb.Note("distance matrix: %s ms, computed once and shared by all patterns (as in the paper)", ms(matrixTime))
+
+	for size := 3; size <= 8; size++ {
+		patterns := isoPatternBatch(cfg, g, cfg.Patterns, size, size, 3)
+		var procTotal, vf2Total int64
+		var matchPairs, vf2Embs float64
+		complete := true
+		for _, p := range patterns {
+			var res *core.Result
+			procTotal += timed(func() { res, _ = core.MatchWithOracle(p, g, oracle) }).Microseconds()
+			matchPairs += float64(res.Pairs())
+			var enum *subiso.Enumeration
+			vf2Total += timed(func() {
+				enum = subiso.VF2(p, g, subiso.Options{MaxEmbeddings: cfg.VF2MaxEmb, MaxSteps: cfg.VF2MaxStep})
+			}).Microseconds()
+			vf2Embs += float64(len(enum.Embeddings))
+			complete = complete && enum.Complete
+		}
+		n := float64(len(patterns))
+		label := fmt.Sprintf("(%d,%d,3)", size, size)
+		proc := float64(procTotal) / 1000 / n
+		tb.AddRow(label,
+			fmt.Sprintf("%.2f", float64(matrixTime.Microseconds())/1000+proc),
+			fmt.Sprintf("%.2f", proc),
+			fmt.Sprintf("%.2f", float64(vf2Total)/1000/n))
+		tc.AddRow(label, f2(matchPairs/n), f2(vf2Embs/n), fmt.Sprintf("%v", complete))
+		cfg.logf("fig6bc: size %d done", size)
+	}
+	tb.Note("paper shape: Match(process) far below VF2; Match(total) dominated by the one-off matrix")
+	tc.Note("paper shape: Match finds an order of magnitude more matches than VF2")
+	return tb, tc
+}
+
+// Fig6d reproduces Fig. 6(d): with |Vp| fixed and k = 9, adding extra
+// pattern edges (x = 1..8) tightens the pattern until little matches.
+// The y-value is |S| / |Vp|, average data matches per pattern node.
+func Fig6d(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	g := generator.Graph(generator.GraphConfig{
+		Nodes: cfg.SynthNodes, Edges: 2 * cfg.SynthNodes,
+		Attrs: cfg.SynthNodes / 10, Model: generator.ER, Seed: cfg.Seed,
+	})
+	oracle := core.BuildMatrixOracle(g)
+	sizes := []int{4, 6, 8, 10, 12}
+
+	t := &Table{ID: "6d", Title: "Fig 6(d): matches per pattern node vs #extra pattern edges (k=9)"}
+	t.Columns = append(t.Columns, "edges added")
+	for _, vp := range sizes {
+		t.Columns = append(t.Columns, fmt.Sprintf("P(%d,E,9)", vp))
+	}
+	for x := 1; x <= 8; x++ {
+		row := []string{fmt.Sprintf("%d", x)}
+		for _, vp := range sizes {
+			total := 0.0
+			for i := 0; i < cfg.Patterns; i++ {
+				p := generator.Pattern(generator.PatternConfig{
+					Nodes: vp, Edges: vp - 1 + x, K: 9, C: 2,
+					Seed: cfg.Seed + int64(i*13+vp), // same seed across x: same skeleton, growing extras
+				}, g)
+				res, err := core.MatchWithOracle(p, g, oracle)
+				if err != nil {
+					continue
+				}
+				if res.OK() {
+					total += float64(res.Pairs()) / float64(vp)
+				}
+			}
+			row = append(row, f2(total/float64(cfg.Patterns)))
+		}
+		t.AddRow(row...)
+		cfg.logf("fig6d: x=%d done", x)
+	}
+	t.Note("paper shape: all patterns match at x=1; most fail by x=8")
+	return t
+}
+
+// Fig9 reproduces appendix Fig. 9: each pattern's structure and
+// predicates are generated once (walks of length up to 9, the paper's
+// generator bound), then every finite edge bound is rebound to k = 4..13.
+// Below the generating distances nothing matches; past them the match
+// count grows and saturates.
+func Fig9(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	g := generator.Graph(generator.GraphConfig{
+		Nodes: cfg.SynthNodes, Edges: 2 * cfg.SynthNodes,
+		Attrs: cfg.SynthNodes / 10, Model: generator.ER, Seed: cfg.Seed,
+	})
+	oracle := core.BuildMatrixOracle(g)
+	shapes := [][2]int{{4, 3}, {6, 5}, {8, 7}, {10, 9}, {12, 11}}
+
+	t := &Table{ID: "fig9", Title: "Appendix Fig 9: average #matches (|S|) for growing bound k"}
+	t.Columns = append(t.Columns, "pattern")
+	for k := 4; k <= 13; k++ {
+		t.Columns = append(t.Columns, fmt.Sprintf("k=%d", k))
+	}
+	for _, sh := range shapes {
+		base := make([]*pattern.Pattern, cfg.Patterns)
+		for i := range base {
+			base[i] = generator.Pattern(generator.PatternConfig{
+				Nodes: sh[0], Edges: sh[1], K: 9, C: 2,
+				Seed: cfg.Seed + int64(i*17+sh[0]),
+			}, g)
+		}
+		row := []string{fmt.Sprintf("P(%d,%d,k)", sh[0], sh[1])}
+		for k := 4; k <= 13; k++ {
+			total := 0.0
+			for _, bp := range base {
+				res, err := core.MatchWithOracle(rebind(bp, k), g, oracle)
+				if err != nil {
+					continue
+				}
+				if res.OK() {
+					total += float64(res.Pairs())
+				}
+			}
+			row = append(row, f2(total/float64(cfg.Patterns)))
+		}
+		t.AddRow(row...)
+		cfg.logf("fig9: shape %v done", sh)
+	}
+	t.Note("paper shape: zero below a k threshold, then growth that saturates (no new matches past ~k=13)")
+	return t
+}
+
+// rebind copies p with every finite edge bound replaced by k.
+func rebind(p *pattern.Pattern, k int) *pattern.Pattern {
+	q := pattern.New()
+	for u := 0; u < p.N(); u++ {
+		q.AddNode(p.Pred(u))
+	}
+	for _, e := range p.Edges() {
+		b := k
+		if e.Bound == pattern.Unbounded {
+			b = pattern.Unbounded
+		}
+		if _, err := q.AddColoredEdge(e.From, e.To, b, e.Color); err != nil {
+			panic(err) // source pattern was consistent
+		}
+	}
+	return q
+}

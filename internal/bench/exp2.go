@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"gpm/internal/core"
+	"gpm/internal/generator"
+)
+
+// Fig6e reproduces Fig. 6(e): Match vs 2-hop vs BFS on the three
+// real-life stand-ins for P(4,4,4) and P(8,8,4). Precomputation (matrix,
+// labelling) is excluded, as in the paper.
+func Fig6e(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:      "6e",
+		Title:   "Fig 6(e): elapsed time on real-life data (ms, precomputation excluded)",
+		Columns: []string{"dataset", "pattern", "Match", "2-hop", "BFS"},
+	}
+	for _, name := range []string{"matter", "pblog", "youtube"} {
+		g := dataset(cfg, name)
+		oracle := core.BuildMatrixOracle(g)
+		hop := core.BuildTwoHopOracle(g)
+		for _, shape := range [][2]int{{4, 4}, {8, 8}} {
+			ps := patternBatch(cfg, g, cfg.Patterns, shape[0], shape[1], 4)
+			var m, h, b time.Duration
+			for _, p := range ps {
+				m += timed(func() { core.MatchWithOracle(p, g, oracle) })
+			}
+			for _, p := range ps {
+				h += timed(func() { core.MatchWithOracle(p, g, hop) })
+			}
+			for _, p := range ps {
+				bo := core.NewBFSOracle(g)
+				b += timed(func() { core.MatchWithOracle(p, g, bo) })
+			}
+			t.AddRow(name, fmt.Sprintf("P(%d,%d,4)", shape[0], shape[1]),
+				msAvg(m, len(ps)), msAvg(h, len(ps)), msAvg(b, len(ps)))
+			cfg.logf("fig6e: %s %v done", name, shape)
+		}
+	}
+	t.Note("paper shape: Match fastest everywhere; 2-hop helps over BFS when many pairs are unreachable")
+	return t
+}
+
+// Fig6fgh reproduces Figs. 6(f)-(h): synthetic graphs with |V| fixed and
+// |E| = factor x |V| (paper: 20K nodes, 20/40/60K edges), pattern sizes
+// |Vp| = |Ep| in 4..10, k = 3.
+func Fig6fgh(cfg Config, factor int) *Table {
+	cfg = cfg.withDefaults()
+	if factor < 1 {
+		factor = 1
+	}
+	id := map[int]string{1: "6f", 2: "6g", 3: "6h"}[factor]
+	if id == "" {
+		id = fmt.Sprintf("6fgh-x%d", factor)
+	}
+	g := generator.Graph(generator.GraphConfig{
+		Nodes: cfg.SynthNodes, Edges: factor * cfg.SynthNodes,
+		Attrs: cfg.SynthNodes / 10, Model: generator.ER, Seed: cfg.Seed,
+	})
+	t := &Table{
+		ID: id,
+		Title: fmt.Sprintf("Fig %s: |V|=%d, |E|=%d; Match vs 2-hop vs BFS (ms, precomputation excluded)",
+			id, g.N(), g.M()),
+		Columns: []string{"pattern", "Match", "2-hop", "BFS"},
+	}
+	oracle := core.BuildMatrixOracle(g)
+	hop := core.BuildTwoHopOracle(g)
+	for size := 4; size <= 10; size++ {
+		ps := patternBatch(cfg, g, cfg.Patterns, size, size, 3)
+		var m, h, b time.Duration
+		for _, p := range ps {
+			m += timed(func() { core.MatchWithOracle(p, g, oracle) })
+		}
+		for _, p := range ps {
+			h += timed(func() { core.MatchWithOracle(p, g, hop) })
+		}
+		for _, p := range ps {
+			bo := core.NewBFSOracle(g)
+			b += timed(func() { core.MatchWithOracle(p, g, bo) })
+		}
+		t.AddRow(fmt.Sprintf("P(%d,%d,3)", size, size),
+			msAvg(m, len(ps)), msAvg(h, len(ps)), msAvg(b, len(ps)))
+		cfg.logf("fig%s: size %d done", id, size)
+	}
+	t.Note("paper shape: Match flat in |E| (matrix lookups are O(1)); 2-hop loses its edge as density grows")
+	return t
+}
+
+// GrStats reproduces the appendix's result-graph statistics: |Gr| for
+// P(4,4,3) patterns over YouTube (paper: ~70 nodes, ~174 edges).
+func GrStats(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	g := youtube(cfg)
+	oracle := core.BuildMatrixOracle(g)
+	ps := patternBatch(cfg, g, cfg.Patterns*2, 4, 4, 3)
+	var nodes, edges, matched float64
+	for _, p := range ps {
+		res, err := core.MatchWithOracle(p, g, oracle)
+		if err != nil || !res.OK() {
+			continue
+		}
+		rg := core.BuildResultGraph(res, oracle)
+		n, e := rg.Size()
+		nodes += float64(n)
+		edges += float64(e)
+		matched++
+	}
+	t := &Table{
+		ID:      "gr",
+		Title:   "Appendix: result graph size |Gr| for P(4,4,3) patterns on YouTube",
+		Columns: []string{"metric", "value"},
+	}
+	if matched > 0 {
+		t.AddRow("patterns matched", fmt.Sprintf("%.0f/%d", matched, len(ps)))
+		t.AddRow("avg |Vr|", f2(nodes/matched))
+		t.AddRow("avg |Er|", f2(edges/matched))
+	} else {
+		t.AddRow("patterns matched", "0")
+	}
+	t.Note("paper: around 70 nodes and 174 edges per result graph at full scale")
+	return t
+}
+
+// TwoHopStats reports the 2-hop index sizes per dataset — context for the
+// Fig. 6(e) variant comparison.
+func TwoHopStats(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:      "2hop",
+		Title:   "2-hop labelling size and build time per dataset",
+		Columns: []string{"dataset", "label entries", "build (ms)", "matrix (ms)"},
+	}
+	for _, name := range []string{"matter", "pblog", "youtube"} {
+		g := dataset(cfg, name)
+		var hop *core.TwoHopOracle
+		ht := timed(func() { hop = core.BuildTwoHopOracle(g) })
+		mt := timed(func() { core.BuildMatrixOracle(g) })
+		t.AddRow(name, fmt.Sprintf("%d", hop.Index().LabelEntries()), ms(ht), ms(mt))
+	}
+	return t
+}

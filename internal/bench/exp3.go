@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"gpm/internal/core"
+	"gpm/internal/generator"
+	"gpm/internal/graph"
+	"gpm/internal/incremental"
+	"gpm/internal/matrix"
+	"gpm/internal/pattern"
+)
+
+// scaleDelta converts one of the paper's update-batch sizes to the
+// configured scale, keeping at least a handful of updates.
+func scaleDelta(cfg Config, size int) int {
+	s := int(float64(size) * cfg.Scale)
+	if s < 4 {
+		s = 4
+	}
+	return s
+}
+
+// incRun measures one point of Exp-3: apply a batch of |δ| updates with
+// IncMatch vs rerunning the batch algorithm (whose matrix recomputation
+// is charged to it, as in the paper).
+type incPoint struct {
+	delta      int
+	incTime    time.Duration
+	batchTime  time.Duration
+	aff        int
+	recomputed bool
+}
+
+func incRun(cfg Config, g *graph.Graph, p *pattern.Pattern, ins, del int, seedShift int64) (incPoint, error) {
+	// Fresh copies: the matcher mutates its graph.
+	gInc := g.Clone()
+	dm := incremental.NewDynMatrix(gInc)
+	m, err := incremental.NewMatcher(p, dm)
+	if err != nil {
+		return incPoint{}, err
+	}
+	ups := generator.Updates(generator.UpdatesConfig{
+		Insertions: ins, Deletions: del, Seed: cfg.Seed + seedShift,
+	}, gInc)
+
+	var pt incPoint
+	pt.delta = len(ups)
+	var dlt incremental.Delta
+	pt.incTime = timed(func() { dlt, err = m.Apply(ups) })
+	if err != nil {
+		return incPoint{}, err
+	}
+	pt.aff = dlt.Aff1 + dlt.Aff2
+	pt.recomputed = dlt.Recomputed
+
+	// Batch competitor: apply the same updates to a second copy, then run
+	// Match from scratch including the matrix rebuild. The rebuild is
+	// single-threaded so the comparison matches the paper's one-core
+	// setting (IncMatch is single-threaded too).
+	gBatch := g.Clone()
+	for _, u := range ups {
+		if u.Insert {
+			gBatch.AddEdge(u.U, u.V)
+		} else {
+			gBatch.RemoveEdge(u.U, u.V)
+		}
+	}
+	var batchRes *core.Result
+	pt.batchTime = timed(func() {
+		o := core.NewMatrixOracle(gBatch, matrix.NewSequential(gBatch))
+		batchRes, _ = core.MatchWithOracle(p, gBatch, o)
+	})
+
+	// Cross-check: both must agree (cheap insurance inside the harness).
+	if batchRes != nil {
+		inc := m.Relation()
+		bat := batchRes.Relation()
+		for u := range inc {
+			if len(inc[u]) != len(bat[u]) {
+				return incPoint{}, fmt.Errorf("bench: incremental/batch divergence at pattern node %d", u)
+			}
+		}
+	}
+	return pt, nil
+}
+
+// incTable runs a series of δ sizes with the given insert/delete split.
+func incTable(cfg Config, id, title string, sizes []int, insFrac float64) *Table {
+	cfg = cfg.withDefaults()
+	g := youtube(cfg)
+	ps := dagPatternBatch(cfg, g, 1, 4, 4, 3)
+	if len(ps) == 0 {
+		t := &Table{ID: id, Title: title}
+		t.Note("no DAG pattern could be generated")
+		return t
+	}
+	p := ps[0]
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"|delta|", "IncMatch (ms)", "Match (ms)", "|AFF|", "winner"},
+	}
+	for _, raw := range sizes {
+		size := scaleDelta(cfg, raw)
+		ins := int(float64(size) * insFrac)
+		del := size - ins
+		pt, err := incRun(cfg, g, p, ins, del, int64(raw))
+		if err != nil {
+			t.Note("size %d: %v", size, err)
+			continue
+		}
+		winner := "IncMatch"
+		if pt.batchTime < pt.incTime {
+			winner = "Match"
+		}
+		t.AddRow(fmt.Sprintf("%d", pt.delta), ms(pt.incTime), ms(pt.batchTime),
+			fmt.Sprintf("%d", pt.aff), winner)
+		cfg.logf("%s: delta=%d done", id, size)
+	}
+	return t
+}
+
+// Fig6i reproduces Fig. 6(i): mixed batches of 400..3200 updates (scaled)
+// on YouTube, IncMatch vs batch Match (matrix recomputation charged to
+// the batch side, as in the paper).
+func Fig6i(cfg Config) *Table {
+	t := incTable(cfg, "6i",
+		"Fig 6(i): IncMatch vs Match for mixed update batches on YouTube",
+		[]int{400, 800, 1200, 1600, 2000, 2400, 2800, 3200}, 0.5)
+	t.Note("paper shape: IncMatch wins up to |delta| ~ 2800 (~5%% of |E|), then batch Match takes over")
+	return t
+}
+
+// Fig6j reproduces Fig. 6(j): deletion-only batches of 200..1600.
+func Fig6j(cfg Config) *Table {
+	t := incTable(cfg, "6j",
+		"Fig 6(j): IncMatch vs Match for edge deletions on YouTube",
+		[]int{200, 400, 600, 800, 1000, 1200, 1400, 1600}, 0)
+	t.Note("paper shape: IncMatch insensitive to deletions (small affected areas)")
+	return t
+}
+
+// Fig6k reproduces Fig. 6(k): insertion-only batches of 200..1600.
+func Fig6k(cfg Config) *Table {
+	t := incTable(cfg, "6k",
+		"Fig 6(k): IncMatch vs Match for edge insertions on YouTube",
+		[]int{200, 400, 600, 800, 1000, 1200, 1400, 1600}, 1)
+	t.Note("paper shape: insertions cost more than deletions (larger affected areas), matching §4's analysis")
+	return t
+}
+
+// AffStats reproduces the appendix's AFF statistics: for insertion
+// batches, |AFF1| vs |AFF2| and the fraction of AFF1 that touches the
+// match at all.
+func AffStats(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	g := youtube(cfg)
+	ps := dagPatternBatch(cfg, g, 1, 4, 4, 3)
+	t := &Table{
+		ID:      "aff",
+		Title:   "Appendix: affected-area statistics for insertion batches",
+		Columns: []string{"|delta|", "|AFF1|", "|AFF2|", "AFF2/AFF1"},
+	}
+	if len(ps) == 0 {
+		t.Note("no DAG pattern could be generated")
+		return t
+	}
+	p := ps[0]
+	for _, raw := range []int{200, 800, 1600} {
+		size := scaleDelta(cfg, raw)
+		gInc := g.Clone()
+		dm := incremental.NewDynMatrix(gInc)
+		m, err := incremental.NewMatcher(p, dm)
+		if err != nil {
+			t.Note("%v", err)
+			return t
+		}
+		ups := generator.Updates(generator.UpdatesConfig{Insertions: size, Seed: cfg.Seed + int64(raw)}, gInc)
+		dlt, err := m.Apply(ups)
+		if err != nil {
+			t.Note("size %d: %v", size, err)
+			continue
+		}
+		ratio := "-"
+		if dlt.Aff1 > 0 {
+			ratio = fmt.Sprintf("%.4f", float64(dlt.Aff2)/float64(dlt.Aff1))
+		}
+		t.AddRow(fmt.Sprintf("%d", size), fmt.Sprintf("%d", dlt.Aff1), fmt.Sprintf("%d", dlt.Aff2), ratio)
+	}
+	t.Note("paper: |AFF2| is far smaller than |AFF1| — under 1%% of distance changes touch the match")
+	return t
+}

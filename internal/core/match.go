@@ -1,0 +1,362 @@
+package core
+
+import (
+	"fmt"
+
+	"gpm/internal/graph"
+	"gpm/internal/pattern"
+)
+
+// Result is the outcome of a bounded-simulation computation: the greatest
+// fixpoint of the refinement step, which is the unique maximum match S of
+// Proposition 2.1 when every pattern node retains at least one data node.
+type Result struct {
+	p   *pattern.Pattern
+	g   *graph.Graph
+	mat [][]int32 // per pattern node, ascending data-node ids
+	ok  bool
+}
+
+// OK reports whether P ⊴ G, i.e. every pattern node has a match.
+func (r *Result) OK() bool { return r.ok }
+
+// Pattern returns the pattern this result was computed for.
+func (r *Result) Pattern() *pattern.Pattern { return r.p }
+
+// Graph returns the data graph this result was computed over.
+func (r *Result) Graph() *graph.Graph { return r.g }
+
+// Mat returns the sorted data nodes matching pattern node u. When OK is
+// false this is the fixpoint remainder, useful for diagnostics and for
+// the per-node counts reported in the paper's Fig. 6(d); the maximum
+// match itself is empty in that case (Match, line 10).
+func (r *Result) Mat(u int) []int32 { return r.mat[u] }
+
+// Relation returns the whole relation as a copy, one sorted slice of data
+// nodes per pattern node.
+func (r *Result) Relation() [][]int32 {
+	out := make([][]int32, len(r.mat))
+	for i, l := range r.mat {
+		out[i] = append([]int32(nil), l...)
+	}
+	return out
+}
+
+// Pairs returns |S|, the number of (pattern node, data node) pairs.
+func (r *Result) Pairs() int {
+	total := 0
+	for _, l := range r.mat {
+		total += len(l)
+	}
+	return total
+}
+
+// MatchedNodes returns how many pattern nodes have at least one match —
+// the quantity plotted against added pattern edges in Fig. 6(d)'s prose.
+func (r *Result) MatchedNodes() int {
+	n := 0
+	for _, l := range r.mat {
+		if len(l) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Contains reports whether (u, x) is in the relation.
+func (r *Result) Contains(u int, x int32) bool {
+	l := r.mat[u]
+	lo, hi := 0, len(l)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if l[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(l) && l[lo] == x
+}
+
+// String summarises the result.
+func (r *Result) String() string {
+	return fmt.Sprintf("match{ok: %v, pairs: %d}", r.ok, r.Pairs())
+}
+
+// Match computes the maximum bounded-simulation match of p in g using a
+// freshly built distance matrix — the paper's algorithm Match (Fig. 4).
+func Match(p *pattern.Pattern, g *graph.Graph) (*Result, error) {
+	return MatchWithOracle(p, g, BuildMatrixOracle(g))
+}
+
+// MatchBFS is Match with BFS-computed distances (the "BFS" variant of
+// Exp-2): no preprocessing, higher per-query cost.
+func MatchBFS(p *pattern.Pattern, g *graph.Graph) (*Result, error) {
+	return MatchWithOracle(p, g, NewBFSOracle(g))
+}
+
+// Match2Hop is Match with the 2-hop reachability filter in front of BFS
+// (the "2-hop" variant of Exp-2).
+func Match2Hop(p *pattern.Pattern, g *graph.Graph) (*Result, error) {
+	return MatchWithOracle(p, g, BuildTwoHopOracle(g))
+}
+
+// MatchWithOracle runs the refinement with the given distance oracle.
+//
+// The implementation realises Fig. 4's premv bookkeeping as the standard
+// counter/worklist scheme: for every pattern edge e = (u, u′) and every
+// candidate x of u, cnt[e][x] counts the members of mat(u′) within e's
+// bound of x. A pair leaves the relation exactly when one of its counters
+// reaches zero; each removal decrements the counters of in-bound ancestor
+// candidates, cascading until the greatest fixpoint. With the matrix
+// oracle each distance probe is O(1), giving the Theorem 3.1 bound
+// O(|V||E| + |Ep||V|² + |Vp||V|).
+func MatchWithOracle(p *pattern.Pattern, g *graph.Graph, o DistOracle) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	st := newState(p, g, o)
+	st.initCandidates()
+	st.initCounters()
+	st.refine()
+	return st.result(), nil
+}
+
+// state carries the refinement data shared by the batch algorithm here
+// and the incremental matcher built on top of it.
+type state struct {
+	p *pattern.Pattern
+	g *graph.Graph
+	o DistOracle
+
+	cand    [][]int32 // static candidate lists (predicate + out-degree test)
+	inCand  [][]bool
+	inMat   [][]bool
+	matSize []int
+	cnt     [][]int32 // per pattern edge, indexed by data node
+	work    []removalItem
+	walks   *walkProber // lazy; only for ranged edges (§6 extension)
+}
+
+type removalItem struct {
+	u int32
+	x int32
+}
+
+func newState(p *pattern.Pattern, g *graph.Graph, o DistOracle) *state {
+	return &state{p: p, g: g, o: o}
+}
+
+// initCandidates computes cand(u): data nodes satisfying fv(u) whose
+// out-degree is nonzero whenever u has outgoing pattern edges (Match,
+// line 5 — a node with no successors can witness no nonempty path).
+func (st *state) initCandidates() {
+	np, n := st.p.N(), st.g.N()
+	st.cand = make([][]int32, np)
+	st.inCand = make([][]bool, np)
+	st.inMat = make([][]bool, np)
+	st.matSize = make([]int, np)
+	for u := 0; u < np; u++ {
+		pred := st.p.Pred(u)
+		needsOut := st.p.OutDegree(u) > 0
+		st.inCand[u] = make([]bool, n)
+		st.inMat[u] = make([]bool, n)
+		for x := 0; x < n; x++ {
+			if needsOut && st.g.OutDegree(x) == 0 {
+				continue
+			}
+			if !pred.Match(st.g.Attr(x)) {
+				continue
+			}
+			st.cand[u] = append(st.cand[u], int32(x))
+			st.inCand[u][x] = true
+			st.inMat[u][x] = true
+			st.matSize[u]++
+		}
+	}
+}
+
+// initCounters fills cnt[e][x] for every pattern edge and candidate
+// source, seeding the worklist with already-dead pairs.
+func (st *state) initCounters() {
+	st.cnt = make([][]int32, st.p.EdgeCount())
+	for eid := 0; eid < st.p.EdgeCount(); eid++ {
+		e := st.p.EdgeAt(eid)
+		c := make([]int32, st.g.N())
+		st.cnt[eid] = c
+		for _, x := range st.cand[e.From] {
+			for _, z := range st.cand[e.To] {
+				if st.inMat[e.To][z] && st.edgeWitness(int(x), int(z), e, false) >= 0 {
+					c[x]++
+				}
+			}
+			if c[x] == 0 {
+				st.work = append(st.work, removalItem{int32(e.From), x})
+			}
+		}
+	}
+}
+
+// refine drains the removal worklist to the greatest fixpoint.
+func (st *state) refine() {
+	for len(st.work) > 0 {
+		it := st.work[len(st.work)-1]
+		st.work = st.work[:len(st.work)-1]
+		st.remove(int(it.u), it.x)
+	}
+}
+
+// remove deletes (u, x) from the relation and propagates counter
+// decrements to ancestor candidates within bound of x.
+func (st *state) remove(u int, x int32) {
+	if !st.inMat[u][x] {
+		return
+	}
+	st.inMat[u][x] = false
+	st.matSize[u]--
+	for _, eid := range st.p.In(u) {
+		e := st.p.EdgeAt(int(eid))
+		c := st.cnt[eid]
+		for _, xp := range st.cand[e.From] {
+			if !st.inMat[e.From][xp] {
+				continue
+			}
+			if st.edgeWitness(int(xp), int(x), e, true) < 0 {
+				continue
+			}
+			c[xp]--
+			if c[xp] == 0 {
+				st.work = append(st.work, removalItem{int32(e.From), xp})
+			}
+		}
+	}
+}
+
+// result snapshots the current relation.
+func (st *state) result() *Result {
+	res := &Result{p: st.p, g: st.g, mat: make([][]int32, st.p.N()), ok: true}
+	for u := 0; u < st.p.N(); u++ {
+		for _, x := range st.cand[u] {
+			if st.inMat[u][x] {
+				res.mat[u] = append(res.mat[u], x)
+			}
+		}
+		if len(res.mat[u]) == 0 {
+			res.ok = false
+		}
+	}
+	return res
+}
+
+// MatchNaive is the reference implementation: the textbook greatest
+// fixpoint that rescans every pair until stable. It is quadratically
+// slower than MatchWithOracle but independent of the counter machinery,
+// so property tests can compare the two. The ablation benchmark
+// BenchmarkAblationNaive quantifies the gap.
+func MatchNaive(p *pattern.Pattern, g *graph.Graph, o DistOracle) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	witness := witnessFunc(g, o)
+	np, n := p.N(), g.N()
+	sim := make([][]bool, np)
+	for u := 0; u < np; u++ {
+		sim[u] = make([]bool, n)
+		for x := 0; x < n; x++ {
+			sim[u][x] = p.Pred(u).Match(g.Attr(x))
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for u := 0; u < np; u++ {
+			for x := 0; x < n; x++ {
+				if !sim[u][x] {
+					continue
+				}
+				for _, eid := range p.Out(u) {
+					e := p.EdgeAt(int(eid))
+					ok := false
+					for z := 0; z < n; z++ {
+						if sim[e.To][z] && witness(x, z, e) >= 0 {
+							ok = true
+							break
+						}
+					}
+					if !ok {
+						sim[u][x] = false
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+	res := &Result{p: p, g: g, mat: make([][]int32, np), ok: true}
+	for u := 0; u < np; u++ {
+		for x := 0; x < n; x++ {
+			if sim[u][x] {
+				res.mat[u] = append(res.mat[u], int32(x))
+			}
+		}
+		if len(res.mat[u]) == 0 {
+			res.ok = false
+		}
+	}
+	return res, nil
+}
+
+// IsMatch verifies that rel is a bounded simulation of p in g: every pair
+// satisfies its predicate and every pattern edge has an in-bound witness.
+// It does not check maximality. Tests and the incremental layer use it.
+func IsMatch(p *pattern.Pattern, g *graph.Graph, rel [][]int32, o DistOracle) bool {
+	if len(rel) != p.N() {
+		return false
+	}
+	witness := witnessFunc(g, o)
+	in := make([][]bool, p.N())
+	for u := range in {
+		in[u] = make([]bool, g.N())
+		for _, x := range rel[u] {
+			if int(x) >= g.N() {
+				return false
+			}
+			in[u][x] = true
+		}
+	}
+	for u := 0; u < p.N(); u++ {
+		for _, x := range rel[u] {
+			if !p.Pred(u).Match(g.Attr(int(x))) {
+				return false
+			}
+			for _, eid := range p.Out(u) {
+				e := p.EdgeAt(int(eid))
+				found := false
+				for z := 0; z < g.N(); z++ {
+					if in[e.To][z] && witness(int(x), z, e) >= 0 {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// witnessFunc returns a probe closure answering plain edges through the
+// oracle and ranged edges through a shared walk prober.
+func witnessFunc(g *graph.Graph, o DistOracle) func(x, z int, e pattern.Edge) int {
+	var wp *walkProber
+	return func(x, z int, e pattern.Edge) int {
+		if e.Ranged() {
+			if wp == nil {
+				wp = newWalkProber(g)
+			}
+			return wp.WalkWithin(x, z, e.MinBound, e.Bound, e.Color, false)
+		}
+		return o.NonemptyDistWithin(x, z, e.Bound, e.Color)
+	}
+}

@@ -1,0 +1,266 @@
+// Package core implements bounded graph simulation — the paper's primary
+// contribution. Match computes the unique maximum match of a pattern in a
+// data graph (Theorem 3.1) in O(|V||E| + |Ep||V|² + |Vp||V|) time using a
+// pluggable distance oracle; the three oracles in this file reproduce the
+// paper's three variants: the distance matrix (Match), plain BFS (BFS) and
+// 2-hop-filtered BFS (2-hop), compared in Exp-2.
+package core
+
+import (
+	"gpm/internal/graph"
+	"gpm/internal/matrix"
+	"gpm/internal/twohop"
+)
+
+// DistOracle answers the distance queries Match needs: the length of the
+// shortest *nonempty* path from u to v (≥ 1; a node reaches itself only
+// through a cycle), restricted to edges of the given color when color is
+// non-empty. It returns -1 when no such path exists or when the shortest
+// one is longer than bound (bound < 0 means unbounded, the pattern's "*").
+//
+// Oracles may cache per-source/per-target state and are not safe for
+// concurrent use unless documented otherwise.
+type DistOracle interface {
+	NonemptyDistWithin(u, v, bound int, color string) int
+}
+
+func clampToBound(d, bound int) int {
+	if d < 0 || (bound >= 0 && d > bound) {
+		return -1
+	}
+	return d
+}
+
+// MatrixOracle answers queries in O(1) from a precomputed all-pairs
+// distance matrix — the oracle behind the paper's main Match algorithm.
+// Per-color sub-matrices for the edge-color extension are built lazily.
+type MatrixOracle struct {
+	g      *graph.Graph
+	m      *matrix.Matrix
+	colors map[string]*matrix.Matrix // distance matrices of color subgraphs
+}
+
+// NewMatrixOracle wraps an existing matrix; the matrix must describe g.
+func NewMatrixOracle(g *graph.Graph, m *matrix.Matrix) *MatrixOracle {
+	return &MatrixOracle{g: g, m: m}
+}
+
+// BuildMatrixOracle computes the distance matrix of g and wraps it. This
+// is the paper's preprocessing step (Match, line 1).
+func BuildMatrixOracle(g *graph.Graph) *MatrixOracle {
+	return NewMatrixOracle(g, matrix.New(g))
+}
+
+// Matrix exposes the underlying distance matrix.
+func (o *MatrixOracle) Matrix() *matrix.Matrix { return o.m }
+
+// NonemptyDistWithin implements DistOracle.
+func (o *MatrixOracle) NonemptyDistWithin(u, v, bound int, color string) int {
+	m := o.m
+	if color != "" {
+		m = o.colorMatrix(color)
+	}
+	return clampToBound(m.NonemptyDist(u, v), bound)
+}
+
+func (o *MatrixOracle) colorMatrix(color string) *matrix.Matrix {
+	if m, ok := o.colors[color]; ok {
+		return m
+	}
+	// Build the color subgraph once and take its matrix.
+	sub := graph.New(o.g.N())
+	o.g.Edges(func(u, v int) {
+		if c, _ := o.g.Color(u, v); c == color {
+			sub.AddEdge(u, v)
+		}
+	})
+	m := matrix.New(sub)
+	if o.colors == nil {
+		o.colors = make(map[string]*matrix.Matrix)
+	}
+	o.colors[color] = m
+	return m
+}
+
+// bfsCache holds one full BFS frontier keyed by (node, direction, color).
+type bfsCache struct {
+	node    int
+	color   string
+	valid   bool
+	dist    []int32
+	scratch []int32
+}
+
+func (c *bfsCache) ensure(n int) {
+	if c.dist == nil {
+		c.dist = make([]int32, n)
+		c.scratch = make([]int32, 0, n)
+	}
+}
+
+func (c *bfsCache) reset(node int, color string, n int) {
+	c.ensure(n)
+	for i := range c.dist {
+		c.dist[i] = -1
+	}
+	c.node = node
+	c.color = color
+	c.valid = true
+}
+
+// BFSOracle answers queries by breadth-first search, caching the last
+// forward frontier (distances from one source) and the last backward
+// frontier (distances to one target). Match's loops fix one endpoint and
+// sweep the other, so almost every query after the first per group is a
+// cache hit; this is the paper's "BFS" variant.
+type BFSOracle struct {
+	g        *graph.Graph
+	fwd, bwd bfsCache
+	lastU    int
+	lastV    int
+}
+
+// NewBFSOracle returns a BFS-based oracle over g. The oracle reads the
+// graph live: mutate the graph and subsequent queries see the new state
+// (caches are invalidated via Invalidate).
+func NewBFSOracle(g *graph.Graph) *BFSOracle {
+	return &BFSOracle{g: g, lastU: -1, lastV: -1}
+}
+
+// Invalidate drops cached frontiers; callers must invoke it after the
+// graph changes.
+func (o *BFSOracle) Invalidate() {
+	o.fwd.valid = false
+	o.bwd.valid = false
+	o.lastU, o.lastV = -1, -1
+}
+
+// NonemptyDistWithin implements DistOracle.
+func (o *BFSOracle) NonemptyDistWithin(u, v, bound int, color string) int {
+	if u == v {
+		return clampToBound(o.cycleLen(u, color), bound)
+	}
+	d := o.pairDist(u, v, color)
+	return clampToBound(d, bound)
+}
+
+func (o *BFSOracle) pairDist(u, v int, color string) int {
+	if o.fwd.valid && o.fwd.node == u && o.fwd.color == color {
+		o.lastU, o.lastV = u, v
+		return int(o.fwd.dist[v])
+	}
+	if o.bwd.valid && o.bwd.node == v && o.bwd.color == color {
+		o.lastU, o.lastV = u, v
+		return int(o.bwd.dist[u])
+	}
+	// Miss: build the frontier for the endpoint that repeated, guessing
+	// forward when neither did.
+	if v == o.lastV && u != o.lastU {
+		o.buildBackward(v, color)
+		o.lastU, o.lastV = u, v
+		return int(o.bwd.dist[u])
+	}
+	o.buildForward(u, color)
+	o.lastU, o.lastV = u, v
+	return int(o.fwd.dist[v])
+}
+
+// cycleLen returns the shortest nonempty cycle through u: one backward
+// frontier to u, then the best successor.
+func (o *BFSOracle) cycleLen(u int, color string) int {
+	if !(o.bwd.valid && o.bwd.node == u && o.bwd.color == color) {
+		o.buildBackward(u, color)
+	}
+	best := -1
+	for _, w := range o.g.Out(u) {
+		if color != "" {
+			if c, _ := o.g.Color(u, int(w)); c != color {
+				continue
+			}
+		}
+		if dw := o.bwd.dist[w]; dw >= 0 && (best < 0 || int(dw)+1 < best) {
+			best = int(dw) + 1
+		}
+	}
+	return best
+}
+
+func (o *BFSOracle) buildForward(u int, color string) {
+	o.fwd.reset(u, color, o.g.N())
+	bfsDirected(o.g, u, color, false, o.fwd.dist, &o.fwd.scratch)
+}
+
+func (o *BFSOracle) buildBackward(v int, color string) {
+	o.bwd.reset(v, color, o.g.N())
+	bfsDirected(o.g, v, color, true, o.bwd.dist, &o.bwd.scratch)
+}
+
+// bfsDirected runs an unbounded BFS from src into dist (pre-filled -1),
+// following in-edges when reverse is true and, when color is non-empty,
+// only edges of that color.
+func bfsDirected(g *graph.Graph, src int, color string, reverse bool, dist []int32, scratch *[]int32) {
+	queue := (*scratch)[:0]
+	dist[src] = 0
+	queue = append(queue, int32(src))
+	for head := 0; head < len(queue); head++ {
+		x := queue[head]
+		dx := dist[x]
+		var nbrs []int32
+		if reverse {
+			nbrs = g.In(int(x))
+		} else {
+			nbrs = g.Out(int(x))
+		}
+		for _, y := range nbrs {
+			if dist[y] >= 0 {
+				continue
+			}
+			if color != "" {
+				var c string
+				if reverse {
+					c, _ = g.Color(int(y), int(x))
+				} else {
+					c, _ = g.Color(int(x), int(y))
+				}
+				if c != color {
+					continue
+				}
+			}
+			dist[y] = dx + 1
+			queue = append(queue, y)
+		}
+	}
+	*scratch = queue
+}
+
+// TwoHopOracle is the paper's "2-hop" variant: a 2-hop reachability
+// labelling filters out unreachable pairs in label-intersection time, and
+// only reachable pairs fall through to (cached) BFS for the exact
+// distance. Labels ignore colors, which keeps them a sound filter for
+// color-restricted queries.
+type TwoHopOracle struct {
+	idx *twohop.Index
+	bfs *BFSOracle
+	g   *graph.Graph
+}
+
+// NewTwoHopOracle wraps a prebuilt index over g.
+func NewTwoHopOracle(g *graph.Graph, idx *twohop.Index) *TwoHopOracle {
+	return &TwoHopOracle{idx: idx, bfs: NewBFSOracle(g), g: g}
+}
+
+// BuildTwoHopOracle constructs the labelling for g and wraps it.
+func BuildTwoHopOracle(g *graph.Graph) *TwoHopOracle {
+	return NewTwoHopOracle(g, twohop.Build(g))
+}
+
+// Index exposes the underlying 2-hop labelling.
+func (o *TwoHopOracle) Index() *twohop.Index { return o.idx }
+
+// NonemptyDistWithin implements DistOracle.
+func (o *TwoHopOracle) NonemptyDistWithin(u, v, bound int, color string) int {
+	if !o.idx.ReachableNonempty(o.g, u, v) {
+		return -1
+	}
+	return o.bfs.NonemptyDistWithin(u, v, bound, color)
+}

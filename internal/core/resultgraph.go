@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ResultEdge is one edge of a result graph: data nodes From and To are
+// connected because pattern edge PatternEdge maps onto a path of length
+// Dist between them (Dist ≤ the pattern edge's bound).
+type ResultEdge struct {
+	From, To    int32
+	PatternEdge int
+	Dist        int
+}
+
+// ResultGraph is the succinct representation of a maximum match (§2.2,
+// "Result graph"): its nodes are the data nodes appearing in the match,
+// and it has an edge (v1, v2) for every pattern edge (u1, u2) with
+// (u1, v1), (u2, v2) in the match and a witnessing path within bound —
+// cf. Fig. 3, where each result edge "denotes a path" in the data graph.
+type ResultGraph struct {
+	Nodes   []int32      // sorted data-node ids in the match
+	Matched [][]int32    // parallel to Nodes: pattern nodes each data node matches
+	Edges   []ResultEdge // sorted by (From, To, PatternEdge)
+}
+
+// BuildResultGraph materialises the result graph of res, probing the
+// oracle for witness distances. For an empty or failed match it returns
+// an empty graph.
+func BuildResultGraph(res *Result, o DistOracle) *ResultGraph {
+	rg := &ResultGraph{}
+	if !res.OK() {
+		return rg
+	}
+	p := res.Pattern()
+	matchedBy := map[int32][]int32{}
+	for u := 0; u < p.N(); u++ {
+		for _, x := range res.Mat(u) {
+			matchedBy[x] = append(matchedBy[x], int32(u))
+		}
+	}
+	for x := range matchedBy {
+		rg.Nodes = append(rg.Nodes, x)
+	}
+	sort.Slice(rg.Nodes, func(i, j int) bool { return rg.Nodes[i] < rg.Nodes[j] })
+	rg.Matched = make([][]int32, len(rg.Nodes))
+	for i, x := range rg.Nodes {
+		rg.Matched[i] = matchedBy[x]
+	}
+	witness := witnessFunc(res.Graph(), o)
+	for eid := 0; eid < p.EdgeCount(); eid++ {
+		e := p.EdgeAt(eid)
+		for _, v1 := range res.Mat(e.From) {
+			for _, v2 := range res.Mat(e.To) {
+				d := witness(int(v1), int(v2), e)
+				if d < 0 {
+					continue
+				}
+				rg.Edges = append(rg.Edges, ResultEdge{From: v1, To: v2, PatternEdge: eid, Dist: d})
+			}
+		}
+	}
+	sort.Slice(rg.Edges, func(i, j int) bool {
+		a, b := rg.Edges[i], rg.Edges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.PatternEdge < b.PatternEdge
+	})
+	return rg
+}
+
+// Size returns (#nodes, #distinct edges ignoring pattern-edge identity) —
+// the |Gr| statistic of the paper's appendix.
+func (rg *ResultGraph) Size() (nodes, edges int) {
+	seen := map[uint64]struct{}{}
+	for _, e := range rg.Edges {
+		seen[uint64(uint32(e.From))<<32|uint64(uint32(e.To))] = struct{}{}
+	}
+	return len(rg.Nodes), len(seen)
+}
+
+// HasEdge reports whether some pattern edge connects v1 to v2 in the
+// result graph.
+func (rg *ResultGraph) HasEdge(v1, v2 int32) bool {
+	for _, e := range rg.Edges {
+		if e.From == v1 && e.To == v2 {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the result graph compactly, one node and one edge per
+// line, using the optional name function for node display.
+func (rg *ResultGraph) String() string { return rg.Render(nil) }
+
+// Render is String with a custom node namer (nil falls back to ids).
+func (rg *ResultGraph) Render(name func(int32) string) string {
+	if name == nil {
+		name = func(x int32) string { return fmt.Sprintf("%d", x) }
+	}
+	var b strings.Builder
+	n, m := rg.Size()
+	fmt.Fprintf(&b, "result graph: %d nodes, %d edges\n", n, m)
+	for i, x := range rg.Nodes {
+		pats := make([]string, len(rg.Matched[i]))
+		for j, u := range rg.Matched[i] {
+			pats[j] = fmt.Sprintf("p%d", u)
+		}
+		fmt.Fprintf(&b, "  %s <- {%s}\n", name(x), strings.Join(pats, ","))
+	}
+	for _, e := range rg.Edges {
+		fmt.Fprintf(&b, "  %s -> %s (pattern edge %d, path length %d)\n",
+			name(e.From), name(e.To), e.PatternEdge, e.Dist)
+	}
+	return b.String()
+}

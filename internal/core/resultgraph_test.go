@@ -1,0 +1,85 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"gpm/internal/fixtures"
+)
+
+func TestResultGraphCollaboration(t *testing.T) {
+	// Fig. 3(a): the result graph of P2 over G2 contains DB, Gen, Eco,
+	// Soc, Med and an edge per matched pattern edge, e.g. DB -> Soc with a
+	// length-3 witness (CS, Soc).
+	c := fixtures.Collaboration()
+	o := BuildMatrixOracle(c.G)
+	res, _ := MatchWithOracle(c.P, c.G, o)
+	rg := BuildResultGraph(res, o)
+	nodes, edges := rg.Size()
+	if nodes != 5 {
+		t.Errorf("result graph nodes = %d, want 5 (DB,Gen,Eco,Soc,Med)", nodes)
+	}
+	if edges == 0 {
+		t.Fatal("no result edges")
+	}
+	if !rg.HasEdge(fixtures.G2DB, fixtures.G2Soc) {
+		t.Error("missing DB->Soc result edge")
+	}
+	for _, e := range rg.Edges {
+		if e.From == fixtures.G2DB && e.To == fixtures.G2Soc {
+			if e.Dist != 3 {
+				t.Errorf("DB->Soc witness length = %d, want 3", e.Dist)
+			}
+		}
+	}
+	// AI must not appear: it is not in the match.
+	for _, x := range rg.Nodes {
+		if x == fixtures.G2AI {
+			t.Error("AI in result graph")
+		}
+	}
+	s := rg.Render(func(x int32) string { return c.GNames[x] })
+	if !strings.Contains(s, "DB -> Soc") {
+		t.Errorf("render missing edge: %s", s)
+	}
+	if rg.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestResultGraphEmptyOnNoMatch(t *testing.T) {
+	c := fixtures.CollaborationNoMatch()
+	o := BuildMatrixOracle(c.G)
+	res, _ := MatchWithOracle(c.P, c.G, o)
+	rg := BuildResultGraph(res, o)
+	n, m := rg.Size()
+	if n != 0 || m != 0 {
+		t.Errorf("non-empty result graph for failed match: %d nodes %d edges", n, m)
+	}
+}
+
+func TestResultGraphMultiMapping(t *testing.T) {
+	// Fig. 3(b) property: one pattern node maps to multiple data nodes and
+	// one data node satisfies several pattern nodes.
+	c := fixtures.SocialMatching()
+	o := BuildMatrixOracle(c.G)
+	res, _ := MatchWithOracle(c.P, c.G, o)
+	rg := BuildResultGraph(res, o)
+	var hrse []int32
+	for i, x := range rg.Nodes {
+		if x == fixtures.G1HRSE {
+			hrse = rg.Matched[i]
+		}
+	}
+	if len(hrse) != 2 {
+		t.Errorf("(HR,SE) should match two pattern nodes, got %v", hrse)
+	}
+	// Edge dedup: Size counts distinct (from,to) pairs.
+	_, distinct := rg.Size()
+	if distinct > len(rg.Edges) {
+		t.Error("distinct edge count exceeds raw edges")
+	}
+	if rg.HasEdge(99, 98) {
+		t.Error("HasEdge on absent edge")
+	}
+}

@@ -1,0 +1,270 @@
+// Package datasets synthesises stand-ins for the paper's three real-life
+// graphs, which are not redistributable. Each stand-in reproduces the
+// exact |V| and |E| of the paper's §5 table and an attribute schema rich
+// enough for the published example patterns; topology follows the class
+// of the original network (community-clustered co-authorship for Matter,
+// preferential attachment for the PBlog hyperlink graph and the YouTube
+// recommendation graph). See DESIGN.md, "Faithfulness notes".
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gpm/internal/generator"
+	"gpm/internal/graph"
+	"gpm/internal/pattern"
+	"gpm/internal/value"
+)
+
+// Paper's §5 dataset table.
+const (
+	MatterNodes  = 16726
+	MatterEdges  = 47594
+	PBlogNodes   = 1490
+	PBlogEdges   = 19090
+	YouTubeNodes = 14829
+	YouTubeEdges = 58901
+)
+
+// Matter returns the Condensed Matter co-authorship stand-in: community
+// structure, symmetric-ish links, attributes field (one of 12 physics
+// subfields) and papers (publication count).
+func Matter(seed int64) *graph.Graph {
+	g := generator.Graph(generator.GraphConfig{
+		Nodes: MatterNodes, Edges: MatterEdges,
+		Attrs: 12, Model: generator.Communities, Seed: seed,
+	})
+	r := rand.New(rand.NewSource(seed + 1))
+	fields := []string{"cond-mat", "stat-mech", "supercond", "mes-hall", "soft",
+		"str-el", "mtrl-sci", "dis-nn", "quant-gas", "other", "stat-phys", "lattice"}
+	for v := 0; v < g.N(); v++ {
+		a := g.Attr(v)
+		ai, _ := a["a"].AsInt()
+		g.SetAttr(v, graph.Attrs{
+			"field":  value.Str(fields[int(ai)%len(fields)]),
+			"papers": value.Int(int64(1 + r.Intn(60))),
+		})
+	}
+	return g
+}
+
+// PBlog returns the US political weblog stand-in: two communities
+// (leanings) with heavy-tailed link counts; attributes leaning and rank.
+func PBlog(seed int64) *graph.Graph {
+	g := generator.Graph(generator.GraphConfig{
+		Nodes: PBlogNodes, Edges: PBlogEdges,
+		Attrs: 2, Model: generator.PowerLaw, Seed: seed,
+	})
+	r := rand.New(rand.NewSource(seed + 1))
+	for v := 0; v < g.N(); v++ {
+		a := g.Attr(v)
+		ai, _ := a["a"].AsInt()
+		leaning := "liberal"
+		if ai == 1 {
+			leaning = "conservative"
+		}
+		g.SetAttr(v, graph.Attrs{
+			"leaning": value.Str(leaning),
+			"rank":    value.Int(int64(r.Intn(1000))),
+		})
+	}
+	return g
+}
+
+// YouTube categories and uploader pool; the uploaders named in the
+// paper's sample patterns are guaranteed to exist.
+var (
+	youTubeCategories = []string{
+		"Music", "Comedy", "People", "Entertainment", "Sports", "Politics",
+		"Science", "Travel & Places", "Film", "News", "Howto", "Autos",
+	}
+	youTubeUploaders = []string{
+		"FWPB", "Ascrodin", "neil010", "Gisburgh", "mediacorp", "vlogger7",
+		"tubestar", "dailyclips", "archiv8", "misterx", "CCsuisse", "wombat22",
+	}
+)
+
+// YouTube returns the crawled-YouTube stand-in: a recommendation network
+// with skewed popularity and per-video attributes matching Example 2.3
+// and the Exp-1 patterns: category, uploader, length (seconds), rate
+// (0–5), age (days), views, comments, ratings.
+func YouTube(seed int64) *graph.Graph {
+	g := generator.Graph(generator.GraphConfig{
+		Nodes: YouTubeNodes, Edges: YouTubeEdges,
+		Attrs: len(youTubeCategories), Model: generator.PowerLaw, Seed: seed,
+	})
+	r := rand.New(rand.NewSource(seed + 1))
+	for v := 0; v < g.N(); v++ {
+		a := g.Attr(v)
+		ai, _ := a["a"].AsInt()
+		g.SetAttr(v, graph.Attrs{
+			"category": value.Str(youTubeCategories[int(ai)%len(youTubeCategories)]),
+			"uploader": value.Str(youTubeUploaders[r.Intn(len(youTubeUploaders))]),
+			"length":   value.Int(int64(15 + r.Intn(1200))), // seconds
+			"rate":     value.Float(float64(r.Intn(51)) / 10),
+			"age":      value.Int(int64(1 + r.Intn(1500))), // days since upload
+			"views":    value.Int(int64(r.Intn(2_000_000))),
+			"comments": value.Int(int64(r.Intn(500))),
+			"ratings":  value.Int(int64(r.Intn(2000))),
+		})
+	}
+	return g
+}
+
+func mustPred(s string) pattern.Predicate {
+	p, err := pattern.ParsePredicate(s)
+	if err != nil {
+		panic(fmt.Sprintf("datasets: bad predicate %q: %v", s, err))
+	}
+	return p
+}
+
+// YouTubeSampleP1 is Exp-1's sample pattern P1 (Fig. 6(a) left): music
+// videos with a high rating linked to videos of user FWPB within 2 hops;
+// FWPB's videos reach Ascrodin's recent videos within 3 hops, which link
+// back within 4.
+func YouTubeSampleP1() *pattern.Pattern {
+	p := pattern.New()
+	p1 := p.AddNode(mustPred(`category = Music && rate > 3`))
+	p2 := p.AddNode(mustPred(`uploader = FWPB`))
+	p3 := p.AddNode(mustPred(`uploader = Ascrodin && age < 500`))
+	p.MustAddEdge(p1, p2, 2)
+	p.MustAddEdge(p2, p3, 3)
+	p.MustAddEdge(p3, p2, 4)
+	return p
+}
+
+// YouTubeSampleP2 is Exp-1's sample pattern P2 (Fig. 6(a) right): comedy
+// videos from user Gisburgh referenced by politics and science videos
+// within 3 hops, linking to people videos within 2 hops.
+func YouTubeSampleP2() *pattern.Pattern {
+	p := pattern.New()
+	p4 := p.AddNode(mustPred(`category = Politics`))
+	p5 := p.AddNode(mustPred(`category = Science`))
+	p6 := p.AddNode(mustPred(`uploader = Gisburgh && category = Comedy`))
+	p7 := p.AddNode(mustPred(`category = People`))
+	p.MustAddEdge(p4, p6, 3)
+	p.MustAddEdge(p5, p6, 3)
+	p.MustAddEdge(p6, p7, 2)
+	return p
+}
+
+// YouTubeExamplePrime is the P′ of Example 2.3 / Fig. 3(b): long old
+// videos recommending low-comment, well-viewed videos, from which
+// neil010's videos are recommended; those lead to highly-rated People
+// videos and sparsely-rated Travel & Places videos.
+func YouTubeExamplePrime() *pattern.Pattern {
+	p := pattern.New()
+	p3 := p.AddNode(mustPred(`length > 120 && age > 365`))
+	p2 := p.AddNode(mustPred(`comments < 16 && views >= 700`))
+	p4 := p.AddNode(mustPred(`uploader = neil010`))
+	p1 := p.AddNode(mustPred(`category = People && rate > 4.5`))
+	p5 := p.AddNode(mustPred(`category = "Travel & Places" && ratings < 30`))
+	p.MustAddEdge(p3, p2, 1)
+	p.MustAddEdge(p2, p4, 1)
+	p.MustAddEdge(p4, p1, 1)
+	p.MustAddEdge(p4, p5, 1)
+	return p
+}
+
+// ByName returns a dataset stand-in by its paper name (matter, pblog,
+// youtube), scaled by the given factor (1.0 = the paper's exact size).
+func ByName(name string, seed int64, scale float64) (*graph.Graph, error) {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	full := map[string][2]int{
+		"matter":  {MatterNodes, MatterEdges},
+		"pblog":   {PBlogNodes, PBlogEdges},
+		"youtube": {YouTubeNodes, YouTubeEdges},
+	}
+	dims, ok := full[name]
+	if !ok {
+		return nil, fmt.Errorf("datasets: unknown dataset %q (want matter, pblog or youtube)", name)
+	}
+	if scale == 1 {
+		switch name {
+		case "matter":
+			return Matter(seed), nil
+		case "pblog":
+			return PBlog(seed), nil
+		default:
+			return YouTube(seed), nil
+		}
+	}
+	return Scaled(name, seed, int(float64(dims[0])*scale), int(float64(dims[1])*scale))
+}
+
+// Scaled builds a smaller stand-in with the same schema and topology
+// class; the experiment harness uses it to keep distance matrices small
+// on modest machines (see EXPERIMENTS.md for the scale factors used).
+func Scaled(name string, seed int64, nodes, edges int) (*graph.Graph, error) {
+	if nodes < 8 {
+		nodes = 8
+	}
+	if edges < 1 {
+		edges = 1
+	}
+	switch name {
+	case "matter":
+		g := generator.Graph(generator.GraphConfig{Nodes: nodes, Edges: edges, Attrs: 12, Model: generator.Communities, Seed: seed})
+		relabelMatter(g, seed)
+		return g, nil
+	case "pblog":
+		g := generator.Graph(generator.GraphConfig{Nodes: nodes, Edges: edges, Attrs: 2, Model: generator.PowerLaw, Seed: seed})
+		relabelPBlog(g, seed)
+		return g, nil
+	case "youtube":
+		g := generator.Graph(generator.GraphConfig{Nodes: nodes, Edges: edges, Attrs: len(youTubeCategories), Model: generator.PowerLaw, Seed: seed})
+		relabelYouTube(g, seed)
+		return g, nil
+	default:
+		return nil, fmt.Errorf("datasets: unknown dataset %q", name)
+	}
+}
+
+func relabelMatter(g *graph.Graph, seed int64) {
+	r := rand.New(rand.NewSource(seed + 1))
+	fields := []string{"cond-mat", "stat-mech", "supercond", "mes-hall", "soft",
+		"str-el", "mtrl-sci", "dis-nn", "quant-gas", "other", "stat-phys", "lattice"}
+	for v := 0; v < g.N(); v++ {
+		ai, _ := g.Attr(v)["a"].AsInt()
+		g.SetAttr(v, graph.Attrs{
+			"field":  value.Str(fields[int(ai)%len(fields)]),
+			"papers": value.Int(int64(1 + r.Intn(60))),
+		})
+	}
+}
+
+func relabelPBlog(g *graph.Graph, seed int64) {
+	r := rand.New(rand.NewSource(seed + 1))
+	for v := 0; v < g.N(); v++ {
+		ai, _ := g.Attr(v)["a"].AsInt()
+		leaning := "liberal"
+		if ai == 1 {
+			leaning = "conservative"
+		}
+		g.SetAttr(v, graph.Attrs{
+			"leaning": value.Str(leaning),
+			"rank":    value.Int(int64(r.Intn(1000))),
+		})
+	}
+}
+
+func relabelYouTube(g *graph.Graph, seed int64) {
+	r := rand.New(rand.NewSource(seed + 1))
+	for v := 0; v < g.N(); v++ {
+		ai, _ := g.Attr(v)["a"].AsInt()
+		g.SetAttr(v, graph.Attrs{
+			"category": value.Str(youTubeCategories[int(ai)%len(youTubeCategories)]),
+			"uploader": value.Str(youTubeUploaders[r.Intn(len(youTubeUploaders))]),
+			"length":   value.Int(int64(15 + r.Intn(1200))),
+			"rate":     value.Float(float64(r.Intn(51)) / 10),
+			"age":      value.Int(int64(1 + r.Intn(1500))),
+			"views":    value.Int(int64(r.Intn(2_000_000))),
+			"comments": value.Int(int64(r.Intn(500))),
+			"ratings":  value.Int(int64(r.Intn(2000))),
+		})
+	}
+}

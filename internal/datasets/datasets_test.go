@@ -1,0 +1,115 @@
+package datasets
+
+import (
+	"testing"
+
+	"gpm/internal/core"
+	"gpm/internal/graph"
+)
+
+// TestPaperSizes asserts the §5 dataset table exactly.
+func TestPaperSizes(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name  string
+		g     *graph.Graph
+		nodes int
+		edges int
+	}{
+		{"matter", Matter(1), MatterNodes, MatterEdges},
+		{"pblog", PBlog(1), PBlogNodes, PBlogEdges},
+		{"youtube", YouTube(1), YouTubeNodes, YouTubeEdges},
+	}
+	for _, c := range cases {
+		if c.g.N() != c.nodes || c.g.M() != c.edges {
+			t.Errorf("%s: %d/%d, want %d/%d", c.name, c.g.N(), c.g.M(), c.nodes, c.edges)
+		}
+		if err := c.g.Validate(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+}
+
+func TestSchemas(t *testing.T) {
+	t.Parallel()
+	yt, err := Scaled("youtube", 2, 500, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, attr := range []string{"category", "uploader", "length", "rate", "age", "views", "comments", "ratings"} {
+		if _, ok := yt.Attr(0)[attr]; !ok {
+			t.Errorf("youtube missing attribute %q", attr)
+		}
+	}
+	mt, _ := Scaled("matter", 2, 300, 900)
+	if _, ok := mt.Attr(0)["field"]; !ok {
+		t.Error("matter missing field")
+	}
+	pb, _ := Scaled("pblog", 2, 300, 900)
+	if _, ok := pb.Attr(0)["leaning"]; !ok {
+		t.Error("pblog missing leaning")
+	}
+}
+
+func TestSamplePatternsMatchOnStandIn(t *testing.T) {
+	t.Parallel()
+	// On a scaled stand-in the published sample patterns should parse,
+	// validate, and find matches for at least some nodes (the predicates
+	// were designed against this schema).
+	g, err := Scaled("youtube", 7, 1500, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, p := range map[string]interface{ N() int }{
+		"P1": YouTubeSampleP1(), "P2": YouTubeSampleP2(), "Pprime": YouTubeExamplePrime(),
+	} {
+		_ = name
+		_ = p
+	}
+	for name, build := range map[string]func() int{
+		"P1":     func() int { r, _ := core.Match(YouTubeSampleP1(), g); return r.MatchedNodes() },
+		"P2":     func() int { r, _ := core.Match(YouTubeSampleP2(), g); return r.MatchedNodes() },
+		"Pprime": func() int { r, _ := core.Match(YouTubeExamplePrime(), g); return r.MatchedNodes() },
+	} {
+		if nodes := build(); nodes == 0 {
+			t.Errorf("%s matched no pattern nodes at all", name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	t.Parallel()
+	g, err := ByName("pblog", 3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != PBlogNodes/5 {
+		t.Errorf("scaled pblog nodes = %d", g.N())
+	}
+	if _, err := ByName("nope", 1, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := Scaled("nope", 1, 10, 10); err == nil {
+		t.Error("unknown scaled dataset accepted")
+	}
+	// Tiny sizes clamp rather than fail.
+	small, err := Scaled("matter", 1, 2, 0)
+	if err != nil || small.N() < 8 {
+		t.Errorf("clamping failed: %v %v", small, err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	t.Parallel()
+	a, _ := Scaled("youtube", 9, 400, 1500)
+	b, _ := Scaled("youtube", 9, 400, 1500)
+	ae, be := a.EdgeList(), b.EdgeList()
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatal("dataset stand-in not deterministic")
+		}
+	}
+	if a.Attr(5).String() != b.Attr(5).String() {
+		t.Error("attributes not deterministic")
+	}
+}

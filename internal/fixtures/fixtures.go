@@ -1,0 +1,297 @@
+// Package fixtures encodes the running examples of the paper — the drug
+// ring of Fig. 1 and the social/collaboration graphs of Fig. 2 — together
+// with the maximum matches stated in Example 2.2. Tests across the module
+// assert algorithm output against these ground truths, and the appendix's
+// Match⁻ walk-through is reproducible from the Fig. 2 P1/G1 pair.
+package fixtures
+
+import (
+	"gpm/internal/graph"
+	"gpm/internal/pattern"
+	"gpm/internal/value"
+)
+
+// Case bundles a pattern, a data graph, human-readable node names and the
+// expected maximum match (sorted data-node ids per pattern node; nil when
+// the pattern should not match).
+type Case struct {
+	Name    string
+	P       *pattern.Pattern
+	G       *graph.Graph
+	PNames  []string // pattern node id -> name
+	GNames  []string // data node id -> name
+	Want    [][]int32
+	Matches bool
+}
+
+func attrs(kv ...interface{}) graph.Attrs {
+	a := graph.Attrs{}
+	for i := 0; i+1 < len(kv); i += 2 {
+		k := kv[i].(string)
+		switch v := kv[i+1].(type) {
+		case int:
+			a[k] = value.Int(int64(v))
+		case string:
+			a[k] = value.Str(v)
+		case float64:
+			a[k] = value.Float(v)
+		default:
+			panic("fixtures: unsupported attribute type")
+		}
+	}
+	return a
+}
+
+func atom(attr string, op value.Op, v value.Value) pattern.Atom {
+	return pattern.Atom{Attr: attr, Op: op, Val: v}
+}
+
+func eq(attr string, v int) pattern.Atom {
+	return atom(attr, value.OpEQ, value.Int(int64(v)))
+}
+
+// DrugRing is Fig. 1: pattern P0 (boss, assistant managers, secretary,
+// field workers with 3-hop supervision edges) over a drug ring G0 with
+// m = 3 AMs, the last doubling as the secretary, and a 3-level worker
+// chain under each AM. Example 2.2's S0 maps B to the boss, AM to every
+// A_i, S to A_m, and FW to every W node.
+func DrugRing() Case {
+	p := pattern.New()
+	b := p.AddNode(pattern.Predicate{eq("isB", 1)})
+	am := p.AddNode(pattern.Predicate{eq("isAM", 1)})
+	s := p.AddNode(pattern.Predicate{eq("isS", 1)})
+	fw := p.AddNode(pattern.Predicate{eq("isFW", 1)})
+	p.MustAddEdge(b, am, 1)  // boss oversees AMs directly
+	p.MustAddEdge(am, b, 1)  // AMs report directly to the boss
+	p.MustAddEdge(am, fw, 3) // AM supervises FWs within 3 levels
+	p.MustAddEdge(fw, am, 3) // FWs report to AMs within 3 hops
+	p.MustAddEdge(b, s, 1)   // boss talks to the secretary
+	p.MustAddEdge(s, fw, 1)  // secretary reaches top-level FWs
+
+	const m = 3
+	g := graph.New(0)
+	names := []string{"B"}
+	boss := g.AddNode(attrs("isB", 1))
+	amIDs := make([]int, m)
+	var wIDs []int32
+	for i := 0; i < m; i++ {
+		a := attrs("isAM", 1)
+		name := "A" + string(rune('1'+i))
+		if i == m-1 {
+			a["isS"] = value.Int(1) // A_m is both AM and secretary
+		}
+		amIDs[i] = g.AddNode(a)
+		names = append(names, name)
+	}
+	for i := 0; i < m; i++ {
+		// Chain of 3 workers under A_i, reporting upward.
+		prev := amIDs[i]
+		for lvl := 1; lvl <= 3; lvl++ {
+			w := g.AddNode(attrs("isFW", 1))
+			names = append(names, "W"+string(rune('1'+i))+string(rune('0'+lvl)))
+			g.AddEdge(prev, w) // supervision downward
+			g.AddEdge(w, prev) // reporting upward
+			wIDs = append(wIDs, int32(w))
+			prev = w
+		}
+	}
+	for i := 0; i < m; i++ {
+		g.AddEdge(boss, amIDs[i])
+		g.AddEdge(amIDs[i], boss)
+	}
+
+	want := make([][]int32, 4)
+	want[b] = []int32{int32(boss)}
+	for _, a := range amIDs {
+		want[am] = append(want[am], int32(a))
+	}
+	want[s] = []int32{int32(amIDs[m-1])}
+	want[fw] = append([]int32(nil), wIDs...)
+	sortAll(want)
+	return Case{
+		Name:   "drug-ring",
+		P:      p,
+		G:      g,
+		PNames: []string{"B", "AM", "S", "FW"},
+		GNames: names,
+		Want:   want, Matches: true,
+	}
+}
+
+// Data-node ids of SocialMatching's G1, exported for the incremental
+// walk-through test that replays the appendix Match⁻ example.
+const (
+	G1A    = 0
+	G1SE   = 1
+	G1HR   = 2
+	G1HRSE = 3
+	G1DMl  = 4
+	G1DMr  = 5
+)
+
+// Pattern-node ids of SocialMatching's P1.
+const (
+	P1A = iota
+	P1SE
+	P1HR
+	P1DM
+)
+
+// SocialMatching is Fig. 2's P1/G1 (Example 2.1/2.2): user A looks for a
+// software engineer and an HR expert within 2 hops and golf-playing sales
+// managers close to both, connected back to A by an unbounded chain.
+// The graph is wired so that deleting the edge (SE, (HR,SE)) reproduces
+// the appendix's Match⁻ running example: the match loses (DM, DM_l) and
+// (SE, SE) and nothing else.
+func SocialMatching() Case {
+	p := pattern.New()
+	a := p.AddNode(pattern.Predicate{eq("isA", 1)})
+	se := p.AddNode(pattern.Predicate{eq("isSE", 1)})
+	hr := p.AddNode(pattern.Predicate{eq("isHR", 1)})
+	dm := p.AddNode(pattern.Predicate{eq("isDM", 1), atom("hobby", value.OpEQ, value.Str("golf"))})
+	p.MustAddEdge(a, se, 2)
+	p.MustAddEdge(a, hr, 2)
+	p.MustAddEdge(se, dm, 1)
+	p.MustAddEdge(hr, dm, 2)
+	p.MustAddEdge(dm, a, pattern.Unbounded)
+
+	g := graph.New(0)
+	g.AddNode(attrs("isA", 1))                   // 0 A
+	g.AddNode(attrs("isSE", 1))                  // 1 SE
+	g.AddNode(attrs("isHR", 1))                  // 2 HR
+	g.AddNode(attrs("isHR", 1, "isSE", 1))       // 3 (HR,SE)
+	g.AddNode(attrs("isDM", 1, "hobby", "golf")) // 4 (DM,golf)_l
+	g.AddNode(attrs("isDM", 1, "hobby", "golf")) // 5 (DM,golf)_r
+	g.AddEdge(G1A, G1HR)
+	g.AddEdge(G1HR, G1HRSE)
+	g.AddEdge(G1SE, G1DMl)
+	g.AddEdge(G1SE, G1HRSE) // the edge deleted in the appendix example
+	g.AddEdge(G1HRSE, G1DMr)
+	g.AddEdge(G1HRSE, G1A)
+	g.AddEdge(G1DMr, G1A)
+	g.AddEdge(G1DMl, G1SE)
+
+	want := make([][]int32, 4)
+	want[a] = []int32{G1A}
+	want[se] = []int32{G1SE, G1HRSE}
+	want[hr] = []int32{G1HR, G1HRSE}
+	want[dm] = []int32{G1DMl, G1DMr}
+	sortAll(want)
+	return Case{
+		Name:   "social-matching",
+		P:      p,
+		G:      g,
+		PNames: []string{"A", "SE", "HR", "DM"},
+		GNames: []string{"A", "SE", "HR", "HR+SE", "DMl", "DMr"},
+		Want:   want, Matches: true,
+	}
+}
+
+// SocialMatchingAfterDeletion is the expected maximum match of P1 in
+// G1 \ {(SE, (HR,SE))}: per the appendix, (DM, DM_l) and (SE, SE) drop.
+func SocialMatchingAfterDeletion() [][]int32 {
+	want := make([][]int32, 4)
+	want[P1A] = []int32{G1A}
+	want[P1SE] = []int32{G1HRSE}
+	want[P1HR] = []int32{G1HR, G1HRSE}
+	want[P1DM] = []int32{G1DMr}
+	return want
+}
+
+// Data-node ids of Collaboration's G2.
+const (
+	G2DB = iota
+	G2AI
+	G2Gen
+	G2Eco
+	G2Chem
+	G2Soc
+	G2Med
+)
+
+// Collaboration is Fig. 2's P2/G2: a CS researcher seeks collaborators in
+// biology (2 hops), sociology (3 hops) and medicine (mutually connected,
+// unbounded); biology must reach sociology in 2 and medicine in 3.
+// Example 2.2's S2 maps CS to DB only (AI cannot reach Soc within 3),
+// Bio to Gen and Eco, Med to Med and Soc to Soc.
+func Collaboration() Case {
+	p, ids := collaborationPattern()
+	g := graph.New(0)
+	g.AddNode(attrs("dept", "CS", "name", "DB"))
+	g.AddNode(attrs("dept", "CS", "name", "AI"))
+	g.AddNode(attrs("dept", "Bio", "name", "Gen"))
+	g.AddNode(attrs("dept", "Bio", "name", "Eco"))
+	g.AddNode(attrs("dept", "Chem", "name", "Chem"))
+	g.AddNode(attrs("dept", "Soc", "name", "Soc"))
+	g.AddNode(attrs("dept", "Med", "name", "Med"))
+	g.AddEdge(G2DB, G2Gen) // the edge dropped in G3
+	g.AddEdge(G2Gen, G2Chem)
+	g.AddEdge(G2Chem, G2Soc)
+	g.AddEdge(G2Eco, G2Soc)
+	g.AddEdge(G2Soc, G2Med)
+	g.AddEdge(G2Med, G2DB)
+	g.AddEdge(G2AI, G2Med)
+
+	want := make([][]int32, 4)
+	want[ids.cs] = []int32{G2DB}
+	want[ids.bio] = []int32{G2Gen, G2Eco}
+	want[ids.soc] = []int32{G2Soc}
+	want[ids.med] = []int32{G2Med}
+	sortAll(want)
+	return Case{
+		Name:   "collaboration",
+		P:      p,
+		G:      g,
+		PNames: []string{"CS", "Bio", "Soc", "Med"},
+		GNames: []string{"DB", "AI", "Gen", "Eco", "Chem", "Soc", "Med"},
+		Want:   want, Matches: true,
+	}
+}
+
+// CollaborationNoMatch is Example 2.2(3): G3 = G2 without (DB, Gen), for
+// which P2 has no match at all.
+func CollaborationNoMatch() Case {
+	c := Collaboration()
+	c.Name = "collaboration-g3"
+	c.G.RemoveEdge(G2DB, G2Gen)
+	c.Want = nil
+	c.Matches = false
+	return c
+}
+
+type p2ids struct{ cs, bio, soc, med int }
+
+func collaborationPattern() (*pattern.Pattern, p2ids) {
+	p := pattern.New()
+	dept := func(d string) pattern.Predicate {
+		return pattern.Predicate{atom("dept", value.OpEQ, value.Str(d))}
+	}
+	ids := p2ids{
+		cs:  p.AddNode(dept("CS")),
+		bio: p.AddNode(dept("Bio")),
+		soc: p.AddNode(dept("Soc")),
+		med: p.AddNode(dept("Med")),
+	}
+	p.MustAddEdge(ids.cs, ids.bio, 2)
+	p.MustAddEdge(ids.cs, ids.soc, 3)
+	p.MustAddEdge(ids.cs, ids.med, pattern.Unbounded)
+	p.MustAddEdge(ids.med, ids.cs, pattern.Unbounded)
+	p.MustAddEdge(ids.bio, ids.soc, 2)
+	p.MustAddEdge(ids.bio, ids.med, 3)
+	return p, ids
+}
+
+// All returns every fixture case, positive and negative.
+func All() []Case {
+	return []Case{DrugRing(), SocialMatching(), Collaboration(), CollaborationNoMatch()}
+}
+
+func sortAll(rel [][]int32) {
+	for _, l := range rel {
+		for i := 1; i < len(l); i++ {
+			for j := i; j > 0 && l[j] < l[j-1]; j-- {
+				l[j], l[j-1] = l[j-1], l[j]
+			}
+		}
+	}
+}

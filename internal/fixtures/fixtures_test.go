@@ -1,0 +1,46 @@
+package fixtures
+
+import "testing"
+
+// TestCasesWellFormed validates the encoded paper examples themselves:
+// graphs and patterns are structurally consistent and the expected
+// relations are sorted and in range.
+func TestCasesWellFormed(t *testing.T) {
+	for _, c := range All() {
+		if err := c.G.Validate(); err != nil {
+			t.Errorf("%s: graph: %v", c.Name, err)
+		}
+		if err := c.P.Validate(); err != nil {
+			t.Errorf("%s: pattern: %v", c.Name, err)
+		}
+		if len(c.GNames) != c.G.N() {
+			t.Errorf("%s: %d names for %d nodes", c.Name, len(c.GNames), c.G.N())
+		}
+		if len(c.PNames) != c.P.N() {
+			t.Errorf("%s: %d pattern names for %d nodes", c.Name, len(c.PNames), c.P.N())
+		}
+		if c.Matches != (c.Want != nil) {
+			t.Errorf("%s: Matches=%v but Want nil=%v", c.Name, c.Matches, c.Want == nil)
+		}
+		for u, l := range c.Want {
+			for i, x := range l {
+				if int(x) >= c.G.N() {
+					t.Errorf("%s: want[%d][%d]=%d out of range", c.Name, u, i, x)
+				}
+				if i > 0 && l[i-1] >= x {
+					t.Errorf("%s: want[%d] not strictly sorted", c.Name, u)
+				}
+				if !c.P.Pred(u).Match(c.G.Attr(int(x))) {
+					t.Errorf("%s: want pair (%d,%d) violates the predicate", c.Name, u, x)
+				}
+			}
+		}
+	}
+}
+
+func TestAfterDeletionRelationShape(t *testing.T) {
+	want := SocialMatchingAfterDeletion()
+	if len(want) != 4 || len(want[P1DM]) != 1 || want[P1DM][0] != G1DMr {
+		t.Errorf("after-deletion relation malformed: %v", want)
+	}
+}

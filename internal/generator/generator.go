@@ -1,0 +1,418 @@
+// Package generator produces synthetic data graphs, pattern graphs and
+// update streams for the experiments of §5. It substitutes for the
+// paper's C++ Boost graph generator (same three knobs: node count, edge
+// count, attribute alphabet) and implements the appendix's walk-based
+// pattern generator, which is biased toward positive patterns: a spanning
+// skeleton of the pattern is traced along real paths of the data graph,
+// then extra random edges (which may break positiveness) are added.
+package generator
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gpm/internal/graph"
+	"gpm/internal/incremental"
+	"gpm/internal/pattern"
+	"gpm/internal/value"
+)
+
+// Model selects the topology of a generated graph.
+type Model int
+
+// Supported topologies.
+const (
+	// ER wires endpoints uniformly at random.
+	ER Model = iota
+	// PowerLaw grows the graph with preferential attachment, yielding the
+	// skewed in-degrees of social and recommendation networks.
+	PowerLaw
+	// Communities plants dense clusters with sparse cross links, like
+	// co-authorship networks.
+	Communities
+)
+
+// GraphConfig parameterises Graph.
+type GraphConfig struct {
+	Nodes int
+	Edges int
+	// Attrs is the size of the attribute alphabet: each node gets
+	// attr "a" = i in [0, Attrs) and "label" = "L<i>". The paper uses 2K
+	// distinct attributes for 20K nodes.
+	Attrs int
+	Model Model
+	// NumCommunities is used by the Communities model (default ~sqrt(n)).
+	NumCommunities int
+	Seed           int64
+}
+
+// Graph generates a data graph with exactly cfg.Nodes nodes and cfg.Edges
+// distinct directed edges (self loops excluded). It is deterministic in
+// cfg.Seed.
+func Graph(cfg GraphConfig) *graph.Graph {
+	if cfg.Nodes <= 0 {
+		panic("generator: Nodes must be positive")
+	}
+	maxEdges := cfg.Nodes * (cfg.Nodes - 1)
+	if cfg.Edges > maxEdges {
+		panic(fmt.Sprintf("generator: %d edges exceed the %d possible", cfg.Edges, maxEdges))
+	}
+	if cfg.Attrs <= 0 {
+		cfg.Attrs = 1
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.New(0)
+	for i := 0; i < cfg.Nodes; i++ {
+		a := r.Intn(cfg.Attrs)
+		g.AddNode(graph.Attrs{
+			"a":     value.Int(int64(a)),
+			"label": value.Str(fmt.Sprintf("L%d", a)),
+			"w":     value.Int(int64(r.Intn(1000))),
+		})
+	}
+	switch cfg.Model {
+	case PowerLaw:
+		wirePowerLaw(r, g, cfg.Edges)
+	case Communities:
+		k := cfg.NumCommunities
+		if k <= 0 {
+			k = 1
+			for k*k < cfg.Nodes {
+				k++
+			}
+		}
+		wireCommunities(r, g, cfg.Edges, k)
+	default:
+		wireER(r, g, cfg.Edges)
+	}
+	return g
+}
+
+func wireER(r *rand.Rand, g *graph.Graph, m int) {
+	n := g.N()
+	for g.M() < m {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+}
+
+// wirePowerLaw attaches edges preferentially: targets are drawn from a
+// pool that repeats nodes once per incident edge, plus uniform smoothing.
+// A third of the edges are reciprocated, mirroring the high link
+// reciprocity of hyperlink and recommendation networks.
+func wirePowerLaw(r *rand.Rand, g *graph.Graph, m int) {
+	n := g.N()
+	pool := make([]int32, 0, 2*m)
+	for g.M() < m {
+		u := r.Intn(n)
+		var v int
+		if len(pool) > 0 && r.Intn(4) != 0 {
+			v = int(pool[r.Intn(len(pool))])
+		} else {
+			v = r.Intn(n)
+		}
+		if u == v {
+			continue
+		}
+		if g.AddEdge(u, v) {
+			pool = append(pool, int32(u), int32(v))
+			if g.M() < m && r.Intn(3) == 0 {
+				g.AddEdge(v, u)
+			}
+		}
+	}
+}
+
+func wireCommunities(r *rand.Rand, g *graph.Graph, m, k int) {
+	n := g.N()
+	// 90% of edges inside a community, 10% across.
+	for g.M() < m {
+		if r.Intn(10) != 0 {
+			c := r.Intn(k)
+			lo := c * n / k
+			hi := (c + 1) * n / k
+			if hi-lo < 2 {
+				continue
+			}
+			u := lo + r.Intn(hi-lo)
+			v := lo + r.Intn(hi-lo)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		} else {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+}
+
+// PatternConfig parameterises Pattern, mirroring the paper's generator
+// P(|Vp|, |Ep|, k): node count, edge count, hop bound, plus the bound
+// slack c and the probability of an unbounded (*) edge.
+type PatternConfig struct {
+	Nodes    int
+	Edges    int // >= Nodes-1; the first Nodes-1 edges form the walk skeleton
+	K        int // upper bound on edge bounds
+	C        int // slack: bounds drawn from [K-C, K] (default 1)
+	StarProb float64
+	// PredAttrs controls how many atoms each predicate gets (1 = label
+	// only, 2 = label plus a numeric range on "w").
+	PredAttrs int
+	// IsoBias biases the generator toward patterns that also admit a
+	// subgraph-isomorphism embedding: skeleton walks take single steps
+	// (the anchors are directly connected) and extra edges prefer anchor
+	// pairs joined by a data edge. Edge bounds are still drawn from
+	// [K-C, K], so bounded-simulation semantics are unchanged. The
+	// paper's Exp-1 comparisons against SubIso/VF2 need such patterns —
+	// pure walk patterns defeat edge-to-edge matchers almost always.
+	IsoBias bool
+	Seed    int64
+}
+
+// Pattern generates a pattern against data graph g per the appendix: it
+// walks g within k' hops from already-chosen anchor nodes so that the
+// skeleton is guaranteed to be matched by the anchors, then adds random
+// extra edges. Node predicates are derived from the anchors' attributes.
+func Pattern(cfg PatternConfig, g *graph.Graph) *pattern.Pattern {
+	if cfg.Nodes <= 0 {
+		panic("generator: pattern Nodes must be positive")
+	}
+	if cfg.K <= 0 {
+		cfg.K = 1
+	}
+	if cfg.C <= 0 {
+		cfg.C = 1
+	}
+	if cfg.C >= cfg.K {
+		cfg.C = cfg.K - 1
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	p := pattern.New()
+	anchors := make([]int, 0, cfg.Nodes)
+
+	// First anchor: any node with outgoing edges if possible.
+	first := r.Intn(g.N())
+	for tries := 0; tries < 50 && g.OutDegree(first) == 0; tries++ {
+		first = r.Intn(g.N())
+	}
+	p.AddNode(predFor(g, first, cfg, r))
+	anchors = append(anchors, first)
+
+	for i := 1; i < cfg.Nodes; i++ {
+		// Pick a base anchor, walk k' hops to a (preferably distinct) node.
+		kp := cfg.K - r.Intn(cfg.C+1)
+		steps := kp
+		if cfg.IsoBias {
+			steps = 1
+		}
+		var base, dest int
+		found := false
+		for tries := 0; tries < 30 && !found; tries++ {
+			j := r.Intn(len(anchors))
+			base = anchors[j]
+			dest = randomWalk(r, g, base, steps)
+			if dest == base {
+				continue
+			}
+			if cfg.IsoBias && containsInt(anchors, dest) {
+				continue // keep anchors distinct so their embedding is injective
+			}
+			found = true
+			_ = j
+		}
+		if !found {
+			dest = r.Intn(g.N()) // disconnected fallback; pattern may be negative
+		}
+		u := p.AddNode(predFor(g, dest, cfg, r))
+		from := indexOf(anchors, base)
+		bound := kp
+		if r.Float64() < cfg.StarProb {
+			bound = pattern.Unbounded
+		}
+		if _, err := p.AddEdge(from, u, bound); err != nil {
+			panic(err) // cannot happen: fresh node
+		}
+		anchors = append(anchors, dest)
+	}
+
+	// Extra edges between random pattern nodes (positiveness no longer
+	// guaranteed, as in the paper). Under IsoBias, anchor pairs joined by
+	// a data edge come first — enumerated exhaustively so the anchor
+	// embedding stays isomorphic whenever the data allows it at all.
+	if cfg.IsoBias {
+		var backed [][2]int
+		for a := 0; a < cfg.Nodes; a++ {
+			for b := 0; b < cfg.Nodes; b++ {
+				if a != b && !p.HasEdge(a, b) && g.HasEdge(anchors[a], anchors[b]) {
+					backed = append(backed, [2]int{a, b})
+				}
+			}
+		}
+		r.Shuffle(len(backed), func(i, j int) { backed[i], backed[j] = backed[j], backed[i] })
+		for _, pr := range backed {
+			if p.EdgeCount() >= cfg.Edges {
+				break
+			}
+			bound := cfg.K - r.Intn(cfg.C+1)
+			p.AddEdge(pr[0], pr[1], bound)
+		}
+	}
+	for tries := 0; tries < 10*cfg.Edges && p.EdgeCount() < cfg.Edges; tries++ {
+		a, b := r.Intn(cfg.Nodes), r.Intn(cfg.Nodes)
+		if a == b {
+			continue
+		}
+		bound := cfg.K - r.Intn(cfg.C+1)
+		if r.Float64() < cfg.StarProb {
+			bound = pattern.Unbounded
+		}
+		p.AddEdge(a, b, bound) // duplicate edges rejected silently
+	}
+	return p
+}
+
+func containsInt(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// predFor derives a predicate satisfied by data node x: an equality on
+// one categorical (string/int-id) attribute, plus, when PredAttrs > 1, a
+// one-sided numeric range. Works against any attribute schema (synthetic
+// "a"/"label"/"w" as well as the dataset stand-ins' category/rate/...).
+func predFor(g *graph.Graph, x int, cfg PatternConfig, r *rand.Rand) pattern.Predicate {
+	attrs := g.Attr(x)
+	if len(attrs) == 0 {
+		return pattern.Predicate{}
+	}
+	keys := attrs.Keys()
+	pred := pattern.Predicate{}
+
+	// Categorical atom: prefer the conventional discriminators, else the
+	// first string-valued attribute, else any attribute.
+	catKey := ""
+	for _, pref := range []string{"a", "label", "category", "field", "leaning", "dept"} {
+		if _, ok := attrs[pref]; ok {
+			catKey = pref
+			break
+		}
+	}
+	if catKey == "" {
+		for _, k := range keys {
+			if attrs[k].Kind() == value.KindString {
+				catKey = k
+				break
+			}
+		}
+	}
+	if catKey == "" {
+		catKey = keys[r.Intn(len(keys))]
+	}
+	pred = append(pred, pattern.Atom{Attr: catKey, Op: value.OpEQ, Val: attrs[catKey]})
+
+	if cfg.PredAttrs > 1 {
+		// Numeric range atom on some other attribute, satisfied by x.
+		for _, k := range keys {
+			if k == catKey {
+				continue
+			}
+			f, ok := attrs[k].AsFloat()
+			if !ok {
+				continue
+			}
+			if attrs[k].Kind() == value.KindInt {
+				wi, _ := attrs[k].AsInt()
+				pred = append(pred, pattern.Atom{Attr: k, Op: value.OpLE, Val: value.Int(wi + int64(50+r.Intn(200)))})
+			} else {
+				pred = append(pred, pattern.Atom{Attr: k, Op: value.OpLE, Val: value.Float(f + 1 + 10*r.Float64())})
+			}
+			break
+		}
+	}
+	return pred
+}
+
+// randomWalk takes up to k forward steps from base and returns where it
+// lands (which may be base when stuck).
+func randomWalk(r *rand.Rand, g *graph.Graph, base, k int) int {
+	cur := base
+	for step := 0; step < k; step++ {
+		outs := g.Out(cur)
+		if len(outs) == 0 {
+			break
+		}
+		cur = int(outs[r.Intn(len(outs))])
+	}
+	return cur
+}
+
+func indexOf(s []int, x int) int {
+	for i, v := range s {
+		if v == x {
+			return i
+		}
+	}
+	return 0
+}
+
+// UpdatesConfig parameterises Updates.
+type UpdatesConfig struct {
+	Insertions int
+	Deletions  int
+	Seed       int64
+}
+
+// Updates builds a valid mixed update batch for g: deletions sample
+// existing edges without repetition, insertions sample absent edge slots.
+// The order interleaves both kinds deterministically. The batch is valid
+// for sequential application to g but does not mutate it.
+func Updates(cfg UpdatesConfig, g *graph.Graph) []incremental.Update {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	edges := g.EdgeList()
+	r.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	if cfg.Deletions > len(edges) {
+		cfg.Deletions = len(edges)
+	}
+	var ups []incremental.Update
+	deleted := make(map[uint64]struct{}, cfg.Deletions)
+	for i := 0; i < cfg.Deletions; i++ {
+		e := edges[i]
+		ups = append(ups, incremental.Del(int(e[0]), int(e[1])))
+		deleted[uint64(uint32(e[0]))<<32|uint64(uint32(e[1]))] = struct{}{}
+	}
+	n := g.N()
+	inserted := make(map[uint64]struct{}, cfg.Insertions)
+	for len(inserted) < cfg.Insertions {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		key := uint64(uint32(u))<<32 | uint64(uint32(v))
+		if _, dup := inserted[key]; dup {
+			continue
+		}
+		if _, del := deleted[key]; !del && g.HasEdge(u, v) {
+			continue
+		}
+		if _, del := deleted[key]; del {
+			// Edge exists and is being deleted earlier in the batch; valid
+			// but confusing — skip to keep batches disjoint.
+			continue
+		}
+		inserted[key] = struct{}{}
+		ups = append(ups, incremental.Ins(u, v))
+	}
+	r.Shuffle(len(ups), func(i, j int) { ups[i], ups[j] = ups[j], ups[i] })
+	// Deletions must still precede nothing in particular — shuffling can
+	// break validity only if an insertion of a deleted edge slipped in,
+	// which the disjointness above prevents.
+	return ups
+}

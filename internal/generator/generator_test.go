@@ -1,0 +1,159 @@
+package generator
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpm/internal/core"
+	"gpm/internal/graph"
+	"gpm/internal/incremental"
+	"gpm/internal/pattern"
+)
+
+func TestGraphSizesExact(t *testing.T) {
+	for _, model := range []Model{ER, PowerLaw, Communities} {
+		g := Graph(GraphConfig{Nodes: 200, Edges: 700, Attrs: 10, Model: model, Seed: 42})
+		if g.N() != 200 || g.M() != 700 {
+			t.Errorf("model %d: got %d/%d", model, g.N(), g.M())
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("model %d: %v", model, err)
+		}
+		for v := 0; v < g.N(); v++ {
+			if g.HasEdge(v, v) {
+				t.Errorf("model %d: self loop at %d", model, v)
+			}
+		}
+	}
+}
+
+func TestGraphDeterministic(t *testing.T) {
+	cfg := GraphConfig{Nodes: 100, Edges: 300, Attrs: 5, Model: PowerLaw, Seed: 7}
+	a, b := Graph(cfg), Graph(cfg)
+	ae, be := a.EdgeList(), b.EdgeList()
+	if len(ae) != len(be) {
+		t.Fatal("nondeterministic edge count")
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ae[i], be[i])
+		}
+	}
+	c := Graph(GraphConfig{Nodes: 100, Edges: 300, Attrs: 5, Model: PowerLaw, Seed: 8})
+	same := true
+	ce := c.EdgeList()
+	for i := range ae {
+		if ae[i] != ce[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestGraphPanics(t *testing.T) {
+	for _, cfg := range []GraphConfig{
+		{Nodes: 0, Edges: 0},
+		{Nodes: 3, Edges: 100},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Graph(%+v) should panic", cfg)
+				}
+			}()
+			Graph(cfg)
+		}()
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	g := Graph(GraphConfig{Nodes: 2000, Edges: 8000, Attrs: 10, Model: PowerLaw, Seed: 1})
+	st := graph.ComputeStats(g)
+	// Preferential attachment should produce hubs far above the mean.
+	if st.MaxIn < 4*int(st.AvgDegree) {
+		t.Errorf("no skew: max in-degree %d vs avg %f", st.MaxIn, st.AvgDegree)
+	}
+}
+
+// Property: walk-based skeleton patterns (Edges == Nodes-1, no stars) are
+// positive — the generating anchors witness a match.
+func TestSkeletonPatternsArePositive(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := Graph(GraphConfig{Nodes: 60, Edges: 240, Attrs: 3, Model: ER, Seed: seed})
+		np := 2 + r.Intn(4)
+		p := Pattern(PatternConfig{Nodes: np, Edges: np - 1, K: 3, Seed: seed}, g)
+		if p.N() != np || p.EdgeCount() != np-1 {
+			return false
+		}
+		res, err := core.Match(p, g)
+		if err != nil {
+			return false
+		}
+		return res.OK()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPatternShape(t *testing.T) {
+	g := Graph(GraphConfig{Nodes: 100, Edges: 500, Attrs: 4, Model: ER, Seed: 3})
+	p := Pattern(PatternConfig{Nodes: 6, Edges: 9, K: 4, C: 2, StarProb: 0.3, PredAttrs: 2, Seed: 3}, g)
+	if p.N() != 6 {
+		t.Fatalf("nodes = %d", p.N())
+	}
+	if p.EdgeCount() < 5 || p.EdgeCount() > 9 {
+		t.Errorf("edges = %d, want within [5,9]", p.EdgeCount())
+	}
+	for _, e := range p.Edges() {
+		if e.Bound != pattern.Unbounded && (e.Bound < 2 || e.Bound > 4) {
+			t.Errorf("bound %d outside [K-C, K]", e.Bound)
+		}
+	}
+	for u := 0; u < p.N(); u++ {
+		if len(p.Pred(u)) < 1 {
+			t.Errorf("node %d has empty predicate", u)
+		}
+	}
+}
+
+func TestPatternDeterministic(t *testing.T) {
+	g := Graph(GraphConfig{Nodes: 80, Edges: 300, Attrs: 4, Seed: 5})
+	a := Pattern(PatternConfig{Nodes: 5, Edges: 7, K: 3, Seed: 11}, g)
+	b := Pattern(PatternConfig{Nodes: 5, Edges: 7, K: 3, Seed: 11}, g)
+	if a.String() != b.String() {
+		t.Error("pattern generation is nondeterministic")
+	}
+}
+
+func TestUpdatesValidAndSized(t *testing.T) {
+	check := func(seed int64) bool {
+		g := Graph(GraphConfig{Nodes: 50, Edges: 200, Attrs: 3, Seed: seed})
+		ups := Updates(UpdatesConfig{Insertions: 20, Deletions: 15, Seed: seed}, g)
+		if len(ups) != 35 {
+			return false
+		}
+		dm := incremental.NewDynMatrix(g.Clone())
+		if _, err := dm.Apply(ups); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUpdatesDeletionCap(t *testing.T) {
+	g := Graph(GraphConfig{Nodes: 10, Edges: 5, Attrs: 2, Seed: 1})
+	ups := Updates(UpdatesConfig{Deletions: 50, Seed: 1}, g)
+	if len(ups) != 5 {
+		t.Errorf("deletions should cap at |E|: %d", len(ups))
+	}
+}

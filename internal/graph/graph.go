@@ -1,0 +1,292 @@
+// Package graph implements the directed, node-attributed data graphs
+// G = (V, E, fA) of the paper: a finite node set, a directed edge set, and
+// an attribute tuple per node. Edges may optionally carry a color (the
+// "various relationships" extension of §2.2 remark 4 and §6).
+//
+// Nodes are dense integer ids 0..N()-1. The representation keeps both
+// out- and in-adjacency so that forward and reverse traversals are cheap,
+// plus a hash set of edges for O(1) membership tests; this supports the
+// mutation workload of the incremental algorithms (§4).
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gpm/internal/value"
+)
+
+// Attrs is the attribute tuple fA(v) of a node.
+type Attrs = value.Tuple
+
+// edgeKey packs a directed edge into a map key.
+func edgeKey(u, v int) uint64 { return uint64(uint32(u))<<32 | uint64(uint32(v)) }
+
+// Graph is a mutable directed graph with node attributes and optional
+// edge colors. The zero value is unusable; use New.
+type Graph struct {
+	attrs  []Attrs
+	out    [][]int32
+	in     [][]int32
+	edges  map[uint64]struct{}
+	colors map[uint64]string // only edges with a color appear here
+	m      int
+}
+
+// New returns a graph with n attribute-less nodes and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Graph{
+		attrs: make([]Attrs, n),
+		out:   make([][]int32, n),
+		in:    make([][]int32, n),
+		edges: make(map[uint64]struct{}),
+	}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.attrs) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// AddNode appends a node with the given attributes and returns its id.
+func (g *Graph) AddNode(a Attrs) int {
+	g.attrs = append(g.attrs, a)
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return len(g.attrs) - 1
+}
+
+// Attr returns the attribute tuple of node v (may be nil).
+func (g *Graph) Attr(v int) Attrs { return g.attrs[v] }
+
+// SetAttr replaces the attribute tuple of node v.
+func (g *Graph) SetAttr(v int, a Attrs) { g.attrs[v] = a }
+
+// Label returns the "label" attribute of v as a string, or "" if absent.
+// It is a convenience for the common labeled-graph special case.
+func (g *Graph) Label(v int) string {
+	if a := g.attrs[v]; a != nil {
+		if lv, ok := a["label"]; ok {
+			if s, ok := lv.AsString(); ok {
+				return s
+			}
+			return lv.String()
+		}
+	}
+	return ""
+}
+
+// HasEdge reports whether the edge (u, v) exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	_, ok := g.edges[edgeKey(u, v)]
+	return ok
+}
+
+// AddEdge inserts the directed edge (u, v). It reports whether the edge
+// was added (false when it already existed). Node ids must be valid.
+func (g *Graph) AddEdge(u, v int) bool {
+	g.checkNode(u)
+	g.checkNode(v)
+	k := edgeKey(u, v)
+	if _, dup := g.edges[k]; dup {
+		return false
+	}
+	g.edges[k] = struct{}{}
+	g.out[u] = append(g.out[u], int32(v))
+	g.in[v] = append(g.in[v], int32(u))
+	g.m++
+	return true
+}
+
+// AddColoredEdge inserts (u, v) carrying a relationship color. Adding an
+// existing edge returns false and leaves its color unchanged.
+func (g *Graph) AddColoredEdge(u, v int, color string) bool {
+	if !g.AddEdge(u, v) {
+		return false
+	}
+	if color != "" {
+		if g.colors == nil {
+			g.colors = make(map[uint64]string)
+		}
+		g.colors[edgeKey(u, v)] = color
+	}
+	return true
+}
+
+// Color returns the color of edge (u, v) and whether the edge exists.
+// Uncolored edges return "".
+func (g *Graph) Color(u, v int) (string, bool) {
+	if !g.HasEdge(u, v) {
+		return "", false
+	}
+	return g.colors[edgeKey(u, v)], true
+}
+
+// Colored reports whether any edge in the graph carries a color.
+func (g *Graph) Colored() bool { return len(g.colors) > 0 }
+
+// RemoveEdge deletes the edge (u, v), reporting whether it existed.
+func (g *Graph) RemoveEdge(u, v int) bool {
+	k := edgeKey(u, v)
+	if _, ok := g.edges[k]; !ok {
+		return false
+	}
+	delete(g.edges, k)
+	delete(g.colors, k)
+	g.out[u] = removeFirst(g.out[u], int32(v))
+	g.in[v] = removeFirst(g.in[v], int32(u))
+	g.m--
+	return true
+}
+
+func removeFirst(s []int32, x int32) []int32 {
+	for i, y := range s {
+		if y == x {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// Out returns the out-neighbors of u. The slice is owned by the graph and
+// must not be modified; it is invalidated by mutations.
+func (g *Graph) Out(u int) []int32 { return g.out[u] }
+
+// In returns the in-neighbors of v under the same ownership rules as Out.
+func (g *Graph) In(v int) []int32 { return g.in[v] }
+
+// OutDegree returns the number of edges leaving u.
+func (g *Graph) OutDegree(u int) int { return len(g.out[u]) }
+
+// InDegree returns the number of edges entering v.
+func (g *Graph) InDegree(v int) int { return len(g.in[v]) }
+
+// Edges calls fn for every edge. Iteration order is unspecified. fn must
+// not mutate the graph.
+func (g *Graph) Edges(fn func(u, v int)) {
+	for u, outs := range g.out {
+		for _, v := range outs {
+			fn(u, int(v))
+		}
+	}
+}
+
+// EdgeList returns all edges sorted by (from, to).
+func (g *Graph) EdgeList() [][2]int32 {
+	es := make([][2]int32, 0, g.m)
+	g.Edges(func(u, v int) { es = append(es, [2]int32{int32(u), int32(v)}) })
+	sort.Slice(es, func(i, j int) bool {
+		if es[i][0] != es[j][0] {
+			return es[i][0] < es[j][0]
+		}
+		return es[i][1] < es[j][1]
+	})
+	return es
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		attrs: make([]Attrs, len(g.attrs)),
+		out:   make([][]int32, len(g.out)),
+		in:    make([][]int32, len(g.in)),
+		edges: make(map[uint64]struct{}, len(g.edges)),
+		m:     g.m,
+	}
+	for i, a := range g.attrs {
+		c.attrs[i] = a.Clone()
+	}
+	for i, s := range g.out {
+		c.out[i] = append([]int32(nil), s...)
+	}
+	for i, s := range g.in {
+		c.in[i] = append([]int32(nil), s...)
+	}
+	for k := range g.edges {
+		c.edges[k] = struct{}{}
+	}
+	if g.colors != nil {
+		c.colors = make(map[uint64]string, len(g.colors))
+		for k, v := range g.colors {
+			c.colors[k] = v
+		}
+	}
+	return c
+}
+
+// Validate checks internal consistency (adjacency vs edge set, degrees,
+// color keys). It is meant for tests and for loaders of external data.
+func (g *Graph) Validate() error {
+	if len(g.out) != len(g.attrs) || len(g.in) != len(g.attrs) {
+		return fmt.Errorf("graph: adjacency size mismatch")
+	}
+	count := 0
+	for u, outs := range g.out {
+		for _, v := range outs {
+			if int(v) < 0 || int(v) >= g.N() {
+				return fmt.Errorf("graph: edge (%d,%d) out of range", u, v)
+			}
+			if !g.HasEdge(u, int(v)) {
+				return fmt.Errorf("graph: edge (%d,%d) in adjacency but not edge set", u, v)
+			}
+			count++
+		}
+	}
+	if count != g.m {
+		return fmt.Errorf("graph: edge count %d != recorded %d", count, g.m)
+	}
+	if len(g.edges) != g.m {
+		return fmt.Errorf("graph: edge set size %d != recorded %d", len(g.edges), g.m)
+	}
+	inCount := 0
+	for v, ins := range g.in {
+		for _, u := range ins {
+			if !g.HasEdge(int(u), v) {
+				return fmt.Errorf("graph: edge (%d,%d) in in-adjacency but not edge set", u, v)
+			}
+			inCount++
+		}
+	}
+	if inCount != g.m {
+		return fmt.Errorf("graph: in-edge count %d != recorded %d", inCount, g.m)
+	}
+	for k := range g.colors {
+		if _, ok := g.edges[k]; !ok {
+			return fmt.Errorf("graph: colored edge %d not in edge set", k)
+		}
+	}
+	return nil
+}
+
+// String returns a short human-readable summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{nodes: %d, edges: %d}", g.N(), g.M())
+}
+
+func (g *Graph) checkNode(v int) {
+	if v < 0 || v >= len(g.attrs) {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", v, len(g.attrs)))
+	}
+}
+
+// Dump writes a full adjacency listing, for debugging small graphs.
+func (g *Graph) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", g.String())
+	for v := 0; v < g.N(); v++ {
+		outs := append([]int32(nil), g.out[v]...)
+		sort.Slice(outs, func(i, j int) bool { return outs[i] < outs[j] })
+		fmt.Fprintf(&b, "  %d [%s] ->", v, g.attrs[v].String())
+		for _, w := range outs {
+			fmt.Fprintf(&b, " %d", w)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,153 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stats summarises degree structure; the experiment harness prints it for
+// the dataset table and the generators assert against it.
+type Stats struct {
+	Nodes, Edges   int
+	MinOut, MaxOut int
+	MinIn, MaxIn   int
+	AvgDegree      float64 // edges per node
+	Sinks          int     // out-degree 0
+	Sources        int     // in-degree 0
+	SelfLoops      int
+	MedianOut      int
+}
+
+// ComputeStats scans the graph once and returns its Stats.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{Nodes: g.N(), Edges: g.M()}
+	if g.N() == 0 {
+		return s
+	}
+	outs := make([]int, g.N())
+	s.MinOut, s.MinIn = g.N()+1, g.N()+1
+	for v := 0; v < g.N(); v++ {
+		od, id := g.OutDegree(v), g.InDegree(v)
+		outs[v] = od
+		if od < s.MinOut {
+			s.MinOut = od
+		}
+		if od > s.MaxOut {
+			s.MaxOut = od
+		}
+		if id < s.MinIn {
+			s.MinIn = id
+		}
+		if id > s.MaxIn {
+			s.MaxIn = id
+		}
+		if od == 0 {
+			s.Sinks++
+		}
+		if id == 0 {
+			s.Sources++
+		}
+		if g.HasEdge(v, v) {
+			s.SelfLoops++
+		}
+	}
+	s.AvgDegree = float64(g.M()) / float64(g.N())
+	sort.Ints(outs)
+	s.MedianOut = outs[len(outs)/2]
+	return s
+}
+
+// String renders the stats on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("|V|=%d |E|=%d avg-deg=%.2f out[%d..%d] in[%d..%d] sinks=%d sources=%d",
+		s.Nodes, s.Edges, s.AvgDegree, s.MinOut, s.MaxOut, s.MinIn, s.MaxIn, s.Sinks, s.Sources)
+}
+
+// StronglyConnectedComponents returns the SCCs of g (Tarjan, iterative).
+// Components are returned in reverse topological order of the condensation.
+func StronglyConnectedComponents(g *Graph) [][]int32 {
+	n := g.N()
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var (
+		stack []int32
+		comps [][]int32
+		next  int32
+	)
+	type frame struct {
+		v  int32
+		ei int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] >= 0 {
+			continue
+		}
+		callStack := []frame{{v: int32(root)}}
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, int32(root))
+		onStack[root] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			outs := g.out[f.v]
+			if f.ei < len(outs) {
+				w := outs[f.ei]
+				f.ei++
+				if index[w] < 0 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				p := &callStack[len(callStack)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int32
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// IsDAG reports whether g has no directed cycle (self-loops count as
+// cycles).
+func IsDAG(g *Graph) bool {
+	for v := 0; v < g.N(); v++ {
+		if g.HasEdge(v, v) {
+			return false
+		}
+	}
+	for _, c := range StronglyConnectedComponents(g) {
+		if len(c) > 1 {
+			return false
+		}
+	}
+	return true
+}

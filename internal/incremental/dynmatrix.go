@@ -1,0 +1,400 @@
+// Package incremental implements the paper's §4: incremental maintenance
+// of the distance matrix under edge insertions and deletions (procedures
+// UpdateM and UpdateBM, built on Ramalingam–Reps SWSF-FP), and on top of
+// it the incremental matching algorithms Match⁻, Match⁺ and IncMatch with
+// the O(|AFF1|·|AFF2|²) guarantee for DAG patterns.
+package incremental
+
+import (
+	"container/heap"
+	"fmt"
+
+	"gpm/internal/graph"
+	"gpm/internal/matrix"
+)
+
+// Update is a single edge insertion or deletion.
+type Update struct {
+	Insert bool
+	U, V   int
+}
+
+// Ins returns an edge-insertion update.
+func Ins(u, v int) Update { return Update{Insert: true, U: u, V: v} }
+
+// Del returns an edge-deletion update.
+func Del(u, v int) Update { return Update{Insert: false, U: u, V: v} }
+
+// String renders the update as "+u->v" or "-u->v".
+func (u Update) String() string {
+	sign := "-"
+	if u.Insert {
+		sign = "+"
+	}
+	return fmt.Sprintf("%s%d->%d", sign, u.U, u.V)
+}
+
+// Pair records one AFF1 element: the distance from Src to Dst changed
+// from Old to New (-1 = unreachable). A pair with Src == Dst reports a
+// change of the shortest-cycle length through that node, which is what
+// "nonempty self-distance" means for bounded simulation.
+type Pair struct {
+	Src, Dst int32
+	Old, New int32
+}
+
+const inf = int32(1) << 30
+
+// DynMatrix couples a data graph with its distance matrix and keeps the
+// two consistent under updates. It is the paper's maintained M: "besides
+// S_i, one needs to maintain a distance matrix M" (§4.1). Apply returns
+// AFF1, the set of source–sink pairs whose distance changed.
+type DynMatrix struct {
+	g *graph.Graph
+	m *matrix.Matrix
+
+	// Per-sink SWSF-FP scratch. Epoch stamps make per-sink reset O(1):
+	// an entry is live only when its stamp equals the current epoch, and
+	// stale reads fall back to the matrix column. This keeps each sink's
+	// cost proportional to the nodes actually touched (the Ramalingam–
+	// Reps boundedness), not to |V|.
+	d       []int32
+	rhs     []int32
+	stamp   []int32
+	epoch   int32
+	touched []int32
+	pq      pairHeap
+}
+
+// NewDynMatrix computes the matrix of g and wraps both. The graph must be
+// mutated only through Apply/InsertEdge/DeleteEdge from then on.
+func NewDynMatrix(g *graph.Graph) *DynMatrix {
+	return &DynMatrix{g: g, m: matrix.New(g)}
+}
+
+// Graph returns the underlying (live) data graph.
+func (dm *DynMatrix) Graph() *graph.Graph { return dm.g }
+
+// Matrix returns the maintained distance matrix.
+func (dm *DynMatrix) Matrix() *matrix.Matrix { return dm.m }
+
+// InsertEdge applies a single insertion (the unit case behind Match⁺).
+func (dm *DynMatrix) InsertEdge(u, v int) ([]Pair, error) {
+	return dm.Apply([]Update{Ins(u, v)})
+}
+
+// DeleteEdge applies a single deletion (the unit case behind Match⁻,
+// procedure UpdateM).
+func (dm *DynMatrix) DeleteEdge(u, v int) ([]Pair, error) {
+	return dm.Apply([]Update{Del(u, v)})
+}
+
+// Apply applies a batch of updates (procedure UpdateBM): it validates and
+// performs the structural changes, then runs one SWSF-FP pass per
+// potentially dirty sink, touching only nodes whose distance to that sink
+// is affected. It returns every changed pair, including cycle-length
+// changes as (x, x) pairs. On a validation error the graph is unchanged.
+func (dm *DynMatrix) Apply(updates []Update) ([]Pair, error) {
+	if err := dm.applyStructural(updates); err != nil {
+		return nil, err
+	}
+
+	// Dirty sink candidates. For a deletion (u,v): sinks reachable from v
+	// under OLD distances with d(u,y) == 1 + d(v,y) (the edge lay on a
+	// shortest path). For an insertion (u,v): sinks reachable from v in
+	// the NEW graph with d(u,y) > 1 + d(v,y) (the edge creates a shortcut).
+	sinkSet := make(map[int32]struct{})
+	for _, up := range updates {
+		if up.Insert {
+			// Any decrease routes its new shortest path through some
+			// inserted edge (u,v), so the sink is reachable from v in the
+			// new graph. fixColumn's seed check rejects the rest cheaply.
+			dist := dm.scratchDist()
+			dm.g.BFSDistInto(up.V, -1, dist, nil)
+			for y := 0; y < dm.g.N(); y++ {
+				if dist[y] >= 0 {
+					sinkSet[int32(y)] = struct{}{}
+				}
+			}
+		} else {
+			row := dm.m.Row(up.V) // old distances from v
+			for y, dvy := range row {
+				if dvy < 0 {
+					continue
+				}
+				duy := dm.m.Dist(up.U, y)
+				if duy >= 0 && int32(duy) == dvy+1 {
+					sinkSet[int32(y)] = struct{}{}
+				}
+			}
+		}
+	}
+
+	var aff []Pair
+	for y := range sinkSet {
+		aff = dm.fixColumn(int(y), updates, aff)
+	}
+
+	aff = dm.refreshCycles(updates, aff)
+	return aff, nil
+}
+
+// applyStructural validates and applies edge changes, rolling back on the
+// first error so the graph is untouched on failure.
+func (dm *DynMatrix) applyStructural(updates []Update) error {
+	var err error
+	for i, up := range updates {
+		if up.U < 0 || up.U >= dm.g.N() || up.V < 0 || up.V >= dm.g.N() {
+			err = fmt.Errorf("incremental: update %v out of range", up)
+		} else if up.Insert {
+			if !dm.g.AddEdge(up.U, up.V) {
+				err = fmt.Errorf("incremental: inserting existing edge %d->%d", up.U, up.V)
+			}
+		} else {
+			if !dm.g.RemoveEdge(up.U, up.V) {
+				err = fmt.Errorf("incremental: deleting missing edge %d->%d", up.U, up.V)
+			}
+		}
+		if err != nil {
+			for j := i - 1; j >= 0; j-- { // roll back in reverse
+				if updates[j].Insert {
+					dm.g.RemoveEdge(updates[j].U, updates[j].V)
+				} else {
+					dm.g.AddEdge(updates[j].U, updates[j].V)
+				}
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+func (dm *DynMatrix) scratchDist() []int32 {
+	n := dm.g.N()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	return dist
+}
+
+// touch brings x into the current epoch, initialising d and rhs from the
+// matrix column of y.
+func (dm *DynMatrix) touch(x, y int) {
+	if dm.stamp[x] == dm.epoch {
+		return
+	}
+	dm.stamp[x] = dm.epoch
+	dm.touched = append(dm.touched, int32(x))
+	dx := dm.m.Dist(x, y)
+	if dx < 0 {
+		dm.d[x] = inf
+		dm.rhs[x] = inf
+	} else {
+		dm.d[x] = int32(dx)
+		dm.rhs[x] = int32(dx)
+	}
+}
+
+// fixColumn runs SWSF-FP for the single-sink problem "distance to y" over
+// the updated graph, seeded with the old column of the matrix. Only nodes
+// whose value changes (plus their immediate frontier) are touched — the
+// boundedness property of Ramalingam–Reps. Changed pairs are appended to
+// aff, and the matrix column is updated in place.
+func (dm *DynMatrix) fixColumn(y int, updates []Update, aff []Pair) []Pair {
+	// Cheap seed check first: only sources of changed edges can be locally
+	// inconsistent at the start.
+	inconsistent := false
+	for _, up := range updates {
+		if dm.rhsOf(up.U, y) != dm.curD(up.U, y) {
+			inconsistent = true
+			break
+		}
+	}
+	if !inconsistent {
+		return aff
+	}
+
+	n := dm.g.N()
+	if dm.d == nil || len(dm.d) != n {
+		dm.d = make([]int32, n)
+		dm.rhs = make([]int32, n)
+		dm.stamp = make([]int32, n)
+		for i := range dm.stamp {
+			dm.stamp[i] = -1
+		}
+		dm.epoch = 0
+	}
+	dm.epoch++
+	dm.touched = dm.touched[:0]
+	dm.pq = dm.pq[:0]
+
+	push := func(x int) {
+		k := dm.d[x]
+		if dm.rhs[x] < k {
+			k = dm.rhs[x]
+		}
+		heap.Push(&dm.pq, pqItem{key: k, node: int32(x)})
+	}
+	recomputeRhs := func(x int) {
+		dm.touch(x, y)
+		if x == y {
+			dm.rhs[x] = 0
+			return
+		}
+		best := inf
+		for _, w := range dm.g.Out(x) {
+			dm.touch(int(w), y)
+			if dw := dm.d[w]; dw+1 < best {
+				best = dw + 1
+			}
+		}
+		if best > inf {
+			best = inf
+		}
+		dm.rhs[x] = best
+	}
+
+	for _, up := range updates {
+		if up.U == y {
+			continue
+		}
+		recomputeRhs(up.U)
+		if dm.rhs[up.U] != dm.d[up.U] {
+			push(up.U)
+		}
+	}
+
+	for len(dm.pq) > 0 {
+		it := heap.Pop(&dm.pq).(pqItem)
+		x := int(it.node)
+		if dm.d[x] == dm.rhs[x] {
+			continue // already consistent; stale queue entry
+		}
+		key := dm.d[x]
+		if dm.rhs[x] < key {
+			key = dm.rhs[x]
+		}
+		if it.key != key {
+			continue // stale
+		}
+		if dm.rhs[x] < dm.d[x] {
+			// Overconsistent: settle downward.
+			dm.d[x] = dm.rhs[x]
+			for _, p := range dm.g.In(x) {
+				if int(p) == y {
+					continue
+				}
+				dm.touch(int(p), y)
+				if dm.d[x]+1 < dm.rhs[p] {
+					dm.rhs[p] = dm.d[x] + 1
+					if dm.rhs[p] != dm.d[p] {
+						push(int(p))
+					}
+				}
+			}
+		} else {
+			// Underconsistent: raise, then re-evaluate x and predecessors.
+			dm.d[x] = inf
+			for _, p := range dm.g.In(x) {
+				if int(p) == y {
+					continue
+				}
+				recomputeRhs(int(p))
+				if dm.rhs[p] != dm.d[p] {
+					push(int(p))
+				}
+			}
+			recomputeRhs(x)
+			if dm.rhs[x] != dm.d[x] {
+				push(x)
+			}
+		}
+	}
+
+	for _, xi := range dm.touched {
+		x := int(xi)
+		newD := dm.d[x]
+		old := dm.m.Dist(x, y)
+		newOut := int32(-1)
+		if newD < inf {
+			newOut = newD
+		}
+		if int32(old) != newOut {
+			dm.m.Set(x, y, newOut)
+			aff = append(aff, Pair{Src: int32(x), Dst: int32(y), Old: int32(old), New: newOut})
+		}
+	}
+	return aff
+}
+
+// curD reads the current matrix entry as an SWSF value (inf for -1).
+func (dm *DynMatrix) curD(x, y int) int32 {
+	d := dm.m.Dist(x, y)
+	if d < 0 {
+		return inf
+	}
+	return int32(d)
+}
+
+// rhsOf computes the one-step lookahead of x toward sink y over the
+// current graph and matrix, without scratch state.
+func (dm *DynMatrix) rhsOf(x, y int) int32 {
+	if x == y {
+		return 0
+	}
+	best := inf
+	for _, w := range dm.g.Out(x) {
+		dw := dm.curD(int(w), y)
+		if dw+1 < best {
+			best = dw + 1
+		}
+	}
+	if best > inf {
+		best = inf
+	}
+	return best
+}
+
+// refreshCycles recomputes the shortest-cycle entries invalidated by the
+// batch: nodes whose out-edges changed, and nodes b with a changed pair
+// (a, b) where the edge (b, a) exists. Changes surface as (x, x) pairs.
+func (dm *DynMatrix) refreshCycles(updates []Update, aff []Pair) []Pair {
+	dirty := make(map[int32]struct{})
+	for _, up := range updates {
+		dirty[int32(up.U)] = struct{}{}
+	}
+	for _, p := range aff {
+		if dm.g.HasEdge(int(p.Dst), int(p.Src)) {
+			dirty[p.Dst] = struct{}{}
+		}
+	}
+	for x := range dirty {
+		old := int32(dm.m.Cycle(int(x)))
+		if nw := dm.m.RecomputeCycle(dm.g, int(x)); nw != old {
+			aff = append(aff, Pair{Src: x, Dst: x, Old: old, New: nw})
+		}
+	}
+	return aff
+}
+
+// pqItem / pairHeap implement the SWSF-FP priority queue with lazy stale
+// entries.
+type pqItem struct {
+	key  int32
+	node int32
+}
+
+type pairHeap []pqItem
+
+func (h pairHeap) Len() int            { return len(h) }
+func (h pairHeap) Less(i, j int) bool  { return h[i].key < h[j].key }
+func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(pqItem)) }
+func (h *pairHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,272 @@
+package incremental
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpm/internal/graph"
+	"gpm/internal/matrix"
+)
+
+func chain(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestUpdateString(t *testing.T) {
+	if Ins(1, 2).String() != "+1->2" || Del(3, 4).String() != "-3->4" {
+		t.Error("Update.String wrong")
+	}
+}
+
+func TestDeleteBreaksPath(t *testing.T) {
+	g := chain(4)
+	dm := NewDynMatrix(g)
+	aff, err := dm.DeleteEdge(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.Matrix().Dist(0, 3) != -1 || dm.Matrix().Dist(0, 1) != 1 {
+		t.Errorf("distances after delete: %d %d", dm.Matrix().Dist(0, 3), dm.Matrix().Dist(0, 1))
+	}
+	// Changed pairs: (0,2),(0,3),(1,2),(1,3).
+	if len(aff) != 4 {
+		t.Errorf("AFF1 = %d pairs: %v", len(aff), aff)
+	}
+	for _, p := range aff {
+		if p.New != -1 || p.Old < 0 {
+			t.Errorf("pair %v should go finite->unreachable", p)
+		}
+	}
+}
+
+func TestInsertCreatesShortcut(t *testing.T) {
+	g := chain(5)
+	dm := NewDynMatrix(g)
+	aff, err := dm.InsertEdge(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.Matrix().Dist(0, 3) != 1 || dm.Matrix().Dist(0, 4) != 2 {
+		t.Error("shortcut not applied")
+	}
+	if len(aff) != 2 {
+		t.Errorf("AFF1 = %v", aff)
+	}
+}
+
+func TestInsertCreatesCycle(t *testing.T) {
+	g := chain(3)
+	dm := NewDynMatrix(g)
+	aff, err := dm.InsertEdge(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := dm.Matrix()
+	if m.Dist(2, 0) != 1 || m.Dist(1, 0) != 2 {
+		t.Error("cycle distances wrong")
+	}
+	for v := 0; v < 3; v++ {
+		if m.Cycle(v) != 3 {
+			t.Errorf("Cycle(%d) = %d, want 3", v, m.Cycle(v))
+		}
+	}
+	// Cycle changes must be reported as (x,x) pairs.
+	cycPairs := 0
+	for _, p := range aff {
+		if p.Src == p.Dst {
+			cycPairs++
+			if p.Old != -1 || p.New != 3 {
+				t.Errorf("cycle pair %v", p)
+			}
+		}
+	}
+	if cycPairs != 3 {
+		t.Errorf("cycle pairs = %d, want 3", cycPairs)
+	}
+}
+
+func TestSelfLoopUpdates(t *testing.T) {
+	g := chain(2)
+	dm := NewDynMatrix(g)
+	aff, err := dm.InsertEdge(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.Matrix().Cycle(0) != 1 {
+		t.Error("self loop cycle missing")
+	}
+	found := false
+	for _, p := range aff {
+		if p.Src == 0 && p.Dst == 0 && p.New == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("self-loop cycle pair missing: %v", aff)
+	}
+	if _, err := dm.DeleteEdge(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if dm.Matrix().Cycle(0) != -1 {
+		t.Error("cycle not cleared")
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	g := chain(3)
+	dm := NewDynMatrix(g)
+	cases := [][]Update{
+		{Del(0, 2)},            // edge absent
+		{Ins(0, 1)},            // edge present
+		{Ins(0, 9)},            // out of range
+		{Ins(0, 2), Del(2, 0)}, // second update invalid
+	}
+	for _, ups := range cases {
+		if _, err := dm.Apply(ups); err == nil {
+			t.Errorf("Apply(%v) should fail", ups)
+		}
+	}
+	// Rollback left the graph intact.
+	if g.M() != 2 || !g.HasEdge(0, 1) || !g.HasEdge(1, 2) || g.HasEdge(0, 2) {
+		t.Error("failed Apply mutated the graph")
+	}
+	if !dm.Matrix().Equal(matrix.New(g)) {
+		t.Error("failed Apply mutated the matrix")
+	}
+}
+
+func TestBatchInsertThenDeleteSameEdge(t *testing.T) {
+	g := chain(3)
+	dm := NewDynMatrix(g)
+	aff, err := dm.Apply([]Update{Ins(0, 2), Del(0, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aff) != 0 {
+		t.Errorf("no net change expected, got %v", aff)
+	}
+	if !dm.Matrix().Equal(matrix.New(g)) {
+		t.Error("matrix drifted")
+	}
+}
+
+func randomGraph(r *rand.Rand, n, m int) *graph.Graph {
+	if m > n*n {
+		m = n * n
+	}
+	g := graph.New(n)
+	for g.M() < m {
+		g.AddEdge(r.Intn(n), r.Intn(n))
+	}
+	return g
+}
+
+// Property: after arbitrary mixed batches, the maintained matrix equals a
+// recomputed one, and AFF1 is exactly the set of changed entries.
+func TestApplyAgainstRecompute(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(12)
+		g := randomGraph(r, n, r.Intn(2*n))
+		dm := NewDynMatrix(g)
+		for round := 0; round < 4; round++ {
+			before := dm.Matrix().Clone()
+			var ups []Update
+			batch := 1 + r.Intn(4)
+			for len(ups) < batch {
+				u, v := r.Intn(n), r.Intn(n)
+				// Track the net edge state across the batch being built.
+				has := g.HasEdge(u, v)
+				for _, q := range ups {
+					if q.U == u && q.V == v {
+						has = q.Insert
+					}
+				}
+				if has {
+					ups = append(ups, Del(u, v))
+				} else {
+					ups = append(ups, Ins(u, v))
+				}
+			}
+			aff, err := dm.Apply(ups)
+			if err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			want := matrix.New(g)
+			if !dm.Matrix().Equal(want) {
+				t.Logf("seed %d round %d ups %v: matrix diverged: %v", seed, round, ups, dm.Matrix().Diff(want, 5))
+				return false
+			}
+			// AFF1 must list exactly the changed entries.
+			changed := map[[2]int32]bool{}
+			for _, p := range aff {
+				k := [2]int32{p.Src, p.Dst}
+				if changed[k] {
+					t.Logf("seed %d: duplicate pair %v", seed, p)
+					return false
+				}
+				changed[k] = true
+				var oldVal, newVal int32
+				if p.Src == p.Dst {
+					oldVal, newVal = int32(before.Cycle(int(p.Src))), int32(want.Cycle(int(p.Src)))
+				} else {
+					oldVal, newVal = int32(before.Dist(int(p.Src), int(p.Dst))), int32(want.Dist(int(p.Src), int(p.Dst)))
+				}
+				if p.Old != oldVal || p.New != newVal {
+					t.Logf("seed %d: pair %v vs old %d new %d", seed, p, oldVal, newVal)
+					return false
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					var was, is int32
+					if i == j {
+						was, is = int32(before.Cycle(i)), int32(want.Cycle(i))
+					} else {
+						was, is = int32(before.Dist(i, j)), int32(want.Dist(i, j))
+					}
+					if was != is && !changed[[2]int32{int32(i), int32(j)}] {
+						t.Logf("seed %d: missing AFF pair (%d,%d) %d->%d", seed, i, j, was, is)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: unit updates keep the matrix exact over long random walks.
+func TestUnitUpdateWalk(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(10)
+		g := randomGraph(r, n, r.Intn(n))
+		dm := NewDynMatrix(g)
+		for step := 0; step < 30; step++ {
+			u, v := r.Intn(n), r.Intn(n)
+			var err error
+			if g.HasEdge(u, v) {
+				_, err = dm.DeleteEdge(u, v)
+			} else {
+				_, err = dm.InsertEdge(u, v)
+			}
+			if err != nil {
+				return false
+			}
+		}
+		return dm.Matrix().Equal(matrix.New(g))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,517 @@
+package incremental
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpm/internal/core"
+	"gpm/internal/fixtures"
+	"gpm/internal/graph"
+	"gpm/internal/pattern"
+	"gpm/internal/value"
+)
+
+func relEqual(a, b [][]int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestAppendixMatchMinus replays the appendix's Match⁻ running example:
+// deleting (SE, (HR,SE)) from Fig. 2's G1 removes exactly (DM, DM_l) and
+// (SE, SE) from the match, leaving the rest untouched.
+func TestAppendixMatchMinus(t *testing.T) {
+	c := fixtures.SocialMatching()
+	dm := NewDynMatrix(c.G)
+	m, err := NewMatcher(c.P, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relEqual(m.Relation(), c.Want) {
+		t.Fatalf("initial relation: %v", m.Relation())
+	}
+	delta, err := m.Apply([]Update{Del(fixtures.G1SE, fixtures.G1HRSE)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Recomputed {
+		t.Error("deletion-only batch must not trigger the cyclic fallback")
+	}
+	if len(delta.Added) != 0 {
+		t.Errorf("deletion added pairs: %v", delta.Added)
+	}
+	removed := map[MatchPair]bool{}
+	for _, p := range delta.Removed {
+		removed[p] = true
+	}
+	wantRemoved := []MatchPair{
+		{int32(fixtures.P1DM), int32(fixtures.G1DMl)},
+		{int32(fixtures.P1SE), int32(fixtures.G1SE)},
+	}
+	if len(removed) != len(wantRemoved) {
+		t.Fatalf("Removed = %v, want %v", delta.Removed, wantRemoved)
+	}
+	for _, w := range wantRemoved {
+		if !removed[w] {
+			t.Errorf("missing removed pair %v", w)
+		}
+	}
+	if !relEqual(m.Relation(), fixtures.SocialMatchingAfterDeletion()) {
+		t.Errorf("relation after deletion: %v", m.Relation())
+	}
+	if !m.OK() {
+		t.Error("match should still hold")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInsertRestores: re-inserting the deleted edge restores the original
+// match. P1 is cyclic, so the insertion goes through the flagged
+// fallback, still producing the exact relation.
+func TestInsertRestores(t *testing.T) {
+	c := fixtures.SocialMatching()
+	dm := NewDynMatrix(c.G)
+	m, _ := NewMatcher(c.P, dm)
+	if _, err := m.Apply([]Update{Del(fixtures.G1SE, fixtures.G1HRSE)}); err != nil {
+		t.Fatal(err)
+	}
+	delta, err := m.Apply([]Update{Ins(fixtures.G1SE, fixtures.G1HRSE)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta.Recomputed {
+		t.Error("cyclic pattern + insertion should fall back")
+	}
+	if !relEqual(m.Relation(), c.Want) {
+		t.Errorf("relation not restored: %v", m.Relation())
+	}
+	if len(delta.Added) != 2 || len(delta.Removed) != 0 {
+		t.Errorf("delta = +%v -%v", delta.Added, delta.Removed)
+	}
+}
+
+// dagFixture builds a DAG pattern (chain with bounds) and a data graph
+// where insertions genuinely add matches, exercising Match⁺ without the
+// fallback.
+func dagFixture() (*pattern.Pattern, *graph.Graph) {
+	p := pattern.New()
+	a := p.AddNode(pattern.Label("A"))
+	b := p.AddNode(pattern.Label("B"))
+	c := p.AddNode(pattern.Label("C"))
+	p.MustAddEdge(a, b, 2)
+	p.MustAddEdge(b, c, 2)
+	g := graph.New(0)
+	for _, l := range []string{"A", "B", "C", "A", "B"} {
+		g.AddNode(graph.Attrs{"label": value.Str(l)})
+	}
+	g.AddEdge(0, 1) // A0 -> B1
+	g.AddEdge(1, 2) // B1 -> C2
+	// A3 and B4 dangle: no edges yet.
+	return p, g
+}
+
+func TestMatchPlusOnDAG(t *testing.T) {
+	p, g := dagFixture()
+	dm := NewDynMatrix(g)
+	m, err := NewMatcher(p, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Pairs() != 3 {
+		t.Fatalf("initial pairs = %d, want 3", m.Pairs())
+	}
+	// B4 -> C2 makes B4 a match for b; A3 -> B4 then adds A3 for a.
+	delta, err := m.Apply([]Update{Ins(4, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Recomputed {
+		t.Error("DAG insertion must not fall back")
+	}
+	if len(delta.Added) != 1 || delta.Added[0] != (MatchPair{1, 4}) {
+		t.Errorf("Added = %v, want [(1,4)]", delta.Added)
+	}
+	delta, err = m.Apply([]Update{Ins(3, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta.Added) != 1 || delta.Added[0] != (MatchPair{0, 3}) {
+		t.Errorf("Added = %v, want [(0,3)]", delta.Added)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	// Out-degree transition: deleting B4's only out-edge kills candidacy
+	// of B4 (b needs an out-edge) and cascades to A3.
+	delta, err = m.Apply([]Update{Del(4, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta.Removed) != 2 {
+		t.Errorf("Removed = %v, want (1,4) and (0,3)", delta.Removed)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatcherRejectsColored(t *testing.T) {
+	p := pattern.New()
+	p.AddNode(nil)
+	p.AddNode(nil)
+	if _, err := p.AddColoredEdge(0, 1, 1, "c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMatcher(p, NewDynMatrix(graph.New(2))); err == nil {
+		t.Error("colored pattern accepted")
+	}
+}
+
+func TestMatcherInvalidUpdateLeavesStateIntact(t *testing.T) {
+	c := fixtures.Collaboration()
+	dm := NewDynMatrix(c.G)
+	m, _ := NewMatcher(c.P, dm)
+	before := m.Relation()
+	if _, err := m.Apply([]Update{Del(0, 5)}); err == nil {
+		t.Fatal("deleting missing edge should fail")
+	}
+	if !relEqual(m.Relation(), before) {
+		t.Error("failed update changed the relation")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomLabeledGraph(r *rand.Rand, n, m, labels int) *graph.Graph {
+	if m > n*n {
+		m = n * n
+	}
+	g := graph.New(0)
+	for i := 0; i < n; i++ {
+		g.AddNode(graph.Attrs{"label": value.Str(string(rune('A' + r.Intn(labels))))})
+	}
+	for g.M() < m {
+		g.AddEdge(r.Intn(n), r.Intn(n))
+	}
+	return g
+}
+
+func randomDAGPattern(r *rand.Rand, np, me, labels, maxBound int) *pattern.Pattern {
+	p := pattern.New()
+	for i := 0; i < np; i++ {
+		p.AddNode(pattern.Label(string(rune('A' + r.Intn(labels)))))
+	}
+	for tries := 0; tries < 4*me && p.EdgeCount() < me; tries++ {
+		from, to := r.Intn(np), r.Intn(np)
+		if from >= to {
+			continue // ascending edges keep it a DAG
+		}
+		b := 1 + r.Intn(maxBound)
+		if r.Intn(5) == 0 {
+			b = pattern.Unbounded
+		}
+		p.AddEdge(from, to, b)
+	}
+	return p
+}
+
+func randomCyclicPattern(r *rand.Rand, np, me, labels, maxBound int) *pattern.Pattern {
+	p := pattern.New()
+	for i := 0; i < np; i++ {
+		p.AddNode(pattern.Label(string(rune('A' + r.Intn(labels)))))
+	}
+	for tries := 0; tries < 4*me && p.EdgeCount() < me; tries++ {
+		p.AddEdge(r.Intn(np), r.Intn(np), 1+r.Intn(maxBound))
+	}
+	return p
+}
+
+func randomBatch(r *rand.Rand, g *graph.Graph, size int) []Update {
+	n := g.N()
+	state := map[[2]int]bool{}
+	var ups []Update
+	for len(ups) < size {
+		u, v := r.Intn(n), r.Intn(n)
+		key := [2]int{u, v}
+		has, tracked := state[key]
+		if !tracked {
+			has = g.HasEdge(u, v)
+		}
+		if has {
+			ups = append(ups, Del(u, v))
+		} else {
+			ups = append(ups, Ins(u, v))
+		}
+		state[key] = !has
+	}
+	return ups
+}
+
+// Property: over random mixed batches, the incremental matcher stays
+// exactly equal to a from-scratch core.Match — for DAG patterns (pure
+// incremental path) and cyclic patterns (fallback path) alike.
+func TestMatcherAgainstBatch(t *testing.T) {
+	run := func(seed int64, cyclic bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(10)
+		g := randomLabeledGraph(r, n, r.Intn(2*n), 3)
+		var p *pattern.Pattern
+		if cyclic {
+			p = randomCyclicPattern(r, 1+r.Intn(4), 1+r.Intn(5), 3, 3)
+		} else {
+			p = randomDAGPattern(r, 1+r.Intn(4), 1+r.Intn(5), 3, 3)
+		}
+		dm := NewDynMatrix(g)
+		m, err := NewMatcher(p, dm)
+		if err != nil {
+			return false
+		}
+		for round := 0; round < 5; round++ {
+			ups := randomBatch(r, g, 1+r.Intn(4))
+			delta, err := m.Apply(ups)
+			if err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			want, err := core.Match(p, g)
+			if err != nil {
+				return false
+			}
+			if m.OK() != want.OK() || !relEqual(m.Relation(), want.Relation()) {
+				t.Logf("seed %d round %d cyclic=%v ups=%v:\n inc %v (ok=%v)\n bat %v (ok=%v)",
+					seed, round, cyclic, ups, m.Relation(), m.OK(), want.Relation(), want.OK())
+				return false
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Logf("seed %d: invariants: %v", seed, err)
+				return false
+			}
+			if delta.Aff2 != len(delta.Added)+len(delta.Removed) {
+				return false
+			}
+		}
+		return true
+	}
+	t.Run("dag", func(t *testing.T) {
+		if err := quick.Check(func(seed int64) bool { return run(seed, false) },
+			&quick.Config{MaxCount: 60}); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("cyclic", func(t *testing.T) {
+		if err := quick.Check(func(seed int64) bool { return run(seed, true) },
+			&quick.Config{MaxCount: 60}); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+// Property: deletion-only batches never add pairs and never fall back,
+// even for cyclic patterns (Lemma 4.3 applies to general patterns).
+func TestDeletionOnlyNeverFallsBack(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(10)
+		g := randomLabeledGraph(r, n, n+r.Intn(2*n), 3)
+		p := randomCyclicPattern(r, 1+r.Intn(4), 1+r.Intn(5), 3, 3)
+		dm := NewDynMatrix(g)
+		m, err := NewMatcher(p, dm)
+		if err != nil {
+			return false
+		}
+		for g.M() > 0 {
+			es := g.EdgeList()
+			e := es[r.Intn(len(es))]
+			delta, err := m.Apply([]Update{Del(int(e[0]), int(e[1]))})
+			if err != nil || delta.Recomputed || len(delta.Added) != 0 {
+				t.Logf("seed %d: err=%v recomputed=%v added=%v", seed, err, delta.Recomputed, delta.Added)
+				return false
+			}
+			want, _ := core.Match(p, g)
+			if !relEqual(m.Relation(), want.Relation()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: insertion-only batches never remove pairs on DAG patterns.
+func TestInsertionOnlyMonotone(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(8)
+		g := randomLabeledGraph(r, n, r.Intn(n), 2)
+		p := randomDAGPattern(r, 1+r.Intn(3), 1+r.Intn(4), 2, 2)
+		dm := NewDynMatrix(g)
+		m, err := NewMatcher(p, dm)
+		if err != nil {
+			return false
+		}
+		for round := 0; round < 6; round++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if g.HasEdge(u, v) {
+				continue
+			}
+			delta, err := m.Apply([]Update{Ins(u, v)})
+			if err != nil || delta.Recomputed || len(delta.Removed) != 0 {
+				return false
+			}
+			want, _ := core.Match(p, g)
+			if !relEqual(m.Relation(), want.Relation()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStaleRemovalResurrection is the regression test for a worklist bug:
+// within one batch, a pair's only support moves out of bound while new
+// support moves in. Depending on AFF1 processing order the support
+// counter dips to zero (queuing a removal) and recovers; the queued
+// removal must be discarded at pop time, not applied. Repeated runs vary
+// map iteration order.
+func TestStaleRemovalResurrection(t *testing.T) {
+	for i := 0; i < 40; i++ {
+		g := graph.New(0)
+		a := g.AddNode(graph.Attrs{"label": value.Str("A")})
+		b1 := g.AddNode(graph.Attrs{"label": value.Str("B")})
+		b2 := g.AddNode(graph.Attrs{"label": value.Str("B")})
+		g.AddEdge(a, b1)
+		g.AddEdge(b1, a) // keep b1's out-degree nonzero (irrelevant to pattern)
+		g.AddEdge(b2, a)
+		p := pattern.New()
+		pa := p.AddNode(pattern.Label("A"))
+		pb := p.AddNode(pattern.Label("B"))
+		p.MustAddEdge(pa, pb, 1)
+
+		dm := NewDynMatrix(g)
+		m, err := NewMatcher(p, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.OK() || m.Pairs() != 3 {
+			t.Fatalf("initial: ok=%v pairs=%d", m.OK(), m.Pairs())
+		}
+		// One batch: A loses its edge to b1 but gains one to b2. (pa, a)
+		// must survive — its support merely moved.
+		delta, err := m.Apply([]Update{Del(a, b1), Ins(a, b2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.OK() {
+			t.Fatalf("iteration %d: pair (pa,a) was wrongly evicted; delta=%+v", i, delta)
+		}
+		want, _ := core.Match(p, g)
+		if !relEqual(m.Relation(), want.Relation()) {
+			t.Fatalf("iteration %d: relation diverged", i)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Property: Delta.Added/Removed is exactly the set difference between the
+// relation before and after the batch — no duplicates, no misses — on
+// both the incremental path (DAG) and the fallback path (cyclic).
+func TestDeltaExactness(t *testing.T) {
+	run := func(seed int64, cyclic bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(9)
+		g := randomLabeledGraph(r, n, r.Intn(2*n), 3)
+		var p *pattern.Pattern
+		if cyclic {
+			p = randomCyclicPattern(r, 1+r.Intn(3), 1+r.Intn(4), 3, 3)
+		} else {
+			p = randomDAGPattern(r, 1+r.Intn(3), 1+r.Intn(4), 3, 3)
+		}
+		dm := NewDynMatrix(g)
+		m, err := NewMatcher(p, dm)
+		if err != nil {
+			return false
+		}
+		for round := 0; round < 4; round++ {
+			before := map[MatchPair]bool{}
+			for u, l := range m.Relation() {
+				for _, x := range l {
+					before[MatchPair{int32(u), x}] = true
+				}
+			}
+			delta, err := m.Apply(randomBatch(r, g, 1+r.Intn(4)))
+			if err != nil {
+				return false
+			}
+			after := map[MatchPair]bool{}
+			for u, l := range m.Relation() {
+				for _, x := range l {
+					after[MatchPair{int32(u), x}] = true
+				}
+			}
+			seenAdd := map[MatchPair]bool{}
+			for _, pr := range delta.Added {
+				if seenAdd[pr] || before[pr] || !after[pr] {
+					t.Logf("seed %d: bogus Added %v", seed, pr)
+					return false
+				}
+				seenAdd[pr] = true
+			}
+			seenRem := map[MatchPair]bool{}
+			for _, pr := range delta.Removed {
+				if seenRem[pr] || !before[pr] || after[pr] {
+					t.Logf("seed %d: bogus Removed %v", seed, pr)
+					return false
+				}
+				seenRem[pr] = true
+			}
+			for pr := range after {
+				if !before[pr] && !seenAdd[pr] {
+					t.Logf("seed %d: missed Added %v", seed, pr)
+					return false
+				}
+			}
+			for pr := range before {
+				if !after[pr] && !seenRem[pr] {
+					t.Logf("seed %d: missed Removed %v", seed, pr)
+					return false
+				}
+			}
+			if delta.Aff2 != len(delta.Added)+len(delta.Removed) {
+				return false
+			}
+		}
+		return true
+	}
+	t.Run("dag", func(t *testing.T) {
+		if err := quick.Check(func(s int64) bool { return run(s, false) }, &quick.Config{MaxCount: 40}); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("cyclic", func(t *testing.T) {
+		if err := quick.Check(func(s int64) bool { return run(s, true) }, &quick.Config{MaxCount: 40}); err != nil {
+			t.Error(err)
+		}
+	})
+}

@@ -1,0 +1,188 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpm/internal/graph"
+)
+
+func chain(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestChainDistances(t *testing.T) {
+	g := chain(5)
+	m := New(g)
+	if m.N() != 5 {
+		t.Fatalf("N = %d", m.N())
+	}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			want := j - i
+			if j < i {
+				want = -1
+			}
+			if got := m.Dist(i, j); got != want {
+				t.Errorf("Dist(%d,%d) = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+	for v := 0; v < 5; v++ {
+		if m.Cycle(v) != -1 {
+			t.Errorf("Cycle(%d) = %d on a chain", v, m.Cycle(v))
+		}
+		if m.NonemptyDist(v, v) != -1 {
+			t.Errorf("NonemptyDist(%d,%d) should be -1", v, v)
+		}
+	}
+}
+
+func TestCycleGraph(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	m := New(g)
+	for v := 0; v < 3; v++ {
+		if m.Cycle(v) != 3 {
+			t.Errorf("Cycle(%d) = %d, want 3", v, m.Cycle(v))
+		}
+		if m.NonemptyDist(v, v) != 3 {
+			t.Errorf("NonemptyDist(%d,%d) = %d, want 3", v, v, m.NonemptyDist(v, v))
+		}
+	}
+	if m.Dist(0, 0) != 0 {
+		t.Error("Dist(v,v) must stay 0")
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 0)
+	g.AddEdge(0, 1)
+	m := New(g)
+	if m.Cycle(0) != 1 {
+		t.Errorf("Cycle(0) = %d, want 1", m.Cycle(0))
+	}
+	if m.Cycle(1) != -1 {
+		t.Errorf("Cycle(1) = %d", m.Cycle(1))
+	}
+	if m.NonemptyDist(0, 1) != 1 {
+		t.Errorf("NonemptyDist(0,1) = %d", m.NonemptyDist(0, 1))
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	m := New(graph.New(0))
+	if m.N() != 0 {
+		t.Error("empty matrix")
+	}
+}
+
+func randomGraph(r *rand.Rand, n, m int) *graph.Graph {
+	if m > n*n {
+		m = n * n // every ordered pair incl. self loops
+	}
+	g := graph.New(n)
+	for g.M() < m {
+		g.AddEdge(r.Intn(n), r.Intn(n))
+	}
+	return g
+}
+
+// Property: parallel and sequential construction agree, and every entry
+// matches a fresh BFS.
+func TestParallelMatchesSequentialAndBFS(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(30)
+		g := randomGraph(r, n, r.Intn(3*n))
+		mp := New(g)
+		ms := NewSequential(g)
+		if !mp.Equal(ms) {
+			t.Logf("diff: %v", mp.Diff(ms, 5))
+			return false
+		}
+		for src := 0; src < n; src++ {
+			d := g.BFSDist(src)
+			for v := 0; v < n; v++ {
+				if int32(mp.Dist(src, v)) != d[v] {
+					return false
+				}
+			}
+		}
+		// Cycle vector: cyc[v] == shortest nonempty path v->v by brute BFS
+		// from each successor.
+		for v := 0; v < n; v++ {
+			best := -1
+			for _, w := range g.Out(v) {
+				if dv := g.Dist(int(w), v, -1); dv >= 0 && (best < 0 || dv+1 < best) {
+					best = dv + 1
+				}
+			}
+			if mp.Cycle(v) != best {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneAndSet(t *testing.T) {
+	g := chain(3)
+	m := New(g)
+	c := m.Clone()
+	c.Set(0, 2, 9)
+	c.SetCycle(1, 5)
+	if m.Dist(0, 2) != 2 || m.Cycle(1) != -1 {
+		t.Error("Clone not independent")
+	}
+	if !m.Equal(New(g)) {
+		t.Error("Equal on identical matrices = false")
+	}
+	if m.Equal(c) {
+		t.Error("Equal on different matrices = true")
+	}
+	if len(m.Diff(c, 10)) == 0 {
+		t.Error("Diff found nothing")
+	}
+}
+
+func TestRecomputeCycle(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	m := New(g)
+	if m.Cycle(0) != 2 {
+		t.Fatalf("Cycle(0) = %d", m.Cycle(0))
+	}
+	g.RemoveEdge(1, 0)
+	m.Set(1, 0, -1)
+	if got := m.RecomputeCycle(g, 0); got != -1 {
+		t.Errorf("RecomputeCycle = %d", got)
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	m := New(chain(10))
+	if m.MemoryBytes() != 10*10*4+10*4 {
+		t.Errorf("MemoryBytes = %d", m.MemoryBytes())
+	}
+}
+
+func TestRow(t *testing.T) {
+	m := New(chain(3))
+	row := m.Row(0)
+	if len(row) != 3 || row[2] != 2 {
+		t.Errorf("Row = %v", row)
+	}
+}

@@ -1,0 +1,165 @@
+package pattern
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"gpm/internal/value"
+)
+
+// ParsePredicate parses the surface syntax of fv(u): a conjunction
+// "attr op value && attr op value && ...", where op is one of
+// < <= = == != <> > >=, values are integers, floats, bare words or
+// double-quoted strings, and "*" (or the empty string) is the wildcard.
+//
+// As a shorthand, a conjunct that is a bare word W is label equality
+// "label = W", so "CS" parses as the traditional labeled node.
+func ParsePredicate(s string) (Predicate, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "*" {
+		return Predicate{}, nil
+	}
+	var pred Predicate
+	for _, part := range splitConjuncts(s) {
+		atom, err := parseAtom(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		pred = append(pred, atom)
+	}
+	return pred, nil
+}
+
+// splitConjuncts splits on && outside of double quotes.
+func splitConjuncts(s string) []string {
+	var parts []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '"':
+			depth = !depth
+		case !depth && s[i] == '&' && i+1 < len(s) && s[i+1] == '&':
+			parts = append(parts, s[start:i])
+			i++
+			start = i + 1
+		}
+	}
+	return append(parts, s[start:])
+}
+
+func parseAtom(s string) (Atom, error) {
+	if s == "" {
+		return Atom{}, fmt.Errorf("pattern: empty conjunct")
+	}
+	// Find the operator: the first of < > = ! outside quotes.
+	inQuote := false
+	opStart := -1
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '"' {
+			inQuote = !inQuote
+		}
+		if inQuote {
+			continue
+		}
+		if c == '<' || c == '>' || c == '=' || c == '!' || c == 0xE2 /* ≤ ≥ ≠ first byte */ {
+			opStart = i
+			break
+		}
+	}
+	if opStart < 0 {
+		// Bare word: label shorthand.
+		w := strings.TrimSpace(s)
+		if !isIdent(w) {
+			return Atom{}, fmt.Errorf("pattern: cannot parse conjunct %q", s)
+		}
+		return Atom{Attr: "label", Op: value.OpEQ, Val: value.Str(w)}, nil
+	}
+	opEnd := opStart + 1
+	if s[opStart] == 0xE2 && opStart+3 <= len(s) {
+		opEnd = opStart + 3 // UTF-8 ≤ ≥ ≠ are three bytes
+	} else if opEnd < len(s) && (s[opEnd] == '=' || s[opEnd] == '>') {
+		opEnd++
+	}
+	attr := strings.TrimSpace(s[:opStart])
+	opStr := s[opStart:opEnd]
+	valStr := strings.TrimSpace(s[opEnd:])
+	if attr == "" {
+		return Atom{}, fmt.Errorf("pattern: missing attribute in %q", s)
+	}
+	if !isIdent(attr) {
+		return Atom{}, fmt.Errorf("pattern: bad attribute name %q", attr)
+	}
+	op, err := value.ParseOp(opStr)
+	if err != nil {
+		return Atom{}, fmt.Errorf("pattern: %q: %v", s, err)
+	}
+	if valStr == "" {
+		return Atom{}, fmt.Errorf("pattern: missing value in %q", s)
+	}
+	return Atom{Attr: attr, Op: op, Val: value.Parse(valStr)}, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case unicode.IsLetter(r) || r == '_':
+		case i > 0 && (unicode.IsDigit(r) || r == '.' || r == '-'):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ParseBound parses an edge-bound token: "*" or a positive integer.
+func ParseBound(s string) (int, error) {
+	if s == "*" {
+		return Unbounded, nil
+	}
+	k, err := strconv.Atoi(s)
+	if err != nil || k < 1 {
+		return 0, fmt.Errorf("pattern: bad bound %q (want positive integer or *)", s)
+	}
+	return k, nil
+}
+
+// ParseBoundRange parses the full bound syntax: "*", "k", or the range
+// form "lo..hi". Plain forms return lo = 0.
+func ParseBoundRange(s string) (lo, hi int, err error) {
+	if i := strings.Index(s, ".."); i >= 0 {
+		lo, err = strconv.Atoi(s[:i])
+		if err != nil || lo < 2 {
+			return 0, 0, fmt.Errorf("pattern: bad range lower bound in %q (want integer >= 2)", s)
+		}
+		hi, err = strconv.Atoi(s[i+2:])
+		if err != nil || hi < lo || hi > MaxRangeBound {
+			return 0, 0, fmt.Errorf("pattern: bad range upper bound in %q (want integer in [%d,%d])", s, lo, MaxRangeBound)
+		}
+		return lo, hi, nil
+	}
+	hi, err = ParseBound(s)
+	return 0, hi, err
+}
+
+// FormatBound renders a plain bound in surface syntax.
+func FormatBound(b int) string {
+	if b == Unbounded {
+		return "*"
+	}
+	return strconv.Itoa(b)
+}
+
+// FormatEdgeBound renders an edge's bound, including the range form.
+func FormatEdgeBound(e Edge) string {
+	if e.Ranged() {
+		return fmt.Sprintf("%d..%d", e.MinBound, e.Bound)
+	}
+	return FormatBound(e.Bound)
+}

@@ -1,0 +1,354 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+
+	"gpm/internal/value"
+)
+
+func TestAddNodeEdge(t *testing.T) {
+	p := New()
+	a := p.AddNode(Label("A"))
+	b := p.AddNode(Label("B"))
+	if a != 0 || b != 1 || p.N() != 2 {
+		t.Fatalf("node ids %d %d N=%d", a, b, p.N())
+	}
+	id, err := p.AddEdge(a, b, 3)
+	if err != nil || id != 0 {
+		t.Fatalf("AddEdge: %d, %v", id, err)
+	}
+	if p.EdgeCount() != 1 {
+		t.Fatalf("EdgeCount = %d", p.EdgeCount())
+	}
+	e := p.EdgeAt(0)
+	if e.From != a || e.To != b || e.Bound != 3 {
+		t.Errorf("edge = %+v", e)
+	}
+	if !p.HasEdge(a, b) || p.HasEdge(b, a) {
+		t.Error("HasEdge wrong")
+	}
+	if len(p.Out(a)) != 1 || len(p.In(b)) != 1 || p.OutDegree(b) != 0 {
+		t.Error("adjacency wrong")
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	p := New()
+	p.AddNode(nil)
+	p.AddNode(nil)
+	if _, err := p.AddEdge(0, 5, 1); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := p.AddEdge(0, 1, 0); err == nil {
+		t.Error("bound 0 accepted")
+	}
+	if _, err := p.AddEdge(0, 1, -3); err == nil {
+		t.Error("bound -3 accepted")
+	}
+	if _, err := p.AddEdge(0, 1, Unbounded); err != nil {
+		t.Errorf("unbounded edge rejected: %v", err)
+	}
+	if _, err := p.AddEdge(0, 1, 2); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAddEdge should panic on error")
+		}
+	}()
+	p.MustAddEdge(0, 9, 1)
+}
+
+func TestPredicateMatch(t *testing.T) {
+	pred := Predicate{
+		{Attr: "category", Op: value.OpEQ, Val: value.Str("Music")},
+		{Attr: "rate", Op: value.OpGT, Val: value.Float(3)},
+	}
+	yes := value.Tuple{"category": value.Str("Music"), "rate": value.Float(4.5)}
+	no1 := value.Tuple{"category": value.Str("Comedy"), "rate": value.Float(4.5)}
+	no2 := value.Tuple{"category": value.Str("Music"), "rate": value.Float(2)}
+	no3 := value.Tuple{"rate": value.Float(4.5)} // attribute absent
+	if !pred.Match(yes) {
+		t.Error("should match yes")
+	}
+	for i, tp := range []value.Tuple{no1, no2, no3} {
+		if pred.Match(tp) {
+			t.Errorf("should not match no%d", i+1)
+		}
+	}
+	if !(Predicate{}).Match(nil) {
+		t.Error("empty predicate should match everything")
+	}
+}
+
+func TestLabelPredicate(t *testing.T) {
+	p := Label("CS")
+	if !p.Match(value.Tuple{"label": value.Str("CS")}) {
+		t.Error("label match failed")
+	}
+	if p.Match(value.Tuple{"label": value.Str("Bio")}) {
+		t.Error("label mismatch matched")
+	}
+}
+
+func TestTopoOrderAndDAG(t *testing.T) {
+	p := New()
+	for i := 0; i < 4; i++ {
+		p.AddNode(nil)
+	}
+	p.MustAddEdge(0, 1, 1)
+	p.MustAddEdge(0, 2, 2)
+	p.MustAddEdge(1, 3, 1)
+	p.MustAddEdge(2, 3, Unbounded)
+	if !p.IsDAG() {
+		t.Fatal("diamond should be a DAG")
+	}
+	order, ok := p.TopoOrder()
+	if !ok || len(order) != 4 {
+		t.Fatalf("topo order %v %v", order, ok)
+	}
+	pos := make([]int, 4)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range p.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Errorf("edge %v violates topo order", e)
+		}
+	}
+	p.MustAddEdge(3, 0, 1) // close the cycle
+	if p.IsDAG() {
+		t.Error("cyclic pattern reported as DAG")
+	}
+	if _, ok := p.TopoOrder(); ok {
+		t.Error("TopoOrder on cyclic pattern")
+	}
+}
+
+func TestBoundsHelpers(t *testing.T) {
+	p := New()
+	p.AddNode(nil)
+	p.AddNode(nil)
+	p.AddNode(nil)
+	p.MustAddEdge(0, 1, 3)
+	p.MustAddEdge(1, 2, Unbounded)
+	max, unb := p.MaxBound()
+	if max != 3 || !unb {
+		t.Errorf("MaxBound = %d,%v", max, unb)
+	}
+	if p.AllBoundsOne() {
+		t.Error("AllBoundsOne = true")
+	}
+	q := New()
+	q.AddNode(nil)
+	q.AddNode(nil)
+	q.MustAddEdge(0, 1, 1)
+	if !q.AllBoundsOne() {
+		t.Error("AllBoundsOne = false for bound-1 pattern")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := New()
+	p.AddNode(Label("A"))
+	p.AddNode(Label("B"))
+	p.MustAddEdge(0, 1, 2)
+	c := p.Clone()
+	c.AddNode(Label("C"))
+	c.MustAddEdge(1, 2, 1)
+	if p.N() != 2 || p.EdgeCount() != 1 {
+		t.Error("clone mutated original")
+	}
+	if c.N() != 3 || c.EdgeCount() != 2 {
+		t.Error("clone incomplete")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := New()
+	if p.Validate() == nil {
+		t.Error("empty pattern should not validate")
+	}
+	p.AddNode(nil)
+	if err := p.Validate(); err != nil {
+		t.Errorf("single node: %v", err)
+	}
+}
+
+func TestColoredEdges(t *testing.T) {
+	p := New()
+	p.AddNode(nil)
+	p.AddNode(nil)
+	if _, err := p.AddColoredEdge(0, 1, 2, "friend"); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Colored() {
+		t.Error("Colored = false")
+	}
+	if e := p.EdgeAt(0); e.Color != "friend" {
+		t.Errorf("color = %q", e.Color)
+	}
+	if !strings.Contains(p.EdgeAt(0).String(), "friend") {
+		t.Error("edge String misses color")
+	}
+}
+
+func TestParsePredicate(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // re-rendered form; "" means parse error expected
+	}{
+		{"*", "*"},
+		{"", "*"},
+		{"CS", "label = CS"},
+		{"label = CS", "label = CS"},
+		{`category = "Travel & Places"`, `category = "Travel & Places"`},
+		{"age < 500 && category = Music", "age < 500 && category = Music"},
+		{"rate > 4.5", "rate > 4.5"},
+		{"views >= 700 && comments != 16", "views >= 700 && comments != 16"},
+		{"x <= 3 && y >= 2 && z <> 9", "x <= 3 && y >= 2 && z != 9"},
+		{"a == 1", "a = 1"},
+		{"bad attr = 1", ""},
+		{"= 5", ""},
+		{"x <", ""},
+		{"x ! 5", ""},
+		{"&&", ""},
+		{"a = 1 &&", ""},
+	}
+	for _, c := range cases {
+		p, err := ParsePredicate(c.in)
+		if c.want == "" {
+			if err == nil {
+				t.Errorf("ParsePredicate(%q) should fail, got %q", c.in, p.String())
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParsePredicate(%q): %v", c.in, err)
+			continue
+		}
+		if got := p.String(); got != c.want {
+			t.Errorf("ParsePredicate(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParsePredicateRoundTrip(t *testing.T) {
+	preds := []Predicate{
+		{},
+		Label("AM"),
+		{{Attr: "age", Op: value.OpLT, Val: value.Int(500)}, {Attr: "cat", Op: value.OpEQ, Val: value.Str("People")}},
+		{{Attr: "rate", Op: value.OpGE, Val: value.Float(4.5)}},
+	}
+	for _, p := range preds {
+		q, err := ParsePredicate(p.String())
+		if err != nil {
+			t.Fatalf("round trip %q: %v", p.String(), err)
+		}
+		if q.String() != p.String() {
+			t.Errorf("round trip %q -> %q", p.String(), q.String())
+		}
+	}
+}
+
+func TestParseBound(t *testing.T) {
+	if b, err := ParseBound("*"); err != nil || b != Unbounded {
+		t.Errorf("ParseBound(*) = %d,%v", b, err)
+	}
+	if b, err := ParseBound("7"); err != nil || b != 7 {
+		t.Errorf("ParseBound(7) = %d,%v", b, err)
+	}
+	for _, s := range []string{"0", "-1", "x", ""} {
+		if _, err := ParseBound(s); err == nil {
+			t.Errorf("ParseBound(%q) should fail", s)
+		}
+	}
+	if FormatBound(Unbounded) != "*" || FormatBound(4) != "4" {
+		t.Error("FormatBound wrong")
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	p := New()
+	p.AddNode(Label("B"))
+	p.AddNode(Label("AM"))
+	p.MustAddEdge(0, 1, 1)
+	s := p.String()
+	if !strings.Contains(s, "label = B") || !strings.Contains(s, "0->1[1]") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestRangeEdges(t *testing.T) {
+	p := New()
+	p.AddNode(nil)
+	p.AddNode(nil)
+	if _, err := p.AddRangeEdge(0, 1, 2, 5, ""); err != nil {
+		t.Fatal(err)
+	}
+	e := p.EdgeAt(0)
+	if !e.Ranged() || e.MinBound != 2 || e.Bound != 5 {
+		t.Errorf("edge = %+v", e)
+	}
+	if !p.Ranged() {
+		t.Error("Ranged() = false")
+	}
+	if e.String() != "0->1[2..5]" {
+		t.Errorf("String = %q", e.String())
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	c := p.Clone()
+	if !c.EdgeAt(0).Ranged() || c.EdgeAt(0).MinBound != 2 {
+		t.Error("Clone dropped the range")
+	}
+	// Invalid ranges.
+	q := New()
+	q.AddNode(nil)
+	q.AddNode(nil)
+	for _, bad := range [][2]int{{1, 5}, {0, 5}, {3, 2}, {2, MaxRangeBound + 1}} {
+		if _, err := q.AddRangeEdge(0, 1, bad[0], bad[1], ""); err == nil {
+			t.Errorf("range %v accepted", bad)
+		}
+	}
+	if _, err := q.AddRangeEdge(0, 1, 2, Unbounded, ""); err == nil {
+		t.Error("unbounded upper range accepted")
+	}
+}
+
+func TestParseBoundRange(t *testing.T) {
+	cases := []struct {
+		in     string
+		lo, hi int
+		ok     bool
+	}{
+		{"*", 0, Unbounded, true},
+		{"4", 0, 4, true},
+		{"2..5", 2, 5, true},
+		{"2..2", 2, 2, true},
+		{"1..5", 0, 0, false},  // lo must be >= 2
+		{"5..2", 0, 0, false},  // inverted
+		{"2..*", 0, 0, false},  // open upper end not allowed
+		{"2..99", 0, 0, false}, // beyond MaxRangeBound
+		{"a..b", 0, 0, false},
+	}
+	for _, c := range cases {
+		lo, hi, err := ParseBoundRange(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseBoundRange(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && (lo != c.lo || hi != c.hi) {
+			t.Errorf("ParseBoundRange(%q) = %d,%d want %d,%d", c.in, lo, hi, c.lo, c.hi)
+		}
+	}
+	p := New()
+	p.AddNode(nil)
+	p.AddNode(nil)
+	p.AddRangeEdge(0, 1, 3, 7, "")
+	if got := FormatEdgeBound(p.EdgeAt(0)); got != "3..7" {
+		t.Errorf("FormatEdgeBound = %q", got)
+	}
+}

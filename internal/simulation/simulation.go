@@ -1,0 +1,178 @@
+// Package simulation implements plain graph simulation in the style of
+// Henzinger, Henzinger and Kopke (FOCS 1995): the special case of bounded
+// simulation in which every pattern edge has bound 1, so pattern edges map
+// to single data edges (paper §2.2, remark 2). It runs in
+// O((|V|+|Vp|)(|E|+|Ep|)) time and serves both as a baseline and as a
+// cross-check for the bounded algorithm.
+package simulation
+
+import (
+	"fmt"
+	"sort"
+
+	"gpm/internal/graph"
+	"gpm/internal/pattern"
+)
+
+// Run computes the maximum plain simulation of p in g. The returned
+// relation lists, per pattern node, the sorted data nodes that simulate
+// it; ok reports whether every pattern node kept at least one match.
+// Patterns must have all edge bounds equal to 1.
+func Run(p *pattern.Pattern, g *graph.Graph) (rel [][]int32, ok bool, err error) {
+	if !p.AllBoundsOne() {
+		return nil, false, fmt.Errorf("simulation: pattern has a bound != 1; use bounded simulation")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, false, err
+	}
+	np, n := p.N(), g.N()
+
+	// sim[u] as a bitmap plus membership count.
+	sim := make([][]bool, np)
+	size := make([]int, np)
+	for u := 0; u < np; u++ {
+		sim[u] = make([]bool, n)
+		pred := p.Pred(u)
+		for x := 0; x < n; x++ {
+			if pred.Match(g.Attr(x)) {
+				sim[u][x] = true
+				size[u]++
+			}
+		}
+	}
+
+	// cnt[eid][x] = |{y in out(x) (color-compatible) : sim[to(eid)][y]}|.
+	cnt := make([][]int32, p.EdgeCount())
+	type removal struct {
+		u int
+		x int32
+	}
+	var work []removal
+	for eid := 0; eid < p.EdgeCount(); eid++ {
+		e := p.EdgeAt(int(eid))
+		c := make([]int32, n)
+		for x := 0; x < n; x++ {
+			if !sim[e.From][x] {
+				continue
+			}
+			for _, y := range g.Out(x) {
+				if !edgeColorOK(g, x, int(y), e.Color) {
+					continue
+				}
+				if sim[e.To][y] {
+					c[x]++
+				}
+			}
+			if c[x] == 0 {
+				work = append(work, removal{e.From, int32(x)})
+			}
+		}
+		cnt[eid] = c
+	}
+
+	// Worklist refinement: removing x from sim[u] may zero counters of its
+	// predecessors for every pattern edge entering u.
+	for len(work) > 0 {
+		rm := work[len(work)-1]
+		work = work[:len(work)-1]
+		if !sim[rm.u][rm.x] {
+			continue
+		}
+		sim[rm.u][rm.x] = false
+		size[rm.u]--
+		for _, eid := range p.In(rm.u) {
+			e := p.EdgeAt(int(eid))
+			c := cnt[eid]
+			for _, w := range g.In(int(rm.x)) {
+				if !sim[e.From][w] {
+					continue
+				}
+				if !edgeColorOK(g, int(w), int(rm.x), e.Color) {
+					continue
+				}
+				c[w]--
+				if c[w] == 0 {
+					work = append(work, removal{e.From, w})
+				}
+			}
+		}
+	}
+
+	rel = make([][]int32, np)
+	ok = true
+	for u := 0; u < np; u++ {
+		for x := 0; x < n; x++ {
+			if sim[u][x] {
+				rel[u] = append(rel[u], int32(x))
+			}
+		}
+		if len(rel[u]) == 0 {
+			ok = false
+		}
+	}
+	return rel, ok, nil
+}
+
+func edgeColorOK(g *graph.Graph, u, v int, want string) bool {
+	if want == "" {
+		return true
+	}
+	c, _ := g.Color(u, v)
+	return c == want
+}
+
+// RunNaive is the textbook fixpoint: repeatedly delete pairs (u, x) for
+// which some pattern edge has no witness, until stable. Exponentially
+// simpler to audit than Run; tests compare the two.
+func RunNaive(p *pattern.Pattern, g *graph.Graph) (rel [][]int32, ok bool, err error) {
+	if !p.AllBoundsOne() {
+		return nil, false, fmt.Errorf("simulation: pattern has a bound != 1")
+	}
+	np, n := p.N(), g.N()
+	sim := make([][]bool, np)
+	for u := 0; u < np; u++ {
+		sim[u] = make([]bool, n)
+		for x := 0; x < n; x++ {
+			sim[u][x] = p.Pred(u).Match(g.Attr(x))
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for u := 0; u < np; u++ {
+			for x := 0; x < n; x++ {
+				if !sim[u][x] {
+					continue
+				}
+				for _, eid := range p.Out(u) {
+					e := p.EdgeAt(int(eid))
+					found := false
+					for _, y := range g.Out(x) {
+						if sim[e.To][y] && edgeColorOK(g, x, int(y), e.Color) {
+							found = true
+							break
+						}
+					}
+					if !found {
+						sim[u][x] = false
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+	rel = make([][]int32, np)
+	ok = true
+	for u := 0; u < np; u++ {
+		for x := 0; x < n; x++ {
+			if sim[u][x] {
+				rel[u] = append(rel[u], int32(x))
+			}
+		}
+		sort.Slice(rel[u], func(i, j int) bool { return rel[u][i] < rel[u][j] })
+		if len(rel[u]) == 0 {
+			ok = false
+		}
+	}
+	return rel, ok, nil
+}

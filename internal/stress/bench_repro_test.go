@@ -1,0 +1,65 @@
+package stress
+
+import (
+	"testing"
+
+	"gpm/internal/core"
+	"gpm/internal/datasets"
+	"gpm/internal/generator"
+	"gpm/internal/incremental"
+)
+
+// TestBenchFig6iRepro replays the exact Fig. 6(i) harness workload that
+// exposed an order-dependent divergence (found via the harness's builtin
+// incremental-vs-batch cross-check). Run with -count to vary map orders.
+func TestBenchFig6iRepro(t *testing.T) {
+	const seed = 20100913
+	g, err := datasets.ByName("youtube", seed, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p = generator.Pattern(generator.PatternConfig{
+		Nodes: 4, Edges: 4, K: 3, C: 2, PredAttrs: 2, Seed: seed + 4,
+	}, g)
+	for shift := int64(0); !p.IsDAG(); shift++ {
+		p = generator.Pattern(generator.PatternConfig{
+			Nodes: 4, Edges: 4, K: 3, C: 2, PredAttrs: 2, Seed: seed + shift*977 + 4,
+		}, g)
+	}
+	for _, raw := range []int{400, 800, 1200, 1600, 2000, 2400, 2800, 3200} {
+		size := int(float64(raw) * 0.02)
+		if size < 4 {
+			size = 4
+		}
+		ins := size / 2
+		del := size - ins
+		gInc := g.Clone()
+		dm := incremental.NewDynMatrix(gInc)
+		m, err := incremental.NewMatcher(p, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ups := generator.Updates(generator.UpdatesConfig{
+			Insertions: ins, Deletions: del, Seed: seed + int64(raw),
+		}, gInc)
+		if _, err := m.Apply(ups); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		want, err := core.Match(p, gInc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !relEqual(m.Relation(), want.Relation()) {
+			inc, bat := m.Relation(), want.Relation()
+			for u := range inc {
+				if len(inc[u]) != len(bat[u]) {
+					t.Logf("node %d: inc %v bat %v", u, inc[u], bat[u])
+				}
+			}
+			t.Fatalf("size %d: diverged\npattern:\n%s", size, p)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("size %d: invariants: %v", size, err)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Package stress cross-checks the incremental matcher against the batch
+// algorithm on harness-shaped workloads (dataset-like graphs, generated
+// patterns, large mixed batches). It lives outside internal/incremental
+// because it needs internal/generator, which itself depends on the
+// incremental Update type.
+package stress
+
+import (
+	"math/rand"
+	"testing"
+
+	"gpm/internal/core"
+	"gpm/internal/generator"
+	"gpm/internal/incremental"
+	"gpm/internal/matrix"
+)
+
+func relEqual(a, b [][]int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestMatcherStressLikeBench reproduces the harness workload at small
+// scale: power-law graphs, walk-generated DAG patterns with mixed bounds,
+// and larger mixed update batches. Repeated runs shake out order
+// dependence from map iteration.
+func TestMatcherStressLikeBench(t *testing.T) {
+	for round := 0; round < 30; round++ {
+		seed := int64(round*131 + 7)
+		g := generator.Graph(generator.GraphConfig{
+			Nodes: 80, Edges: 320, Attrs: 6, Model: generator.PowerLaw, Seed: seed,
+		})
+		p := generator.Pattern(generator.PatternConfig{
+			Nodes: 4, Edges: 4, K: 3, C: 2, PredAttrs: 2, Seed: seed,
+		}, g)
+		if !p.IsDAG() {
+			continue
+		}
+		gInc := g.Clone()
+		dm := incremental.NewDynMatrix(gInc)
+		m, err := incremental.NewMatcher(p, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(seed))
+		for batch := 0; batch < 4; batch++ {
+			ups := generator.Updates(generator.UpdatesConfig{
+				Insertions: 4 + r.Intn(12), Deletions: 4 + r.Intn(12), Seed: seed + int64(batch),
+			}, gInc)
+			if _, err := m.Apply(ups); err != nil {
+				t.Fatalf("round %d batch %d: %v", round, batch, err)
+			}
+			if !dm.Matrix().Equal(matrix.New(gInc)) {
+				t.Fatalf("round %d batch %d: matrix diverged: %v",
+					round, batch, dm.Matrix().Diff(matrix.New(gInc), 8))
+			}
+			want, err := core.Match(p, gInc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !relEqual(m.Relation(), want.Relation()) {
+				t.Fatalf("round %d batch %d seed %d: relation diverged\n inc %v\n bat %v\npattern:\n%s",
+					round, batch, seed, m.Relation(), want.Relation(), p)
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("round %d batch %d: %v", round, batch, err)
+			}
+		}
+	}
+}

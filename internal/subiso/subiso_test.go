@@ -1,0 +1,239 @@
+package subiso
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"gpm/internal/graph"
+	"gpm/internal/pattern"
+	"gpm/internal/value"
+)
+
+func labeled(labels ...string) *graph.Graph {
+	g := graph.New(0)
+	for _, l := range labels {
+		g.AddNode(graph.Attrs{"label": value.Str(l)})
+	}
+	return g
+}
+
+func edgePattern(labels []string, edges [][2]int) *pattern.Pattern {
+	p := pattern.New()
+	for _, l := range labels {
+		p.AddNode(pattern.Label(l))
+	}
+	for _, e := range edges {
+		p.MustAddEdge(e[0], e[1], 1)
+	}
+	return p
+}
+
+func TestSingleEmbedding(t *testing.T) {
+	g := labeled("A", "B", "C")
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	p := edgePattern([]string{"A", "B"}, [][2]int{{0, 1}})
+	for name, f := range map[string]func(*pattern.Pattern, *graph.Graph, Options) *Enumeration{"vf2": VF2, "ullmann": Ullmann} {
+		e := f(p, g, Options{})
+		if !e.Complete || len(e.Embeddings) != 1 {
+			t.Errorf("%s: %d embeddings, complete=%v", name, len(e.Embeddings), e.Complete)
+			continue
+		}
+		if e.Embeddings[0][0] != 0 || e.Embeddings[0][1] != 1 {
+			t.Errorf("%s: embedding %v", name, e.Embeddings[0])
+		}
+	}
+}
+
+func TestInjectivity(t *testing.T) {
+	// Pattern A->A over a 2-cycle: bijective mapping requires two distinct
+	// A nodes (2 embeddings); a self-loop graph yields none.
+	p := edgePattern([]string{"A", "A"}, [][2]int{{0, 1}})
+	cyc := labeled("A", "A")
+	cyc.AddEdge(0, 1)
+	cyc.AddEdge(1, 0)
+	e := VF2(p, cyc, Options{})
+	if len(e.Embeddings) != 2 {
+		t.Errorf("2-cycle embeddings = %d, want 2", len(e.Embeddings))
+	}
+	loop := labeled("A")
+	loop.AddEdge(0, 0)
+	e = VF2(p, loop, Options{})
+	if len(e.Embeddings) != 0 {
+		t.Errorf("self-loop should give no injective embedding, got %d", len(e.Embeddings))
+	}
+}
+
+func TestMonomorphismNotInduced(t *testing.T) {
+	// Extra data edges are fine: pattern A->B must embed into a graph that
+	// also has B->A.
+	p := edgePattern([]string{"A", "B"}, [][2]int{{0, 1}})
+	g := labeled("A", "B")
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	if e := VF2(p, g, Options{}); len(e.Embeddings) != 1 {
+		t.Errorf("embeddings = %d", len(e.Embeddings))
+	}
+}
+
+func TestNoCandidates(t *testing.T) {
+	p := edgePattern([]string{"Z"}, nil)
+	g := labeled("A")
+	for name, f := range map[string]func(*pattern.Pattern, *graph.Graph, Options) *Enumeration{"vf2": VF2, "ullmann": Ullmann} {
+		if e := f(p, g, Options{}); len(e.Embeddings) != 0 || !e.Complete {
+			t.Errorf("%s: want empty complete enumeration", name)
+		}
+	}
+}
+
+func TestBudgets(t *testing.T) {
+	// A clique of As with a 2-node pattern explodes combinatorially; the
+	// budgets must stop it and flag incompleteness.
+	g := labeled("A", "A", "A", "A", "A", "A")
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if i != j {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	p := edgePattern([]string{"A", "A"}, [][2]int{{0, 1}})
+	e := VF2(p, g, Options{MaxEmbeddings: 5})
+	if e.Complete || len(e.Embeddings) != 5 {
+		t.Errorf("MaxEmbeddings: %d complete=%v", len(e.Embeddings), e.Complete)
+	}
+	e = VF2(p, g, Options{MaxSteps: 3})
+	if e.Complete {
+		t.Error("MaxSteps did not trigger")
+	}
+}
+
+func TestColoredEdges(t *testing.T) {
+	g := labeled("A", "B", "B")
+	g.AddColoredEdge(0, 1, "friend")
+	g.AddColoredEdge(0, 2, "work")
+	p := pattern.New()
+	p.AddNode(pattern.Label("A"))
+	p.AddNode(pattern.Label("B"))
+	if _, err := p.AddColoredEdge(0, 1, 1, "friend"); err != nil {
+		t.Fatal(err)
+	}
+	e := VF2(p, g, Options{})
+	if len(e.Embeddings) != 1 || e.Embeddings[0][1] != 1 {
+		t.Errorf("colored embeddings: %v", e.Embeddings)
+	}
+}
+
+func TestPairsPerNode(t *testing.T) {
+	g := labeled("A", "B", "B")
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	p := edgePattern([]string{"A", "B"}, [][2]int{{0, 1}})
+	e := VF2(p, g, Options{})
+	pairs := e.PairsPerNode(2)
+	if len(pairs[0]) != 1 || len(pairs[1]) != 2 {
+		t.Errorf("PairsPerNode = %v", pairs)
+	}
+}
+
+// bruteForce enumerates all injective assignments and filters.
+func bruteForce(p *pattern.Pattern, g *graph.Graph) [][]int32 {
+	var out [][]int32
+	assign := make([]int32, p.N())
+	used := make([]bool, g.N())
+	var rec func(u int)
+	rec = func(u int) {
+		if u == p.N() {
+			for _, e := range p.Edges() {
+				if !g.HasEdge(int(assign[e.From]), int(assign[e.To])) {
+					return
+				}
+			}
+			out = append(out, append([]int32(nil), assign...))
+			return
+		}
+		for x := 0; x < g.N(); x++ {
+			if used[x] || !p.Pred(u).Match(g.Attr(x)) {
+				continue
+			}
+			assign[u] = int32(x)
+			used[x] = true
+			rec(u + 1)
+			used[x] = false
+		}
+	}
+	rec(0)
+	return out
+}
+
+func canon(embs [][]int32) []string {
+	keys := make([]string, len(embs))
+	for i, e := range embs {
+		b := make([]byte, 0, len(e)*3)
+		for _, x := range e {
+			b = append(b, byte(x), ',')
+		}
+		keys[i] = string(b)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Property: VF2, Ullmann and brute force agree on random small inputs.
+func TestAgainstBruteForce(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(7)
+		g := labeled()
+		for i := 0; i < n; i++ {
+			g.AddNode(graph.Attrs{"label": value.Str(string(rune('A' + r.Intn(2))))})
+		}
+		m := r.Intn(2 * n)
+		if m > n*n {
+			m = n * n
+		}
+		for g.M() < m {
+			g.AddEdge(r.Intn(n), r.Intn(n))
+		}
+		np := 1 + r.Intn(3)
+		p := pattern.New()
+		for i := 0; i < np; i++ {
+			p.AddNode(pattern.Label(string(rune('A' + r.Intn(2)))))
+		}
+		for tries := 0; tries < 6; tries++ {
+			p.AddEdge(r.Intn(np), r.Intn(np), 1)
+		}
+		want := canon(bruteForce(p, g))
+		v := canon(VF2(p, g, Options{}).Embeddings)
+		u := canon(Ullmann(p, g, Options{}).Embeddings)
+		if len(v) != len(want) || len(u) != len(want) {
+			t.Logf("seed %d: brute=%d vf2=%d ull=%d", seed, len(want), len(v), len(u))
+			return false
+		}
+		for i := range want {
+			if v[i] != want[i] || u[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelfLoopPatternEdge(t *testing.T) {
+	// Pattern with a self-loop edge (u,u) needs a data self-loop.
+	p := pattern.New()
+	p.AddNode(pattern.Label("A"))
+	p.MustAddEdge(0, 0, 1)
+	g := labeled("A", "A")
+	g.AddEdge(0, 0)
+	g.AddEdge(0, 1)
+	e := VF2(p, g, Options{})
+	if len(e.Embeddings) != 1 || e.Embeddings[0][0] != 0 {
+		t.Errorf("self-loop embeddings: %v", e.Embeddings)
+	}
+}

@@ -1,0 +1,156 @@
+// Package twohop builds a 2-hop reachability labelling (Cohen, Halperin,
+// Kaplan, Zwick; computed here with pruned landmark labelling) over a data
+// graph. The paper's "2-hop" Match variant uses it as a cheap filter: if
+// the labels say u cannot reach v, no distance query is needed; otherwise
+// a BFS computes the exact distance (appendix, "2-hop labeling").
+//
+// Every node v carries Lin(v) and Lout(v); u reaches v iff u == v, or
+// v ∈ Lout(u), or u ∈ Lin(v), or Lout(u) ∩ Lin(v) ≠ ∅.
+package twohop
+
+import (
+	"sort"
+
+	"gpm/internal/graph"
+)
+
+// Index is an immutable 2-hop reachability labelling.
+type Index struct {
+	lin  [][]int32 // hubs that reach v, sorted
+	lout [][]int32 // hubs reachable from v, sorted
+}
+
+// Build constructs the labelling by pruned BFS from each node in
+// descending-degree order. Construction is O(V·E) worst case but far
+// cheaper in practice; queries are linear in label size.
+func Build(g *graph.Graph) *Index {
+	n := g.N()
+	idx := &Index{lin: make([][]int32, n), lout: make([][]int32, n)}
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da := g.OutDegree(int(order[a])) + g.InDegree(int(order[a]))
+		db := g.OutDegree(int(order[b])) + g.InDegree(int(order[b]))
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+	visited := make([]bool, n)
+	queue := make([]int32, 0, n)
+	for _, h := range order {
+		// Forward pruned BFS: h joins Lin(w) for every w it newly covers.
+		queue = queue[:0]
+		queue = append(queue, h)
+		visited[h] = true
+		for head := 0; head < len(queue); head++ {
+			w := queue[head]
+			if w != h {
+				if idx.Reachable(int(h), int(w)) {
+					continue // already covered; prune subtree
+				}
+				idx.lin[w] = append(idx.lin[w], h)
+			}
+			for _, x := range g.Out(int(w)) {
+				if !visited[x] {
+					visited[x] = true
+					queue = append(queue, x)
+				}
+			}
+		}
+		clearVisited(visited, queue)
+		// Backward pruned BFS: h joins Lout(w) for every w that newly
+		// reaches it.
+		queue = queue[:0]
+		queue = append(queue, h)
+		visited[h] = true
+		for head := 0; head < len(queue); head++ {
+			w := queue[head]
+			if w != h {
+				if idx.Reachable(int(w), int(h)) {
+					continue
+				}
+				idx.lout[w] = append(idx.lout[w], h)
+			}
+			for _, x := range g.In(int(w)) {
+				if !visited[x] {
+					visited[x] = true
+					queue = append(queue, x)
+				}
+			}
+		}
+		clearVisited(visited, queue)
+	}
+	for v := 0; v < n; v++ {
+		sortLabel(idx.lin[v])
+		sortLabel(idx.lout[v])
+	}
+	return idx
+}
+
+func clearVisited(visited []bool, queue []int32) {
+	for _, v := range queue {
+		visited[v] = false
+	}
+}
+
+func sortLabel(l []int32) {
+	sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+}
+
+// Reachable reports whether v is reachable from u (reflexively).
+func (idx *Index) Reachable(u, v int) bool {
+	if u == v {
+		return true
+	}
+	if containsSorted(idx.lout[u], int32(v)) || containsSorted(idx.lin[v], int32(u)) {
+		return true
+	}
+	return intersectsSorted(idx.lout[u], idx.lin[v])
+}
+
+// ReachableNonempty reports whether there is a nonempty path from u to v:
+// plain reachability when u != v, a cycle through u otherwise.
+func (idx *Index) ReachableNonempty(g *graph.Graph, u, v int) bool {
+	if u != v {
+		return idx.Reachable(u, v)
+	}
+	for _, w := range g.Out(u) {
+		if idx.Reachable(int(w), u) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsSorted(l []int32, x int32) bool {
+	i := sort.Search(len(l), func(i int) bool { return l[i] >= x })
+	return i < len(l) && l[i] == x
+}
+
+func intersectsSorted(a, b []int32) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// LabelEntries returns the total number of label entries — the index size
+// statistic the 2-hop literature reports.
+func (idx *Index) LabelEntries() int {
+	total := 0
+	for v := range idx.lin {
+		total += len(idx.lin[v]) + len(idx.lout[v])
+	}
+	return total
+}

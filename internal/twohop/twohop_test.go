@@ -1,0 +1,119 @@
+package twohop
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpm/internal/graph"
+)
+
+func TestChain(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	idx := Build(g)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := j >= i
+			if got := idx.Reachable(i, j); got != want {
+				t.Errorf("Reachable(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+	if idx.ReachableNonempty(g, 1, 1) {
+		t.Error("chain node should have no cycle")
+	}
+	if !idx.ReachableNonempty(g, 0, 3) {
+		t.Error("0 should reach 3 nonempty")
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	idx := Build(g)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if !idx.Reachable(i, j) {
+				t.Errorf("Reachable(%d,%d) = false in a cycle", i, j)
+			}
+		}
+		if !idx.ReachableNonempty(g, i, i) {
+			t.Errorf("ReachableNonempty(%d,%d) = false in a cycle", i, i)
+		}
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	idx := Build(g)
+	if idx.Reachable(0, 2) || idx.Reachable(2, 1) || idx.Reachable(1, 0) {
+		t.Error("reachability across components")
+	}
+	if !idx.Reachable(0, 1) || !idx.Reachable(2, 3) {
+		t.Error("missing within-component reachability")
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 0)
+	idx := Build(g)
+	if !idx.ReachableNonempty(g, 0, 0) {
+		t.Error("self loop should give nonempty self-reachability")
+	}
+	if idx.ReachableNonempty(g, 1, 1) {
+		t.Error("node 1 has no cycle")
+	}
+}
+
+// Property: label-based reachability equals BFS reachability on random
+// graphs, for all pairs.
+func TestAgainstBFS(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(25)
+		g := graph.New(n)
+		m := r.Intn(3 * n)
+		if m > n*n {
+			m = n * n
+		}
+		for g.M() < m {
+			g.AddEdge(r.Intn(n), r.Intn(n))
+		}
+		idx := Build(g)
+		for u := 0; u < n; u++ {
+			d := g.BFSDist(u)
+			for v := 0; v < n; v++ {
+				if idx.Reachable(u, v) != (d[v] >= 0) {
+					t.Logf("seed %d: Reachable(%d,%d) = %v, bfs %d", seed, u, v, idx.Reachable(u, v), d[v])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLabelEntries(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	idx := Build(g)
+	if idx.LabelEntries() <= 0 {
+		t.Error("no label entries on a connected chain")
+	}
+	empty := Build(graph.New(3))
+	if empty.LabelEntries() != 0 {
+		t.Error("labels on an edgeless graph")
+	}
+}

@@ -1,0 +1,273 @@
+// Package value provides the typed attribute values carried by data-graph
+// nodes and compared by pattern predicates.
+//
+// A Value is one of three kinds: integer, float or string. Numeric kinds
+// compare with each other; strings compare lexicographically with strings
+// only. Tuple is the attribute tuple fA(v) of the paper: a named set of
+// values describing one node.
+package value
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The supported value kinds.
+const (
+	KindInt Kind = iota
+	KindFloat
+	KindString
+)
+
+// String returns the lower-case kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is an immutable typed constant: the a_i of an attribute A_i = a_i.
+// The zero Value is the integer 0.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+}
+
+// Int returns an integer Value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float returns a float Value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// Str returns a string Value.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Kind reports the dynamic kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// AsInt returns the integer payload; ok is false for non-integer values.
+func (v Value) AsInt() (int64, bool) { return v.i, v.kind == KindInt }
+
+// AsFloat returns the value as a float64. Integers convert; ok is false
+// for strings.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.kind {
+	case KindFloat:
+		return v.f, true
+	case KindInt:
+		return float64(v.i), true
+	default:
+		return 0, false
+	}
+}
+
+// AsString returns the string payload; ok is false for non-string values.
+func (v Value) AsString() (string, bool) { return v.s, v.kind == KindString }
+
+// String renders the value as it appears in the text formats: integers and
+// floats bare, strings double-quoted when they could be misread.
+func (v Value) String() string {
+	switch v.kind {
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	default:
+		if needsQuoting(v.s) {
+			return strconv.Quote(v.s)
+		}
+		return v.s
+	}
+}
+
+func needsQuoting(s string) bool {
+	if s == "" {
+		return true
+	}
+	if _, err := strconv.ParseFloat(s, 64); err == nil {
+		return true // would re-parse as a number
+	}
+	return strings.ContainsAny(s, " \t\"=<>!&,()")
+}
+
+// Parse interprets s as a Value: an int64 if it parses as one, otherwise a
+// float64 if it parses as one, otherwise a (possibly quoted) string.
+func Parse(s string) Value {
+	if len(s) >= 2 && s[0] == '"' {
+		if uq, err := strconv.Unquote(s); err == nil {
+			return Str(uq)
+		}
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return Int(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return Float(f)
+	}
+	return Str(s)
+}
+
+// Equal reports whether v and w are equal under Compare semantics
+// (numerics compare across kinds, so Int(1) equals Float(1)).
+func (v Value) Equal(w Value) bool {
+	c, ok := Compare(v, w)
+	return ok && c == 0
+}
+
+// Compare orders two values: -1, 0 or +1. ok is false when the values are
+// incomparable (a string against a number).
+func Compare(a, b Value) (cmp int, ok bool) {
+	if a.kind == KindString || b.kind == KindString {
+		if a.kind != KindString || b.kind != KindString {
+			return 0, false
+		}
+		return strings.Compare(a.s, b.s), true
+	}
+	if a.kind == KindInt && b.kind == KindInt {
+		switch {
+		case a.i < b.i:
+			return -1, true
+		case a.i > b.i:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	af, _ := a.AsFloat()
+	bf, _ := b.AsFloat()
+	switch {
+	case af < bf:
+		return -1, true
+	case af > bf:
+		return 1, true
+	default:
+		return 0, true
+	}
+}
+
+// Op is one of the six comparison operators of pattern predicates.
+type Op uint8
+
+// The comparison operators (paper §2.1: <, ≤, =, ≠, >, ≥).
+const (
+	OpLT Op = iota
+	OpLE
+	OpEQ
+	OpNE
+	OpGT
+	OpGE
+)
+
+var opNames = [...]string{"<", "<=", "=", "!=", ">", ">="}
+
+// String returns the operator's surface syntax.
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(op))
+}
+
+// ParseOp recognises the surface syntax of the six operators, accepting
+// the common aliases ==, <>, ≤, ≥ and ≠.
+func ParseOp(s string) (Op, error) {
+	switch s {
+	case "<":
+		return OpLT, nil
+	case "<=", "≤":
+		return OpLE, nil
+	case "=", "==":
+		return OpEQ, nil
+	case "!=", "<>", "≠":
+		return OpNE, nil
+	case ">":
+		return OpGT, nil
+	case ">=", "≥":
+		return OpGE, nil
+	default:
+		return 0, fmt.Errorf("value: unknown comparison operator %q", s)
+	}
+}
+
+// Apply evaluates "a op b". Incomparable operands yield false for every
+// operator except !=, which yields true (values of different kinds are
+// certainly not equal).
+func (op Op) Apply(a, b Value) bool {
+	c, ok := Compare(a, b)
+	if !ok {
+		return op == OpNE
+	}
+	switch op {
+	case OpLT:
+		return c < 0
+	case OpLE:
+		return c <= 0
+	case OpEQ:
+		return c == 0
+	case OpNE:
+		return c != 0
+	case OpGT:
+		return c > 0
+	case OpGE:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// Tuple is an attribute tuple fA(v): attribute name to value.
+type Tuple map[string]Value
+
+// Get returns the value of attribute name, with ok=false when absent.
+func (t Tuple) Get(name string) (Value, bool) {
+	v, ok := t[name]
+	return v, ok
+}
+
+// Clone returns an independent copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	if t == nil {
+		return nil
+	}
+	c := make(Tuple, len(t))
+	for k, v := range t {
+		c[k] = v
+	}
+	return c
+}
+
+// Keys returns the attribute names in sorted order.
+func (t Tuple) Keys() []string {
+	ks := make([]string, 0, len(t))
+	for k := range t {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// String renders the tuple as "k1=v1 k2=v2 ..." with sorted keys.
+func (t Tuple) String() string {
+	var b strings.Builder
+	for i, k := range t.Keys() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", k, t[k].String())
+	}
+	return b.String()
+}

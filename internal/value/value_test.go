@@ -1,0 +1,281 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{KindInt: "int", KindFloat: "float", KindString: "string", Kind(9): "Kind(9)"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if v := Int(42); v.Kind() != KindInt {
+		t.Errorf("Int kind = %v", v.Kind())
+	} else if i, ok := v.AsInt(); !ok || i != 42 {
+		t.Errorf("AsInt = %d,%v", i, ok)
+	}
+	if v := Float(2.5); v.Kind() != KindFloat {
+		t.Errorf("Float kind = %v", v.Kind())
+	} else if f, ok := v.AsFloat(); !ok || f != 2.5 {
+		t.Errorf("AsFloat = %g,%v", f, ok)
+	}
+	if v := Str("hi"); v.Kind() != KindString {
+		t.Errorf("Str kind = %v", v.Kind())
+	} else if s, ok := v.AsString(); !ok || s != "hi" {
+		t.Errorf("AsString = %q,%v", s, ok)
+	}
+	// Cross-kind accessors fail.
+	if _, ok := Str("x").AsInt(); ok {
+		t.Error("Str.AsInt should fail")
+	}
+	if _, ok := Str("x").AsFloat(); ok {
+		t.Error("Str.AsFloat should fail")
+	}
+	if _, ok := Int(1).AsString(); ok {
+		t.Error("Int.AsString should fail")
+	}
+	// Int converts to float.
+	if f, ok := Int(3).AsFloat(); !ok || f != 3 {
+		t.Errorf("Int.AsFloat = %g,%v", f, ok)
+	}
+}
+
+func TestZeroValue(t *testing.T) {
+	var v Value
+	if v.Kind() != KindInt {
+		t.Fatalf("zero Value kind = %v, want int", v.Kind())
+	}
+	if !v.Equal(Int(0)) {
+		t.Error("zero Value != Int(0)")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []Value{
+		Int(0), Int(-7), Int(math.MaxInt64),
+		Float(3.25), Float(-0.5), Float(1e100),
+		Str("CS"), Str("hello world"), Str("a=b"), Str(""), Str("42abc"),
+		Str("3.14 is pi"), Str(`quote"inside`),
+	}
+	for _, v := range cases {
+		got := Parse(v.String())
+		if !got.Equal(v) || got.Kind() != v.Kind() {
+			t.Errorf("Parse(%q) = %v (%v), want %v (%v)", v.String(), got, got.Kind(), v, v.Kind())
+		}
+	}
+}
+
+func TestParseKinds(t *testing.T) {
+	if v := Parse("17"); v.Kind() != KindInt {
+		t.Errorf("Parse(17) kind = %v", v.Kind())
+	}
+	if v := Parse("17.5"); v.Kind() != KindFloat {
+		t.Errorf("Parse(17.5) kind = %v", v.Kind())
+	}
+	if v := Parse("seventeen"); v.Kind() != KindString {
+		t.Errorf("Parse(seventeen) kind = %v", v.Kind())
+	}
+	if v := Parse(`"17"`); v.Kind() != KindString {
+		t.Errorf(`Parse("17") kind = %v`, v.Kind())
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		cmp  int
+		ok   bool
+	}{
+		{Int(1), Int(2), -1, true},
+		{Int(2), Int(2), 0, true},
+		{Int(3), Int(2), 1, true},
+		{Int(1), Float(1.5), -1, true},
+		{Float(1.5), Int(1), 1, true},
+		{Int(2), Float(2.0), 0, true},
+		{Float(0.1), Float(0.2), -1, true},
+		{Str("a"), Str("b"), -1, true},
+		{Str("b"), Str("b"), 0, true},
+		{Str("c"), Str("b"), 1, true},
+		{Str("1"), Int(1), 0, false},
+		{Int(1), Str("1"), 0, false},
+	}
+	for _, c := range cases {
+		cmp, ok := Compare(c.a, c.b)
+		if cmp != c.cmp || ok != c.ok {
+			t.Errorf("Compare(%v,%v) = %d,%v want %d,%v", c.a, c.b, cmp, ok, c.cmp, c.ok)
+		}
+	}
+}
+
+func TestOps(t *testing.T) {
+	type tc struct {
+		a    Value
+		op   Op
+		b    Value
+		want bool
+	}
+	cases := []tc{
+		{Int(1), OpLT, Int(2), true},
+		{Int(2), OpLT, Int(2), false},
+		{Int(2), OpLE, Int(2), true},
+		{Int(3), OpLE, Int(2), false},
+		{Int(2), OpEQ, Int(2), true},
+		{Int(2), OpEQ, Int(3), false},
+		{Int(2), OpNE, Int(3), true},
+		{Int(2), OpNE, Int(2), false},
+		{Int(3), OpGT, Int(2), true},
+		{Int(2), OpGT, Int(2), false},
+		{Int(2), OpGE, Int(2), true},
+		{Int(1), OpGE, Int(2), false},
+		{Str("Travel"), OpEQ, Str("Travel"), true},
+		{Float(4.6), OpGT, Float(4.5), true},
+		// Incomparable: only != holds.
+		{Str("1"), OpEQ, Int(1), false},
+		{Str("1"), OpNE, Int(1), true},
+		{Str("1"), OpLT, Int(1), false},
+		{Str("1"), OpGE, Int(1), false},
+	}
+	for _, c := range cases {
+		if got := c.op.Apply(c.a, c.b); got != c.want {
+			t.Errorf("%v %v %v = %v, want %v", c.a, c.op, c.b, got, c.want)
+		}
+	}
+}
+
+func TestParseOp(t *testing.T) {
+	for _, s := range []string{"<", "<=", "=", "!=", ">", ">="} {
+		op, err := ParseOp(s)
+		if err != nil {
+			t.Fatalf("ParseOp(%q): %v", s, err)
+		}
+		if op.String() != s {
+			t.Errorf("ParseOp(%q).String() = %q", s, op.String())
+		}
+	}
+	aliases := map[string]Op{"==": OpEQ, "<>": OpNE, "≤": OpLE, "≥": OpGE, "≠": OpNE}
+	for s, want := range aliases {
+		if op, err := ParseOp(s); err != nil || op != want {
+			t.Errorf("ParseOp(%q) = %v,%v want %v", s, op, err, want)
+		}
+	}
+	if _, err := ParseOp("=<"); err == nil {
+		t.Error("ParseOp(=<) should fail")
+	}
+	if got := Op(42).String(); got != "Op(42)" {
+		t.Errorf("Op(42).String() = %q", got)
+	}
+}
+
+func TestTuple(t *testing.T) {
+	tp := Tuple{"label": Str("CS"), "age": Int(3)}
+	if v, ok := tp.Get("label"); !ok || !v.Equal(Str("CS")) {
+		t.Errorf("Get(label) = %v,%v", v, ok)
+	}
+	if _, ok := tp.Get("missing"); ok {
+		t.Error("Get(missing) should fail")
+	}
+	c := tp.Clone()
+	c["age"] = Int(4)
+	if v, _ := tp.Get("age"); !v.Equal(Int(3)) {
+		t.Error("Clone is not independent")
+	}
+	if got, want := tp.String(), "age=3 label=CS"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	var nilT Tuple
+	if nilT.Clone() != nil {
+		t.Error("nil.Clone() should be nil")
+	}
+	if nilT.String() != "" {
+		t.Error("nil.String() should be empty")
+	}
+}
+
+// Property: Compare is antisymmetric and Apply is consistent with Compare
+// over random int/float pairs.
+func TestCompareProperties(t *testing.T) {
+	anti := func(a, b int64) bool {
+		c1, ok1 := Compare(Int(a), Int(b))
+		c2, ok2 := Compare(Int(b), Int(a))
+		return ok1 && ok2 && c1 == -c2
+	}
+	if err := quick.Check(anti, nil); err != nil {
+		t.Error(err)
+	}
+	consistent := func(a, b float64) bool {
+		va, vb := Float(a), Float(b)
+		lt := OpLT.Apply(va, vb)
+		ge := OpGE.Apply(va, vb)
+		eq := OpEQ.Apply(va, vb)
+		ne := OpNE.Apply(va, vb)
+		return lt != ge && eq != ne
+	}
+	if err := quick.Check(consistent, nil); err != nil {
+		t.Error(err)
+	}
+	crossKind := func(a int64) bool {
+		// Int and Float of the same magnitude are Equal.
+		return Int(a).Equal(Float(float64(a))) == (float64(a) == math.Trunc(float64(a)) && int64(float64(a)) == a) ||
+			Int(a).Equal(Float(float64(a)))
+	}
+	if err := quick.Check(crossKind, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringQuoting(t *testing.T) {
+	// Strings that look like numbers must round-trip as strings.
+	v := Str("123")
+	if v.String() != `"123"` {
+		t.Errorf("Str(123).String() = %q", v.String())
+	}
+	if got := Parse(v.String()); got.Kind() != KindString {
+		t.Errorf("round-trip kind = %v", got.Kind())
+	}
+}
+
+// Property: String/Parse round-trips preserve value and kind for random
+// ints, floats and printable strings.
+func TestRoundTripProperty(t *testing.T) {
+	ints := func(i int64) bool {
+		v := Int(i)
+		got := Parse(v.String())
+		return got.Kind() == KindInt && got.Equal(v)
+	}
+	if err := quick.Check(ints, nil); err != nil {
+		t.Error(err)
+	}
+	floats := func(f float64) bool {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return true // not representable in the text format
+		}
+		v := Float(f)
+		got := Parse(v.String())
+		fv, ok := got.AsFloat()
+		return ok && fv == f
+	}
+	if err := quick.Check(floats, nil); err != nil {
+		t.Error(err)
+	}
+	strs := func(s string) bool {
+		for _, r := range s {
+			if r < ' ' || r == 0x7f {
+				return true // control characters are out of scope
+			}
+		}
+		v := Str(s)
+		got := Parse(v.String())
+		gs, ok := got.AsString()
+		return ok && gs == s
+	}
+	if err := quick.Check(strs, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,89 @@
+package gpm
+
+import (
+	"io"
+	"os"
+
+	"gpm/internal/datasets"
+	"gpm/internal/generator"
+	"gpm/internal/gio"
+	"gpm/internal/graph"
+)
+
+// GraphStats summarises a graph's degree structure.
+type GraphStats = graph.Stats
+
+// Stats computes degree statistics of g.
+func Stats(g *Graph) GraphStats { return graph.ComputeStats(g) }
+
+// WriteGraph / ReadGraph serialise data graphs in the line-oriented text
+// format documented in README ("graph n / node id k=v ... / edge u v").
+func WriteGraph(w io.Writer, g *Graph) error     { return gio.WriteGraph(w, g) }
+func ReadGraph(r io.Reader) (*Graph, error)      { return gio.ReadGraph(r) }
+func WritePattern(w io.Writer, p *Pattern) error { return gio.WritePattern(w, p) }
+func ReadPattern(r io.Reader) (*Pattern, error)  { return gio.ReadPattern(r) }
+func WriteUpdates(w io.Writer, u []Update) error { return gio.WriteUpdates(w, u) }
+func ReadUpdates(r io.Reader) ([]Update, error)  { return gio.ReadUpdates(r) }
+
+// LoadGraphFile reads a graph from a file in the text format.
+func LoadGraphFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadGraph(f)
+}
+
+// LoadPatternFile reads a pattern from a file in the text format.
+func LoadPatternFile(path string) (*Pattern, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadPattern(f)
+}
+
+// GraphModel selects a synthetic topology for GenerateGraph.
+type GraphModel = generator.Model
+
+// Synthetic graph topologies.
+const (
+	ModelER          = generator.ER
+	ModelPowerLaw    = generator.PowerLaw
+	ModelCommunities = generator.Communities
+)
+
+// GraphGenConfig parameterises GenerateGraph.
+type GraphGenConfig = generator.GraphConfig
+
+// PatternGenConfig parameterises GeneratePattern.
+type PatternGenConfig = generator.PatternConfig
+
+// UpdateGenConfig parameterises GenerateUpdates.
+type UpdateGenConfig = generator.UpdatesConfig
+
+// GenerateGraph produces a synthetic data graph (deterministic per seed).
+func GenerateGraph(cfg GraphGenConfig) *Graph { return generator.Graph(cfg) }
+
+// GeneratePattern produces a pattern against g using the paper's
+// walk-based generator (biased toward patterns that g matches).
+func GeneratePattern(cfg PatternGenConfig, g *Graph) *Pattern { return generator.Pattern(cfg, g) }
+
+// GenerateUpdates produces a valid random update batch for g without
+// mutating it.
+func GenerateUpdates(cfg UpdateGenConfig, g *Graph) []Update { return generator.Updates(cfg, g) }
+
+// Dataset stand-ins reproducing the paper's evaluation graphs' exact
+// sizes with schema-appropriate synthetic attributes (the originals are
+// not redistributable; see DESIGN.md).
+func DatasetMatter(seed int64) *Graph  { return datasets.Matter(seed) }
+func DatasetPBlog(seed int64) *Graph   { return datasets.PBlog(seed) }
+func DatasetYouTube(seed int64) *Graph { return datasets.YouTube(seed) }
+
+// Dataset returns a stand-in by name ("matter", "pblog", "youtube"),
+// scaled by factor (1.0 = the paper's exact |V| and |E|).
+func Dataset(name string, seed int64, scale float64) (*Graph, error) {
+	return datasets.ByName(name, seed, scale)
+}
