@@ -2,20 +2,22 @@
 //
 // Usage:
 //
-//	gpmatch -graph g.graph -pattern p.pattern [-algo match|bfs|2hop|sim|vf2|ullmann]
+//	gpmatch -graph g.graph -pattern p.pattern [-algo match|bfs|2hop|auto|sim|vf2|ullmann]
 //	        [-result] [-limit 100] [-time]
 //
 // The default algorithm is the paper's cubic-time Match (bounded
-// simulation over a distance matrix). -result additionally prints the
-// result graph; vf2/ullmann print embeddings under the traditional
-// subgraph-isomorphism semantics (-limit caps them).
+// simulation over a distance matrix); auto lets the engine pick the
+// oracle from the graph's size and density. -result additionally prints
+// the result graph; vf2/ullmann print embeddings under the traditional
+// subgraph-isomorphism semantics (-limit caps them). -time reports the
+// oracle preprocessing and the matching fixpoint separately.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"gpm"
 )
@@ -24,10 +26,10 @@ func main() {
 	var (
 		graphPath   = flag.String("graph", "", "data graph file (required)")
 		patternPath = flag.String("pattern", "", "pattern file (required)")
-		algo        = flag.String("algo", "match", "match | bfs | 2hop | sim | vf2 | ullmann")
+		algo        = flag.String("algo", "match", "match | bfs | 2hop | auto | sim | vf2 | ullmann")
 		showResult  = flag.Bool("result", false, "print the result graph (bounded simulation only)")
 		limit       = flag.Int("limit", 100, "embedding cap for vf2/ullmann")
-		showTime    = flag.Bool("time", false, "print elapsed time")
+		showTime    = flag.Bool("time", false, "print oracle-build and match time separately")
 	)
 	flag.Parse()
 	if *graphPath == "" || *patternPath == "" {
@@ -51,48 +53,50 @@ func run(graphPath, patternPath, algo string, showResult bool, limit int, showTi
 	}
 	fmt.Printf("graph: %d nodes, %d edges; pattern: %d nodes, %d edges\n",
 		g.N(), g.M(), p.N(), p.EdgeCount())
-	start := time.Now()
-	defer func() {
-		if showTime {
-			fmt.Printf("elapsed: %v\n", time.Since(start))
-		}
-	}()
+	ctx := context.Background()
 
 	switch algo {
-	case "match", "bfs", "2hop":
-		var o gpm.DistOracle
-		switch algo {
-		case "match":
-			o = gpm.NewMatrixOracle(g)
-		case "bfs":
-			o = gpm.NewBFSOracle(g)
-		default:
-			o = gpm.NewTwoHopOracle(g)
-		}
-		res, err := gpm.MatchWithOracle(p, g, o)
+	case "match", "bfs", "2hop", "auto":
+		kind := map[string]gpm.OracleKind{
+			"match": gpm.OracleMatrix,
+			"bfs":   gpm.OracleBFS,
+			"2hop":  gpm.OracleTwoHop,
+			"auto":  gpm.OracleAuto,
+		}[algo]
+		eng := gpm.NewEngine(g, gpm.WithOracle(kind))
+		res, err := eng.Match(ctx, p)
 		if err != nil {
 			return err
 		}
 		printMatch(res)
+		if showTime {
+			printTime(res.Stats)
+		}
 		if showResult {
-			fmt.Print(gpm.ResultGraphOf(res, o).String())
+			fmt.Print(eng.ResultGraph(res).String())
 		}
 	case "sim":
-		rel, ok, err := gpm.Simulate(p, g)
+		eng := gpm.NewEngine(g)
+		sim, err := eng.Simulate(ctx, p)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("plain simulation: ok=%v\n", ok)
-		for u, l := range rel {
+		fmt.Printf("plain simulation: ok=%v\n", sim.OK)
+		for u, l := range sim.Relation {
 			fmt.Printf("  sim(%d): %d nodes\n", u, len(l))
+		}
+		if showTime {
+			printTime(sim.Stats)
 		}
 	case "vf2", "ullmann":
 		opts := gpm.IsoOptions{MaxEmbeddings: limit}
-		var enum *gpm.Enumeration
-		if algo == "vf2" {
-			enum = gpm.VF2(p, g, opts)
-		} else {
-			enum = gpm.Ullmann(p, g, opts)
+		if algo == "ullmann" {
+			opts.Algo = gpm.AlgoUllmann
+		}
+		eng := gpm.NewEngine(g)
+		enum, err := eng.Enumerate(ctx, p, opts)
+		if err != nil {
+			return err
 		}
 		fmt.Printf("%s: %d embeddings (complete=%v, steps=%d)\n",
 			algo, len(enum.Embeddings), enum.Complete, enum.Steps)
@@ -103,13 +107,23 @@ func run(graphPath, patternPath, algo string, showResult bool, limit int, showTi
 			}
 			fmt.Printf("  %v\n", emb)
 		}
+		if showTime {
+			printTime(enum.Stats)
+		}
 	default:
 		return fmt.Errorf("unknown algorithm %q", algo)
 	}
 	return nil
 }
 
-func printMatch(res *gpm.Result) {
+func printTime(s gpm.MatchStats) {
+	if s.Oracle != gpm.OracleNone {
+		fmt.Printf("oracle: %s, build %v (%d queries)\n", s.Oracle, s.OracleBuild, s.OracleQueries)
+	}
+	fmt.Printf("match: %v\n", s.MatchTime)
+}
+
+func printMatch(res *gpm.MatchResult) {
 	fmt.Printf("bounded simulation: ok=%v, |S|=%d pairs\n", res.OK(), res.Pairs())
 	for u := 0; u < res.Pattern().N(); u++ {
 		mat := res.Mat(u)

@@ -3,21 +3,43 @@
 //
 // Usage:
 //
-//	gpmbench [-exp all|datasets|6a|6b|6c|6d|6e|6f|6g|6h|6i|6j|6k|fig9|gr|aff|2hop|ablation]
-//	         [-scale 0.15] [-seed N] [-patterns 5] [-nodes N] [-v]
+//	gpmbench [-exp all|datasets|6a|6b|6c|6d|6e|6f|6g|6h|6i|6j|6k|fig9|gr|aff|2hop|ablation|engine]
+//	         [-scale 0.15] [-seed N] [-patterns 5] [-nodes N] [-json] [-v]
 //
 // -scale 1.0 reproduces the paper's exact dataset sizes; the default keeps
-// the distance matrices laptop-sized. EXPERIMENTS.md records reference
+// the distance matrices laptop-sized. -json emits one machine-readable
+// document instead of aligned tables, so successive runs can accumulate
+// a perf trajectory (BENCH_*.json). EXPERIMENTS.md records reference
 // output.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"gpm/internal/bench"
 )
+
+// jsonReport is the -json output document: enough run metadata to make
+// one run comparable with the next, plus the raw tables.
+type jsonReport struct {
+	Exp       string         `json:"exp"`
+	Scale     float64        `json:"scale"`
+	Seed      int64          `json:"seed"`
+	Patterns  int            `json:"patterns"`
+	Nodes     int            `json:"nodes"`
+	GoVersion string         `json:"go_version"`
+	GOOS      string         `json:"goos"`
+	GOARCH    string         `json:"goarch"`
+	CPUs      int            `json:"cpus"`
+	Timestamp string         `json:"timestamp"`
+	Elapsed   string         `json:"elapsed"`
+	Tables    []*bench.Table `json:"tables"`
+}
 
 func main() {
 	var (
@@ -26,6 +48,7 @@ func main() {
 		seed     = flag.Int64("seed", 0, "base RNG seed (0 = built-in default)")
 		patterns = flag.Int("patterns", 0, "patterns averaged per data point (0 = default 5; paper used 20)")
 		nodes    = flag.Int("nodes", 0, "synthetic graph node count (0 = 20000*scale; paper used 20000)")
+		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of aligned tables")
 		verbose  = flag.Bool("v", false, "log progress to stderr")
 	)
 	flag.Parse()
@@ -39,10 +62,35 @@ func main() {
 	if *verbose {
 		cfg.Progress = os.Stderr
 	}
+	start := time.Now()
 	tables, err := bench.ByID(*exp, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *asJSON {
+		resolved := cfg.Resolved()
+		report := jsonReport{
+			Exp:       *exp,
+			Scale:     resolved.Scale,
+			Seed:      resolved.Seed,
+			Patterns:  resolved.Patterns,
+			Nodes:     resolved.SynthNodes,
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			CPUs:      runtime.GOMAXPROCS(0),
+			Timestamp: start.UTC().Format(time.RFC3339),
+			Elapsed:   time.Since(start).String(),
+			Tables:    tables,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 	for _, t := range tables {
 		t.Fprint(os.Stdout)

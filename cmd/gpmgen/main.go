@@ -5,11 +5,12 @@
 //
 //	gpmgen graph   -nodes 1000 -edges 4000 [-attrs 100] [-model er|powerlaw|communities] [-seed 1] [-o out.graph]
 //	gpmgen dataset -name youtube [-scale 0.15] [-seed 1] [-o out.graph]
-//	gpmgen pattern -graph g.graph -nodes 4 -edges 4 -k 3 [-star 0.1] [-seed 1] [-o out.pattern]
+//	gpmgen pattern -graph g.graph -nodes 4 -edges 4 -k 3 [-star 0.1] [-seed 1] [-check] [-o out.pattern]
 //	gpmgen updates -graph g.graph -ins 100 -del 100 [-seed 1] [-o out.updates]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -107,6 +108,7 @@ func genPattern(args []string) error {
 	k := fs.Int("k", 3, "bound upper limit")
 	star := fs.Float64("star", 0, "probability of an unbounded (*) edge")
 	seed := fs.Int64("seed", 1, "rng seed")
+	check := fs.Bool("check", false, "match the generated pattern against the graph and report the outcome on stderr")
 	out := fs.String("o", "", "output file (default stdout)")
 	fs.Parse(args)
 
@@ -120,6 +122,14 @@ func genPattern(args []string) error {
 	p := gpm.GeneratePattern(gpm.PatternGenConfig{
 		Nodes: *nodes, Edges: *edges, K: *k, StarProb: *star, Seed: *seed,
 	}, g)
+	if *check {
+		res, err := gpm.NewEngine(g, gpm.WithAutoOracle()).Match(context.Background(), p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "check: ok=%v |S|=%d (oracle %s, build %v, match %v)\n",
+			res.OK(), res.Pairs(), res.Stats.Oracle, res.Stats.OracleBuild, res.Stats.MatchTime)
+	}
 	w, err := outWriter(*out)
 	if err != nil {
 		return err

@@ -1,0 +1,434 @@
+package gpm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gpm/internal/core"
+	"gpm/internal/incremental"
+	"gpm/internal/simulation"
+	"gpm/internal/subiso"
+	"gpm/internal/twohop"
+)
+
+// OracleKind identifies a distance-oracle strategy — the three variants
+// the paper compares in Exp-2, plus the auto heuristic and the "no
+// oracle" marker for queries that never probe distances.
+type OracleKind int
+
+const (
+	// OracleAuto picks a concrete kind from |V| and |E| when the engine
+	// binds its graph (see resolveOracleKind).
+	OracleAuto OracleKind = iota
+	// OracleMatrix precomputes the all-pairs distance matrix: O(1)
+	// queries, O(|V|²) memory — the paper's main Match configuration.
+	OracleMatrix
+	// OracleBFS answers by cached breadth-first search: no
+	// preprocessing, O(|V|) memory, slower queries.
+	OracleBFS
+	// OracleTwoHop filters BFS through a 2-hop reachability labelling.
+	OracleTwoHop
+	// OracleNone marks queries that use no distance oracle (plain
+	// simulation, subgraph-isomorphism enumeration).
+	OracleNone
+)
+
+// String names the kind the way cmd/gpmatch's -algo flag spells it.
+func (k OracleKind) String() string {
+	switch k {
+	case OracleAuto:
+		return "auto"
+	case OracleMatrix:
+		return "matrix"
+	case OracleBFS:
+		return "bfs"
+	case OracleTwoHop:
+		return "2hop"
+	case OracleNone:
+		return "none"
+	}
+	return fmt.Sprintf("OracleKind(%d)", int(k))
+}
+
+// Thresholds for OracleAuto. A distance matrix costs 4·|V|² bytes, so it
+// is reserved for graphs where that is at most ~64 MB; past that, sparse
+// graphs get the 2-hop labelling (cheap to build, effective filter) and
+// dense ones plain BFS (a labelling over a dense graph grows too large
+// to pay for itself).
+const (
+	autoMatrixMaxNodes   = 4096
+	autoSparseEdgeFactor = 2
+)
+
+func resolveOracleKind(k OracleKind, g *Graph) OracleKind {
+	if k != OracleAuto {
+		return k
+	}
+	switch {
+	case g.N() <= autoMatrixMaxNodes:
+		return OracleMatrix
+	case g.M() <= autoSparseEdgeFactor*g.N():
+		return OracleTwoHop
+	default:
+		return OracleBFS
+	}
+}
+
+// EngineOption configures NewEngine.
+type EngineOption func(*engineConfig)
+
+type engineConfig struct {
+	kind OracleKind
+}
+
+// WithOracle fixes the engine's distance-oracle strategy. The default is
+// OracleMatrix, the paper's main configuration. Valid kinds are
+// OracleAuto, OracleMatrix, OracleBFS and OracleTwoHop; NewEngine panics
+// on anything else (OracleNone marks oracle-less queries in MatchStats,
+// it is not a strategy).
+func WithOracle(k OracleKind) EngineOption {
+	return func(c *engineConfig) { c.kind = k }
+}
+
+// WithAutoOracle lets the engine pick the oracle from the bound graph's
+// size and density — equivalent to WithOracle(OracleAuto).
+func WithAutoOracle() EngineOption {
+	return func(c *engineConfig) { c.kind = OracleAuto }
+}
+
+// MatchStats instruments one engine query: which oracle served it, how
+// much shared-index construction the call paid for (zero on a cache
+// hit), the matching time proper, and the work counters of the fixpoint.
+type MatchStats struct {
+	Oracle        OracleKind    // oracle kind that served the query
+	OracleBuild   time.Duration // shared-index build time charged to this call
+	MatchTime     time.Duration // fixpoint / enumeration time, excluding OracleBuild
+	OracleQueries int64         // distance-oracle probes issued
+	Removals      int64         // pairs removed during refinement
+	InitialPairs  int64         // candidate pairs before refinement
+}
+
+// MatchResult is a bounded-simulation match with its query stats.
+type MatchResult struct {
+	*Result
+	Stats MatchStats
+}
+
+// SimulationResult is a plain-simulation outcome with its query stats.
+type SimulationResult struct {
+	Relation [][]int32 // per pattern node, sorted matching data nodes
+	OK       bool      // every pattern node matched
+	Stats    MatchStats
+}
+
+// EnumerationResult is a subgraph-isomorphism enumeration with its query
+// stats.
+type EnumerationResult struct {
+	*Enumeration
+	Stats MatchStats
+}
+
+// WatchDelta pairs a watcher with the effect one Update batch had on its
+// maintained match.
+type WatchDelta struct {
+	Watcher *Watcher
+	Delta   UpdateDelta
+}
+
+// Engine binds a data graph once and serves every matching semantics the
+// package implements against it: bounded simulation ([Engine.Match]),
+// plain simulation ([Engine.Simulate]), subgraph-isomorphism enumeration
+// ([Engine.Enumerate]), and incremental matching under edge updates
+// ([Engine.Watch] / [Engine.Update]). The distance oracle is built
+// lazily on the first query that needs it and cached, so concurrent and
+// repeated queries share one preprocessing pass instead of re-paying it
+// per call.
+//
+// An Engine is safe for concurrent use: queries may run in parallel with
+// each other, and Update excludes them while it mutates the graph. The
+// bound graph must not be mutated except through [Engine.Update].
+type Engine struct {
+	g    *Graph
+	kind OracleKind // resolved; never OracleAuto
+
+	// mu orders queries (read side) against Update/Watch (write side).
+	// buildMu serialises lazy index construction, which runs under the
+	// read side so concurrent queries don't build twice.
+	mu      sync.RWMutex
+	buildMu sync.Mutex
+
+	mo       atomic.Pointer[core.MatrixOracle]     // kind == OracleMatrix
+	idx      atomic.Pointer[twohop.Index]          // kind == OracleTwoHop
+	dm       atomic.Pointer[incremental.DynMatrix] // shared matrix maintenance
+	watchers []*Watcher                            // guarded by mu (write side)
+}
+
+// NewEngine binds g. The graph must outlive the engine and, from then
+// on, be mutated only through [Engine.Update].
+func NewEngine(g *Graph, opts ...EngineOption) *Engine {
+	cfg := engineConfig{kind: OracleMatrix}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	switch cfg.kind {
+	case OracleAuto, OracleMatrix, OracleBFS, OracleTwoHop:
+	default:
+		panic(fmt.Sprintf("gpm: WithOracle(%v) is not a valid engine oracle strategy", cfg.kind))
+	}
+	return &Engine{g: g, kind: resolveOracleKind(cfg.kind, g)}
+}
+
+// Graph returns the bound data graph. Treat it as read-only; mutate only
+// through [Engine.Update].
+func (e *Engine) Graph() *Graph { return e.g }
+
+// OracleKind reports the resolved oracle strategy (never OracleAuto:
+// WithAutoOracle resolves against the graph at bind time).
+func (e *Engine) OracleKind() OracleKind { return e.kind }
+
+// ensureDM returns the shared maintained graph+matrix pair, building it
+// on first use. Callers must hold either buildMu (with mu read-held) or
+// the mu write lock; the two cannot overlap.
+func (e *Engine) ensureDM() *incremental.DynMatrix {
+	if dm := e.dm.Load(); dm != nil {
+		return dm
+	}
+	dm := incremental.NewDynMatrix(e.g)
+	e.dm.Store(dm)
+	return dm
+}
+
+// queryOracle returns a DistOracle ready for one query, building the
+// shared index if this is the first query to need it. Must be called
+// with mu read-held. The returned duration is the index build time this
+// call paid (zero on a cache hit).
+func (e *Engine) queryOracle() (DistOracle, time.Duration) {
+	switch e.kind {
+	case OracleBFS:
+		// No shared index: a BFS oracle is its own per-query cache.
+		return core.NewBFSOracle(e.g), 0
+	case OracleTwoHop:
+		if idx := e.idx.Load(); idx != nil {
+			return core.NewTwoHopOracle(e.g, idx), 0
+		}
+		e.buildMu.Lock()
+		defer e.buildMu.Unlock()
+		idx := e.idx.Load()
+		var built time.Duration
+		if idx == nil {
+			start := time.Now()
+			idx = twohop.Build(e.g)
+			built = time.Since(start)
+			e.idx.Store(idx)
+		}
+		return core.NewTwoHopOracle(e.g, idx), built
+	default: // OracleMatrix
+		if mo := e.mo.Load(); mo != nil {
+			return mo, 0
+		}
+		e.buildMu.Lock()
+		defer e.buildMu.Unlock()
+		mo := e.mo.Load()
+		var built time.Duration
+		if mo == nil {
+			start := time.Now()
+			// Build the matrix through the shared DynMatrix so Update
+			// keeps it consistent in place.
+			mo = core.NewMatrixOracle(e.g, e.ensureDM().Matrix())
+			built = time.Since(start)
+			e.mo.Store(mo)
+		}
+		return mo, built
+	}
+}
+
+// Match computes the maximum bounded-simulation match of p against the
+// bound graph — the paper's cubic-time Match, served from the engine's
+// cached oracle. Cancelling ctx aborts the fixpoint with ctx.Err().
+func (e *Engine) Match(ctx context.Context, p *Pattern) (*MatchResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	o, built := e.queryOracle()
+	var cs core.Stats
+	start := time.Now()
+	res, err := core.MatchContext(ctx, p, e.g, o, &cs)
+	if err != nil {
+		return nil, err
+	}
+	return &MatchResult{Result: res, Stats: MatchStats{
+		Oracle:        e.kind,
+		OracleBuild:   built,
+		MatchTime:     time.Since(start),
+		OracleQueries: cs.OracleQueries,
+		Removals:      cs.Removals,
+		InitialPairs:  cs.InitialPairs,
+	}}, nil
+}
+
+// Simulate computes plain graph simulation of p (every pattern edge
+// bound must be 1) against the bound graph.
+func (e *Engine) Simulate(ctx context.Context, p *Pattern) (*SimulationResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	start := time.Now()
+	rel, ok, err := simulation.RunContext(ctx, p, e.g)
+	if err != nil {
+		return nil, err
+	}
+	return &SimulationResult{Relation: rel, OK: ok, Stats: MatchStats{
+		Oracle:    OracleNone,
+		MatchTime: time.Since(start),
+	}}, nil
+}
+
+// Enumerate lists subgraph-isomorphism embeddings of p (edge-to-edge
+// semantics) against the bound graph; opts bounds the search and selects
+// VF2 (default) or Ullmann. On cancellation it returns ctx.Err()
+// alongside the partial enumeration found so far (Complete == false),
+// so deadline-bounded callers keep their best-effort embeddings.
+func (e *Engine) Enumerate(ctx context.Context, p *Pattern, opts IsoOptions) (*EnumerationResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	start := time.Now()
+	enum, err := subiso.Enumerate(ctx, p, e.g, opts)
+	if enum == nil {
+		return nil, err
+	}
+	return &EnumerationResult{Enumeration: enum, Stats: MatchStats{
+		Oracle:    OracleNone,
+		MatchTime: time.Since(start),
+	}}, err
+}
+
+// ResultGraph materialises the succinct result graph (§2.2) of a match
+// this engine computed.
+func (e *Engine) ResultGraph(res *MatchResult) *ResultGraph {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	o, _ := e.queryOracle()
+	return core.BuildResultGraph(res.Result, o)
+}
+
+// Watch starts maintaining the maximum match of p incrementally (the
+// paper's IncMatch). All watchers share the engine's DynamicMatrix; feed
+// edge updates through [Engine.Update] and every watcher absorbs the
+// same distance changes. Close a watcher to stop paying its maintenance.
+func (e *Engine) Watch(p *Pattern) (*Watcher, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m, err := incremental.NewMatcher(p, e.ensureDM())
+	if err != nil {
+		return nil, err
+	}
+	w := &Watcher{e: e, m: m}
+	e.watchers = append(e.watchers, w)
+	return w, nil
+}
+
+// Update applies a batch of edge updates to the bound graph, keeps the
+// shared distance matrix consistent (the paper's UpdateBM), cascades
+// every watcher (IncMatch), and invalidates derived caches. It returns
+// one delta per open watcher, in Watch order. On a validation error the
+// graph is unchanged.
+func (e *Engine) Update(updates ...Update) ([]WatchDelta, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var deltas []WatchDelta
+	if dm := e.dm.Load(); dm != nil {
+		aff, err := dm.Apply(updates)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range e.watchers {
+			deltas = append(deltas, WatchDelta{Watcher: w, Delta: w.m.ApplyPrecomputed(aff, updates)})
+		}
+	} else {
+		// Nothing maintained yet: structural change only.
+		if err := incremental.ApplyToGraph(e.g, updates); err != nil {
+			return nil, err
+		}
+	}
+	// The main matrix was maintained in place; color submatrices and the
+	// 2-hop labelling were not, so drop them for lazy rebuild.
+	if mo := e.mo.Load(); mo != nil {
+		mo.InvalidateColors()
+	}
+	e.idx.Store(nil)
+	return deltas, nil
+}
+
+// Watcher is an incrementally maintained match bound to an engine (see
+// [Engine.Watch]). Its read methods are safe to call concurrently with
+// engine queries; they observe the state as of the last Update.
+type Watcher struct {
+	e      *Engine
+	m      *incremental.Matcher
+	closed bool
+}
+
+// Pattern returns the watched pattern.
+func (w *Watcher) Pattern() *Pattern { return w.m.Pattern() }
+
+// OK reports whether the pattern currently matches the engine's graph.
+func (w *Watcher) OK() bool {
+	w.e.mu.RLock()
+	defer w.e.mu.RUnlock()
+	return w.m.OK()
+}
+
+// Pairs returns |S|, the current size of the maintained relation.
+func (w *Watcher) Pairs() int {
+	w.e.mu.RLock()
+	defer w.e.mu.RUnlock()
+	return w.m.Pairs()
+}
+
+// Mat returns the sorted data nodes currently matching pattern node u.
+func (w *Watcher) Mat(u int) []int32 {
+	w.e.mu.RLock()
+	defer w.e.mu.RUnlock()
+	return w.m.Mat(u)
+}
+
+// Relation snapshots the whole maintained relation.
+func (w *Watcher) Relation() [][]int32 {
+	w.e.mu.RLock()
+	defer w.e.mu.RUnlock()
+	return w.m.Relation()
+}
+
+// Close unregisters the watcher from its engine; subsequent Updates no
+// longer maintain it. When the last watcher closes and nothing else
+// uses the shared matrix (the engine's cached oracle is not backed by
+// it), the DynamicMatrix is released too, so Updates stop paying
+// distance-matrix maintenance and the O(|V|²) memory is freed. Closing
+// twice is a no-op.
+func (w *Watcher) Close() {
+	w.e.mu.Lock()
+	defer w.e.mu.Unlock()
+	if w.closed {
+		return
+	}
+	w.closed = true
+	for i, o := range w.e.watchers {
+		if o == w {
+			w.e.watchers = append(w.e.watchers[:i], w.e.watchers[i+1:]...)
+			break
+		}
+	}
+	if len(w.e.watchers) == 0 && w.e.mo.Load() == nil {
+		w.e.dm.Store(nil)
+	}
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -53,8 +54,9 @@ func main() {
 		g.AddEdge(name2id[e[0]], name2id[e[1]])
 	}
 
-	oracle := gpm.NewMatrixOracle(g)
-	res, err := gpm.MatchWithOracle(p, g, oracle)
+	eng := gpm.NewEngine(g)
+	ctx := context.Background()
+	res, err := eng.Match(ctx, p)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,17 +72,20 @@ func main() {
 
 	// Fig. 3(a): the result graph, with witness path lengths.
 	fmt.Println("\nresult graph (Fig. 3(a)); DB -> Soc denotes a path of length 3:")
-	rg := gpm.ResultGraphOf(res, oracle)
+	rg := eng.ResultGraph(res)
 	fmt.Print(rg.Render(func(x int32) string { return names[x] }))
 
 	// Subgraph isomorphism finds no embedding at all.
-	if iso := gpm.VF2(p, g, gpm.IsoOptions{}); len(iso.Embeddings) == 0 {
+	if iso, err := eng.Enumerate(ctx, p, gpm.IsoOptions{}); err == nil && len(iso.Embeddings) == 0 {
 		fmt.Println("\nVF2 finds no isomorphic subgraph (P2 is not isomorphic to any subgraph of G2)")
 	}
 
-	// G3 = G2 without (DB, Gen): the match collapses entirely.
-	g.RemoveEdge(name2id["DB"], name2id["Gen"])
-	res3, err := gpm.Match(p, g)
+	// G3 = G2 without (DB, Gen): the match collapses entirely. Updates go
+	// through the engine, which keeps its cached oracle consistent.
+	if _, err := eng.Update(gpm.DeleteEdge(name2id["DB"], name2id["Gen"])); err != nil {
+		log.Fatal(err)
+	}
+	res3, err := eng.Match(ctx, p)
 	if err != nil {
 		log.Fatal(err)
 	}

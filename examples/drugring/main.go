@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -59,7 +60,9 @@ func main() {
 		}
 	}
 
-	res, err := gpm.Match(p, g)
+	eng := gpm.NewEngine(g)
+	ctx := context.Background()
+	res, err := eng.Match(ctx, p)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,7 +81,7 @@ func main() {
 	fmt.Printf("(2) AM maps to %d nodes (a relation, not a function)\n", len(res.Mat(am)))
 	fmt.Printf("(3) FW captures all %d workers via <=3-hop supervision paths\n", len(res.Mat(fw)))
 
-	if iso := gpm.VF2(p, g, gpm.IsoOptions{}); len(iso.Embeddings) == 0 {
+	if iso, err := eng.Enumerate(ctx, p, gpm.IsoOptions{}); err == nil && len(iso.Embeddings) == 0 {
 		fmt.Println("\nsubgraph isomorphism (VF2) finds nothing, as the paper predicts")
 	}
 	_ = workers

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,8 +39,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	oracle := gpm.NewMatrixOracle(g)
-	res, err := gpm.MatchWithOracle(p, g, oracle)
+	eng := gpm.NewEngine(g)
+	ctx := context.Background()
+	res, err := eng.Match(ctx, p)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,7 +51,7 @@ func main() {
 	}
 	fmt.Println("the direct payer is NOT flagged: its only walk to the mule has length 1")
 
-	rg := gpm.ResultGraphOf(res, oracle)
+	rg := eng.ResultGraph(res)
 	for _, e := range rg.Edges {
 		fmt.Printf("evidence: %s -> %s via a %d-hop layering chain\n", names[e.From], names[e.To], e.Dist)
 	}
@@ -59,7 +61,7 @@ func main() {
 	qa := q.AddNode(gpm.Predicate{{Attr: "role", Op: gpm.OpEQ, Val: gpm.Str("account")}})
 	qm := q.AddNode(gpm.Predicate{{Attr: "role", Op: gpm.OpEQ, Val: gpm.Str("mule")}})
 	q.MustAddEdge(qa, qm, 4)
-	res2, err := gpm.MatchWithOracle(q, g, oracle)
+	res2, err := eng.Match(ctx, q)
 	if err != nil {
 		log.Fatal(err)
 	}

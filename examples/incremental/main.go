@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -45,40 +46,41 @@ func main() {
 	p.MustAddEdge(music, comedy, 2)
 	p.MustAddEdge(comedy, people, 3)
 
-	dyn := gpm.NewDynamicMatrix(g)
+	eng := gpm.NewEngine(g)
 	start := time.Now()
-	m, err := gpm.NewIncrementalMatcher(p, dyn)
+	w, err := eng.Watch(p)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("initial match: ok=%v |S|=%d (matrix+match in %v)\n\n", m.OK(), m.Pairs(), time.Since(start))
+	fmt.Printf("initial match: ok=%v |S|=%d (matrix+match in %v)\n\n", w.OK(), w.Pairs(), time.Since(start))
 	fmt.Printf("%-8s %-12s %-12s %8s %8s %8s\n", "batch", "IncMatch", "recompute", "|AFF1|", "|AFF2|", "|S|")
 
 	for b := 0; b < *batches; b++ {
 		ups := gpm.GenerateUpdates(gpm.UpdateGenConfig{
 			Insertions: *delta / 2, Deletions: *delta - *delta/2, Seed: int64(100 + b),
-		}, dyn.Graph())
+		}, eng.Graph())
 
 		t0 := time.Now()
-		d, err := m.Apply(ups)
+		deltas, err := eng.Update(ups...)
 		if err != nil {
 			log.Fatal(err)
 		}
 		incTime := time.Since(t0)
+		d := deltas[0].Delta
 
-		// The competitor: recompute from scratch on a copy (matrix
-		// rebuild included, as the paper charges it).
-		gCopy := dyn.Graph().Clone()
+		// The competitor: recompute from scratch on a copy via a fresh
+		// engine (oracle rebuild included, as the paper charges it).
+		scratch := gpm.NewEngine(eng.Graph().Clone())
 		t1 := time.Now()
-		res, err := gpm.Match(p, gCopy)
+		res, err := scratch.Match(context.Background(), p)
 		if err != nil {
 			log.Fatal(err)
 		}
 		batchTime := time.Since(t1)
-		if res.Pairs() != m.Pairs() {
-			log.Fatalf("divergence: incremental |S|=%d, batch |S|=%d", m.Pairs(), res.Pairs())
+		if res.Pairs() != w.Pairs() {
+			log.Fatalf("divergence: incremental |S|=%d, batch |S|=%d", w.Pairs(), res.Pairs())
 		}
-		fmt.Printf("%-8d %-12v %-12v %8d %8d %8d\n", b, incTime, batchTime, d.Aff1, d.Aff2, m.Pairs())
+		fmt.Printf("%-8d %-12v %-12v %8d %8d %8d\n", b, incTime, batchTime, d.Aff1, d.Aff2, w.Pairs())
 	}
 	fmt.Println("\nincremental wins while the affected area stays small (paper Fig. 6(i)-(k)).")
 	_ = music

@@ -1,11 +1,12 @@
 // Quickstart: build a small attributed graph, write a pattern with
-// predicates and hop bounds, compute the maximum bounded-simulation
-// match, and print the result graph.
+// predicates and hop bounds, bind the graph to an engine, compute the
+// maximum bounded-simulation match, and print the result graph.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,7 +44,12 @@ func main() {
 	eng := p.AddNode(pred("role = engineer"))
 	p.MustAddEdge(boss, eng, 3)
 
-	res, err := gpm.Match(p, g)
+	// The engine binds the graph once: it builds and caches the distance
+	// oracle on the first query, and later queries (and goroutines)
+	// share it.
+	engine := gpm.NewEngine(g)
+	ctx := context.Background()
+	res, err := engine.Match(ctx, p)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,11 +59,13 @@ func main() {
 
 	// The result graph records which pattern edge each connection
 	// realises and the witness path length.
-	oracle := gpm.NewMatrixOracle(g)
-	fmt.Println(gpm.ResultGraphOf(res, oracle))
+	fmt.Println(engine.ResultGraph(res))
 
 	// Contrast with subgraph isomorphism: edge-to-edge semantics only
 	// reaches eng1, never the mentee two hops away.
-	iso := gpm.VF2(p, g, gpm.IsoOptions{})
+	iso, err := engine.Enumerate(ctx, p, gpm.IsoOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("VF2 (edge-to-edge) embeddings: %d\n", len(iso.Embeddings))
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,8 +42,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	oracle := gpm.NewMatrixOracle(g)
-	res, err := gpm.MatchWithOracle(p, g, oracle)
+	eng := gpm.NewEngine(g)
+	ctx := context.Background()
+	res, err := eng.Match(ctx, p)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +55,7 @@ func main() {
 	// founder -> investor edges exist only where a monochromatic friend
 	// path witnesses them.
 	fmt.Println("result graph under the friend-only edge:")
-	rg := gpm.ResultGraphOf(res, oracle)
+	rg := eng.ResultGraph(res)
 	for _, e := range rg.Edges {
 		fmt.Printf("  %s -> %s (friend path of length %d)\n", names[e.From], names[e.To], e.Dist)
 	}
@@ -64,12 +66,12 @@ func main() {
 	qf := q.AddNode(gpm.Predicate{{Attr: "role", Op: gpm.OpEQ, Val: gpm.Str("founder")}})
 	qi := q.AddNode(gpm.Predicate{{Attr: "role", Op: gpm.OpEQ, Val: gpm.Str("investor")}})
 	q.MustAddEdge(qf, qi, 3)
-	res2, err := gpm.MatchWithOracle(q, g, oracle)
+	res2, err := eng.Match(ctx, q)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nresult graph without the color constraint:")
-	rg2 := gpm.ResultGraphOf(res2, oracle)
+	rg2 := eng.ResultGraph(res2)
 	for _, e := range rg2.Edges {
 		fmt.Printf("  %s -> %s (any-color path of length %d)\n", names[e.From], names[e.To], e.Dist)
 	}

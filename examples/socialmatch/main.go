@@ -52,16 +52,17 @@ func main() {
 	g.AddEdge(nDMr, nA)
 	g.AddEdge(nDMl, nSE)
 
-	// Incremental matcher: matrix plus match maintained under updates.
-	dyn := gpm.NewDynamicMatrix(g)
-	m, err := gpm.NewIncrementalMatcher(p, dyn)
+	// Engine watcher: matrix plus match maintained under updates fed
+	// through the engine.
+	eng := gpm.NewEngine(g)
+	w, err := eng.Watch(p)
 	if err != nil {
 		log.Fatal(err)
 	}
 	show := func() {
 		for u, label := range []string{"A ", "SE", "HR", "DM"} {
 			fmt.Printf("  %s -> ", label)
-			for _, x := range m.Mat(u) {
+			for _, x := range w.Mat(u) {
 				fmt.Printf("%s ", names[x])
 			}
 			fmt.Println()
@@ -72,10 +73,11 @@ func main() {
 
 	// The appendix Match⁻ example: remove (SE, (HR,SE)).
 	fmt.Println("\ndeleting edge SE -> (HR,SE) ...")
-	delta, err := m.Apply([]gpm.Update{gpm.DeleteEdge(nSE, nHRSE)})
+	deltas, err := eng.Update(gpm.DeleteEdge(nSE, nHRSE))
 	if err != nil {
 		log.Fatal(err)
 	}
+	delta := deltas[0].Delta
 	fmt.Printf("removed pairs: %d, added: %d, |AFF1|=%d (distance pairs touched)\n",
 		len(delta.Removed), len(delta.Added), delta.Aff1)
 	fmt.Println("match after deletion (DM_l and the lone SE drop out):")
@@ -84,10 +86,11 @@ func main() {
 	// Putting the edge back restores S1 (the pattern is cyclic, so the
 	// matcher transparently falls back to the batch algorithm and says so).
 	fmt.Println("\nre-inserting the edge ...")
-	delta, err = m.Apply([]gpm.Update{gpm.InsertEdge(nSE, nHRSE)})
+	deltas, err = eng.Update(gpm.InsertEdge(nSE, nHRSE))
 	if err != nil {
 		log.Fatal(err)
 	}
+	delta = deltas[0].Delta
 	fmt.Printf("restored %d pairs (batch fallback used: %v)\n", len(delta.Added), delta.Recomputed)
 	show()
 	_ = se

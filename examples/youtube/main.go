@@ -11,10 +11,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"time"
 
 	"gpm"
 )
@@ -29,9 +29,8 @@ func main() {
 	}
 	fmt.Printf("YouTube stand-in: %s\n", gpm.Stats(g))
 
-	start := time.Now()
-	oracle := gpm.NewMatrixOracle(g)
-	fmt.Printf("distance matrix built in %v (shared across every pattern below)\n\n", time.Since(start))
+	eng := gpm.NewEngine(g)
+	ctx := context.Background()
 
 	pred := func(s string) gpm.Predicate {
 		p, err := gpm.ParsePredicate(s)
@@ -59,25 +58,26 @@ func main() {
 	fmt.Printf("%-6s %-8s %-8s %-12s %s\n", "k", "match", "|S|", "time", "result graph")
 	for k := 1; k <= 5; k++ {
 		p := build(k)
-		t0 := time.Now()
-		res, err := gpm.MatchWithOracle(p, g, oracle)
+		res, err := eng.Match(ctx, p)
 		if err != nil {
 			log.Fatal(err)
 		}
-		elapsed := time.Since(t0)
+		if res.Stats.OracleBuild > 0 {
+			fmt.Printf("(distance matrix built in %v on the first query; later queries share it)\n", res.Stats.OracleBuild)
+		}
 		rgInfo := "-"
 		if res.OK() {
-			rg := gpm.ResultGraphOf(res, oracle)
+			rg := eng.ResultGraph(res)
 			n, e := rg.Size()
 			rgInfo = fmt.Sprintf("%d nodes, %d edges", n, e)
 		}
-		fmt.Printf("%-6d %-8v %-8d %-12v %s\n", k, res.OK(), res.Pairs(), elapsed, rgInfo)
+		fmt.Printf("%-6d %-8v %-8d %-12v %s\n", k, res.OK(), res.Pairs(), res.Stats.MatchTime, rgInfo)
 	}
 	fmt.Println("\nas the paper's Fig. 9 shows, matches appear past a bound threshold and then saturate.")
 
 	// Breakdown at the first matching bound.
 	for k := 1; k <= 6; k++ {
-		res, err := gpm.MatchWithOracle(build(k), g, oracle)
+		res, err := eng.Match(ctx, build(k))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -13,14 +13,13 @@
 //
 //   - Graph / Pattern construction ([NewGraph], [NewPattern]) with typed
 //     attributes and predicate parsing;
-//   - the cubic-time maximum-match algorithm [Match] plus the BFS and
-//     2-hop variants the paper evaluates, and [ResultGraphOf] for the
-//     succinct result representation;
-//   - incremental matching under edge updates ([NewIncrementalMatcher]),
-//     maintaining match and distance matrix in time proportional to the
-//     affected area (DAG patterns; cyclic patterns fall back safely);
-//   - the subgraph-isomorphism baselines [VF2] and [Ullmann];
-//   - plain graph simulation [Simulate] (Henzinger–Henzinger–Kopke);
+//   - [Engine], the graph-bound, concurrency-safe query API: it caches
+//     the distance oracle across queries and serves every matching
+//     semantics — bounded simulation ([Engine.Match]), plain simulation
+//     ([Engine.Simulate]), subgraph-isomorphism enumeration
+//     ([Engine.Enumerate]) and incremental matching ([Engine.Watch]);
+//   - the flat per-call entry points the Engine supersedes ([Match],
+//     [Simulate], [VF2], …), kept as deprecated wrappers;
 //   - synthetic generators and dataset stand-ins used by the experiment
 //     harness (see cmd/gpmbench and EXPERIMENTS.md).
 //
@@ -38,8 +37,12 @@
 //	c := p.AddNode(gpm.Label("C"))
 //	p.MustAddEdge(a, c, 2) // "C reachable from A within 2 hops"
 //
-//	res, err := gpm.Match(p, g)
+//	eng := gpm.NewEngine(g)
+//	res, err := eng.Match(context.Background(), p)
 //	// res.OK() == true; res.Mat(c) == [2]
+//
+// See README.md for the Engine API and the text formats the command-line
+// tools read and write.
 package gpm
 
 import (
@@ -98,6 +101,14 @@ type (
 	Enumeration = subiso.Enumeration
 	// IsoOptions bounds subgraph-isomorphism enumeration.
 	IsoOptions = subiso.Options
+	// EnumAlgo selects the enumeration algorithm in IsoOptions.Algo.
+	EnumAlgo = subiso.Algo
+)
+
+// Enumeration algorithms for IsoOptions.Algo.
+const (
+	AlgoVF2     = subiso.AlgoVF2
+	AlgoUllmann = subiso.AlgoUllmann
 )
 
 // Comparison operators for building predicates programmatically.
@@ -134,21 +145,34 @@ func ParsePredicate(s string) (Predicate, error) { return pattern.ParsePredicate
 
 // Match computes the unique maximum match of p in g via bounded
 // simulation (the paper's cubic-time algorithm Match, Fig. 4). It builds
-// a distance matrix of g; to amortise that cost across patterns use
-// [NewMatrixOracle] with [MatchWithOracle].
+// a distance matrix of g on every call.
+//
+// Deprecated: bind the graph once with [NewEngine] and use
+// [Engine.Match], which caches the oracle across queries, is safe for
+// concurrent use, and supports cancellation.
 func Match(p *Pattern, g *Graph) (*Result, error) { return core.Match(p, g) }
 
 // MatchBFS is Match computing distances by (cached) BFS instead of a
 // matrix: no preprocessing and O(|V|) memory, slower queries — the "BFS"
 // variant of the paper's Exp-2.
+//
+// Deprecated: use [NewEngine] with WithOracle(OracleBFS) and
+// [Engine.Match].
 func MatchBFS(p *Pattern, g *Graph) (*Result, error) { return core.MatchBFS(p, g) }
 
 // Match2Hop is Match with a 2-hop reachability labelling filtering BFS
 // distance queries — the "2-hop" variant of the paper's Exp-2.
+//
+// Deprecated: use [NewEngine] with WithOracle(OracleTwoHop) and
+// [Engine.Match].
 func Match2Hop(p *Pattern, g *Graph) (*Result, error) { return core.Match2Hop(p, g) }
 
 // MatchWithOracle runs the matching fixpoint against a caller-supplied
 // distance oracle.
+//
+// Deprecated: use [NewEngine], which owns oracle construction and
+// caching; MatchWithOracle remains for callers plugging in a custom
+// [DistOracle] implementation.
 func MatchWithOracle(p *Pattern, g *Graph, o DistOracle) (*Result, error) {
 	return core.MatchWithOracle(p, g, o)
 }
@@ -156,18 +180,27 @@ func MatchWithOracle(p *Pattern, g *Graph, o DistOracle) (*Result, error) {
 // NewMatrixOracle precomputes the all-pairs distance matrix of g once, so
 // many patterns can be matched against the same graph without paying the
 // O(|V|(|V|+|E|)) preprocessing per pattern.
+//
+// Deprecated: [NewEngine] builds and caches this oracle internally.
 func NewMatrixOracle(g *Graph) DistOracle { return core.BuildMatrixOracle(g) }
 
 // NewBFSOracle returns the no-preprocessing BFS oracle for g.
+//
+// Deprecated: use [NewEngine] with WithOracle(OracleBFS).
 func NewBFSOracle(g *Graph) DistOracle { return core.NewBFSOracle(g) }
 
 // NewTwoHopOracle builds a 2-hop reachability labelling over g and wraps
 // it as a distance oracle.
+//
+// Deprecated: use [NewEngine] with WithOracle(OracleTwoHop).
 func NewTwoHopOracle(g *Graph) DistOracle { return core.BuildTwoHopOracle(g) }
 
 // ResultGraphOf materialises the result graph of a match (§2.2 of the
 // paper): nodes are matched data nodes; each edge records which pattern
 // edge it realises and the witness path length.
+//
+// Deprecated: use [Engine.ResultGraph], which reuses the engine's cached
+// oracle.
 func ResultGraphOf(res *Result, o DistOracle) *ResultGraph {
 	return core.BuildResultGraph(res, o)
 }
@@ -175,18 +208,27 @@ func ResultGraphOf(res *Result, o DistOracle) *ResultGraph {
 // Simulate computes plain graph simulation (every pattern edge bound must
 // be 1): the special case the paper extends. Returns the per-pattern-node
 // match lists and whether every pattern node matched.
+//
+// Deprecated: use [Engine.Simulate].
 func Simulate(p *Pattern, g *Graph) ([][]int32, bool, error) { return simulation.Run(p, g) }
 
 // VF2 enumerates subgraph-isomorphism embeddings of p in g (edge-to-edge
 // semantics) — the baseline the paper compares against in Exp-1.
+//
+// Deprecated: use [Engine.Enumerate] (AlgoVF2 is the default).
 func VF2(p *Pattern, g *Graph, opts IsoOptions) *Enumeration { return subiso.VF2(p, g, opts) }
 
 // Ullmann is the Ullmann-style enumeration (the paper's "SubIso").
+//
+// Deprecated: use [Engine.Enumerate] with IsoOptions.Algo = AlgoUllmann.
 func Ullmann(p *Pattern, g *Graph, opts IsoOptions) *Enumeration { return subiso.Ullmann(p, g, opts) }
 
 // NewDynamicMatrix wraps g with an incrementally maintained distance
 // matrix (the paper's UpdateM / UpdateBM procedures). The graph must be
 // mutated only through the returned matrix.
+//
+// Deprecated: [Engine.Watch] and [Engine.Update] maintain a shared
+// DynamicMatrix internally.
 func NewDynamicMatrix(g *Graph) *DynamicMatrix { return incremental.NewDynMatrix(g) }
 
 // NewIncrementalMatcher computes the initial maximum match of p over dm's
@@ -194,6 +236,9 @@ func NewDynamicMatrix(g *Graph) *DynamicMatrix { return incremental.NewDynMatrix
 // IncMatch with the Match⁻/Match⁺ cascades). Multiple matchers may share
 // one DynamicMatrix only if their updates are applied through exactly one
 // of them; otherwise give each its own.
+//
+// Deprecated: use [Engine.Watch], which lets many watchers share one
+// maintained matrix safely.
 func NewIncrementalMatcher(p *Pattern, dm *DynamicMatrix) (*IncrementalMatcher, error) {
 	return incremental.NewMatcher(p, dm)
 }

@@ -68,6 +68,7 @@ func All(cfg Config) []*Table {
 		AffStats(cfg),
 		TwoHopStats(cfg),
 		Ablation(cfg),
+		EngineThroughput(cfg),
 	}
 }
 
@@ -116,7 +117,9 @@ func ByID(id string, cfg Config) ([]*Table, error) {
 		return []*Table{TwoHopStats(cfg)}, nil
 	case "ablation":
 		return []*Table{Ablation(cfg)}, nil
+	case "engine":
+		return []*Table{EngineThroughput(cfg)}, nil
 	default:
-		return nil, fmt.Errorf("bench: unknown experiment %q (want all, datasets, 6a, 6b, 6c, 6d, 6e, 6f, 6g, 6h, 6i, 6j, 6k, fig9, gr, aff, 2hop, ablation)", id)
+		return nil, fmt.Errorf("bench: unknown experiment %q (want all, datasets, 6a, 6b, 6c, 6d, 6e, 6f, 6g, 6h, 6i, 6j, 6k, fig9, gr, aff, 2hop, ablation, engine)", id)
 	}
 }

@@ -30,6 +30,12 @@ type Config struct {
 	Progress   io.Writer // optional progress log
 }
 
+// Resolved returns the configuration the experiments actually run with:
+// zero-valued fields replaced by the built-in defaults. cmd/gpmbench
+// records it in -json output so every trajectory document is
+// self-describing even if a default changes between releases.
+func (c Config) Resolved() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	if c.Scale <= 0 || c.Scale > 1 {
 		c.Scale = 0.15
@@ -61,13 +67,14 @@ func (c Config) logf(format string, args ...interface{}) {
 	}
 }
 
-// Table is one regenerated paper artefact.
+// Table is one regenerated paper artefact. The JSON tags are the schema
+// of cmd/gpmbench -json, which BENCH_*.json trajectory files follow.
 type Table struct {
-	ID      string
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
 }
 
 // AddRow appends one row.

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gpm"
+)
+
+// EngineThroughput measures concurrent query throughput of a shared
+// gpm.Engine over the YouTube stand-in: the serving workload the engine
+// exists for. One engine binds the graph, pays the oracle build once,
+// and worker goroutines issue Match queries from a shared pattern pool.
+// Rows sweep the worker count up to GOMAXPROCS.
+func EngineThroughput(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	g := youtube(cfg)
+	ps := patternBatch(cfg, g, cfg.Patterns*4, 4, 4, 3)
+	eng := gpm.NewEngine(g)
+
+	// Pay the lazy oracle build before timing queries.
+	warm, err := eng.Match(context.Background(), ps[0])
+	if err != nil {
+		panic(err)
+	}
+
+	t := &Table{
+		ID: "engine",
+		Title: fmt.Sprintf("Engine throughput on YouTube stand-in (|V|=%d, |E|=%d, oracle %s, build %v)",
+			g.N(), g.M(), eng.OracleKind(), warm.Stats.OracleBuild.Round(time.Millisecond)),
+		Columns: []string{"workers", "queries", "elapsed (ms)", "queries/s", "avg oracle probes"},
+	}
+	for workers := 1; workers <= runtime.GOMAXPROCS(0); workers *= 2 {
+		queries := workers * len(ps)
+		var probes atomic.Int64
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < len(ps); i++ {
+					res, err := eng.Match(context.Background(), ps[(w+i)%len(ps)])
+					if err != nil {
+						panic(err)
+					}
+					probes.Add(res.Stats.OracleQueries)
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		qps := float64(queries) / elapsed.Seconds()
+		t.AddRow(fmt.Sprintf("%d", workers), fmt.Sprintf("%d", queries),
+			ms(elapsed), f2(qps), fmt.Sprintf("%d", probes.Load()/int64(queries)))
+		cfg.logf("engine: %d workers done", workers)
+	}
+	t.Note("one shared engine: the oracle is built once and every worker reuses it concurrently")
+	return t
+}

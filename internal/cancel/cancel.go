@@ -1,0 +1,35 @@
+// Package cancel provides an amortised context poller for hot loops:
+// checking ctx.Err() on every iteration of a cubic-time fixpoint or an
+// exponential search tree is measurable, so Poller pays the check once
+// per interval calls. The matching, simulation and enumeration loops
+// all share this one implementation.
+package cancel
+
+import "context"
+
+// Poller polls ctx.Err() once every interval Err calls. The zero value
+// (and any Poller built from a context that cannot be cancelled) never
+// reports an error and costs a nil check per call.
+type Poller struct {
+	ctx      context.Context
+	done     <-chan struct{} // ctx.Done(); nil when cancellation is off
+	interval int
+	tick     int
+}
+
+// Every returns a Poller over ctx checking once per interval calls.
+func Every(ctx context.Context, interval int) Poller {
+	return Poller{ctx: ctx, done: ctx.Done(), interval: interval}
+}
+
+// Err returns ctx.Err() on polling calls, nil otherwise.
+func (p *Poller) Err() error {
+	if p.done == nil {
+		return nil
+	}
+	p.tick++
+	if p.tick%p.interval != 0 {
+		return nil
+	}
+	return p.ctx.Err()
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"gpm/internal/graph"
+	"gpm/internal/pattern"
+	"gpm/internal/value"
+)
+
+// ringGraph returns a single directed cycle over n uniformly-labelled
+// nodes: every node reaches every node, so a self-loop pattern keeps all
+// pairs alive and the counter loops run long enough to observe a poll.
+func ringGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.SetAttr(i, value.Tuple{"label": value.Str("A")})
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+// cancellingOracle cancels its context after a fixed number of probes,
+// making "cancelled mid-fixpoint" deterministic.
+type cancellingOracle struct {
+	inner  DistOracle
+	cancel context.CancelFunc
+	after  int
+	n      int
+}
+
+func (c *cancellingOracle) NonemptyDistWithin(u, v, bound int, color string) int {
+	c.n++
+	if c.n == c.after {
+		c.cancel()
+	}
+	return c.inner.NonemptyDistWithin(u, v, bound, color)
+}
+
+func TestMatchContextCancelledMidFixpoint(t *testing.T) {
+	g := ringGraph(300)
+	p := pattern.New()
+	a := p.AddNode(pattern.Label("A"))
+	b := p.AddNode(pattern.Label("A"))
+	p.MustAddEdge(a, b, pattern.Unbounded)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	o := &cancellingOracle{inner: BuildMatrixOracle(g), cancel: cancel, after: 1000}
+	res, err := MatchContext(ctx, p, g, o, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("res = %v, want nil on cancellation", res)
+	}
+	if o.n < o.after {
+		t.Fatalf("oracle saw %d probes; cancellation never happened mid-fixpoint", o.n)
+	}
+}
+
+func TestMatchContextStats(t *testing.T) {
+	// A 50-ring whose first half is labelled A, second half B. Under
+	// "A -> B within 1 hop" only the last A (node 24) survives: its
+	// successor is the first B. The other 24 A-candidates refine away.
+	g := graph.New(50)
+	for i := 0; i < 50; i++ {
+		label := "A"
+		if i >= 25 {
+			label = "B"
+		}
+		g.SetAttr(i, value.Tuple{"label": value.Str(label)})
+		g.AddEdge(i, (i+1)%50)
+	}
+	p := pattern.New()
+	a := p.AddNode(pattern.Label("A"))
+	b := p.AddNode(pattern.Label("B"))
+	p.MustAddEdge(a, b, 1)
+
+	var stats Stats
+	res, err := MatchContext(context.Background(), p, g, BuildMatrixOracle(g), &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatal("pattern should match (node 24 -> node 25)")
+	}
+	if got := len(res.Mat(a)); got != 1 {
+		t.Fatalf("mat(a) has %d nodes, want 1", got)
+	}
+	if stats.InitialPairs != 50 {
+		t.Errorf("InitialPairs = %d, want 50 (25 A + 25 B candidates)", stats.InitialPairs)
+	}
+	if stats.Removals != 24 {
+		t.Errorf("Removals = %d, want 24 (all A candidates but node 24)", stats.Removals)
+	}
+	if stats.OracleQueries == 0 {
+		t.Error("OracleQueries = 0, want > 0")
+	}
+}
+
+func TestMatchContextBackgroundMatchesPlain(t *testing.T) {
+	g := ringGraph(40)
+	p := pattern.New()
+	a := p.AddNode(pattern.Label("A"))
+	b := p.AddNode(pattern.Label("A"))
+	p.MustAddEdge(a, b, 3)
+
+	plain, err := MatchWithOracle(p, g, BuildMatrixOracle(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	ctxed, err := MatchContext(context.Background(), p, g, BuildMatrixOracle(g), &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relEqual(plain.Relation(), ctxed.Relation()) {
+		t.Fatal("MatchContext relation differs from MatchWithOracle")
+	}
+}

@@ -1,11 +1,33 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"gpm/internal/cancel"
 	"gpm/internal/graph"
 	"gpm/internal/pattern"
 )
+
+// Stats counts the work one matching query performed. Callers pass a
+// zeroed Stats to MatchContext; the engine layer surfaces it per query.
+type Stats struct {
+	OracleQueries int64 // distance-oracle probes issued
+	Removals      int64 // pairs removed during refinement
+	InitialPairs  int64 // candidate pairs before refinement
+}
+
+// countingOracle wraps a DistOracle, counting probes into *n. It is used
+// per query (single goroutine), so plain increments suffice.
+type countingOracle struct {
+	inner DistOracle
+	n     *int64
+}
+
+func (c *countingOracle) NonemptyDistWithin(u, v, bound int, color string) int {
+	*c.n++
+	return c.inner.NonemptyDistWithin(u, v, bound, color)
+}
 
 // Result is the outcome of a bounded-simulation computation: the greatest
 // fixpoint of the refinement step, which is the unique maximum match S of
@@ -112,13 +134,37 @@ func Match2Hop(p *pattern.Pattern, g *graph.Graph) (*Result, error) {
 // oracle each distance probe is O(1), giving the Theorem 3.1 bound
 // O(|V||E| + |Ep||V|² + |Vp||V|).
 func MatchWithOracle(p *pattern.Pattern, g *graph.Graph, o DistOracle) (*Result, error) {
+	return MatchContext(context.Background(), p, g, o, nil)
+}
+
+// MatchContext is MatchWithOracle with cancellation and instrumentation:
+// ctx is polled inside the candidate, counter and refinement loops (a
+// cancelled context aborts the fixpoint with ctx.Err()), and when stats
+// is non-nil the query's work counters are accumulated into it.
+func MatchContext(ctx context.Context, p *pattern.Pattern, g *graph.Graph, o DistOracle, stats *Stats) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if stats != nil {
+		o = &countingOracle{inner: o, n: &stats.OracleQueries}
+	}
 	st := newState(p, g, o)
-	st.initCandidates()
-	st.initCounters()
-	st.refine()
+	st.poll = cancel.Every(ctx, cancelPollInterval)
+	st.stats = stats
+	if err := st.initCandidates(); err != nil {
+		return nil, err
+	}
+	if stats != nil {
+		for _, s := range st.matSize {
+			stats.InitialPairs += int64(s)
+		}
+	}
+	if err := st.initCounters(); err != nil {
+		return nil, err
+	}
+	if err := st.refine(); err != nil {
+		return nil, err
+	}
 	return st.result(), nil
 }
 
@@ -136,7 +182,14 @@ type state struct {
 	cnt     [][]int32 // per pattern edge, indexed by data node
 	work    []removalItem
 	walks   *walkProber // lazy; only for ranged edges (§6 extension)
+
+	poll  cancel.Poller
+	stats *Stats
 }
+
+// cancelPollInterval balances cancellation latency against the cost of
+// polling ctx.Err() in the cubic-time inner loops.
+const cancelPollInterval = 4096
 
 type removalItem struct {
 	u int32
@@ -150,7 +203,7 @@ func newState(p *pattern.Pattern, g *graph.Graph, o DistOracle) *state {
 // initCandidates computes cand(u): data nodes satisfying fv(u) whose
 // out-degree is nonzero whenever u has outgoing pattern edges (Match,
 // line 5 — a node with no successors can witness no nonempty path).
-func (st *state) initCandidates() {
+func (st *state) initCandidates() error {
 	np, n := st.p.N(), st.g.N()
 	st.cand = make([][]int32, np)
 	st.inCand = make([][]bool, np)
@@ -162,6 +215,9 @@ func (st *state) initCandidates() {
 		st.inCand[u] = make([]bool, n)
 		st.inMat[u] = make([]bool, n)
 		for x := 0; x < n; x++ {
+			if err := st.poll.Err(); err != nil {
+				return err
+			}
 			if needsOut && st.g.OutDegree(x) == 0 {
 				continue
 			}
@@ -174,11 +230,12 @@ func (st *state) initCandidates() {
 			st.matSize[u]++
 		}
 	}
+	return nil
 }
 
 // initCounters fills cnt[e][x] for every pattern edge and candidate
 // source, seeding the worklist with already-dead pairs.
-func (st *state) initCounters() {
+func (st *state) initCounters() error {
 	st.cnt = make([][]int32, st.p.EdgeCount())
 	for eid := 0; eid < st.p.EdgeCount(); eid++ {
 		e := st.p.EdgeAt(eid)
@@ -186,6 +243,9 @@ func (st *state) initCounters() {
 		st.cnt[eid] = c
 		for _, x := range st.cand[e.From] {
 			for _, z := range st.cand[e.To] {
+				if err := st.poll.Err(); err != nil {
+					return err
+				}
 				if st.inMat[e.To][z] && st.edgeWitness(int(x), int(z), e, false) >= 0 {
 					c[x]++
 				}
@@ -195,29 +255,39 @@ func (st *state) initCounters() {
 			}
 		}
 	}
+	return nil
 }
 
 // refine drains the removal worklist to the greatest fixpoint.
-func (st *state) refine() {
+func (st *state) refine() error {
 	for len(st.work) > 0 {
 		it := st.work[len(st.work)-1]
 		st.work = st.work[:len(st.work)-1]
-		st.remove(int(it.u), it.x)
+		if err := st.remove(int(it.u), it.x); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // remove deletes (u, x) from the relation and propagates counter
 // decrements to ancestor candidates within bound of x.
-func (st *state) remove(u int, x int32) {
+func (st *state) remove(u int, x int32) error {
 	if !st.inMat[u][x] {
-		return
+		return nil
 	}
 	st.inMat[u][x] = false
 	st.matSize[u]--
+	if st.stats != nil {
+		st.stats.Removals++
+	}
 	for _, eid := range st.p.In(u) {
 		e := st.p.EdgeAt(int(eid))
 		c := st.cnt[eid]
 		for _, xp := range st.cand[e.From] {
+			if err := st.poll.Err(); err != nil {
+				return err
+			}
 			if !st.inMat[e.From][xp] {
 				continue
 			}
@@ -230,6 +300,7 @@ func (st *state) remove(u int, x int32) {
 			}
 		}
 	}
+	return nil
 }
 
 // result snapshots the current relation.

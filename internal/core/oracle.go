@@ -7,6 +7,8 @@
 package core
 
 import (
+	"sync"
+
 	"gpm/internal/graph"
 	"gpm/internal/matrix"
 	"gpm/internal/twohop"
@@ -34,10 +36,16 @@ func clampToBound(d, bound int) int {
 // MatrixOracle answers queries in O(1) from a precomputed all-pairs
 // distance matrix — the oracle behind the paper's main Match algorithm.
 // Per-color sub-matrices for the edge-color extension are built lazily.
+//
+// Unlike the BFS-backed oracles, a MatrixOracle is safe for concurrent
+// queries as long as the graph and matrix are not mutated meanwhile:
+// the plain-edge path reads the immutable matrix only, and the lazy
+// color-submatrix cache is guarded by a mutex.
 type MatrixOracle struct {
-	g      *graph.Graph
-	m      *matrix.Matrix
-	colors map[string]*matrix.Matrix // distance matrices of color subgraphs
+	g       *graph.Graph
+	m       *matrix.Matrix
+	colorMu sync.RWMutex
+	colors  map[string]*matrix.Matrix // distance matrices of color subgraphs
 }
 
 // NewMatrixOracle wraps an existing matrix; the matrix must describe g.
@@ -64,7 +72,15 @@ func (o *MatrixOracle) NonemptyDistWithin(u, v, bound int, color string) int {
 }
 
 func (o *MatrixOracle) colorMatrix(color string) *matrix.Matrix {
-	if m, ok := o.colors[color]; ok {
+	o.colorMu.RLock()
+	m, ok := o.colors[color]
+	o.colorMu.RUnlock()
+	if ok {
+		return m
+	}
+	o.colorMu.Lock()
+	defer o.colorMu.Unlock()
+	if m, ok := o.colors[color]; ok { // raced with another builder
 		return m
 	}
 	// Build the color subgraph once and take its matrix.
@@ -74,12 +90,21 @@ func (o *MatrixOracle) colorMatrix(color string) *matrix.Matrix {
 			sub.AddEdge(u, v)
 		}
 	})
-	m := matrix.New(sub)
+	m = matrix.New(sub)
 	if o.colors == nil {
 		o.colors = make(map[string]*matrix.Matrix)
 	}
 	o.colors[color] = m
 	return m
+}
+
+// InvalidateColors drops the cached color submatrices. The engine layer
+// calls it after edge updates: the main matrix is maintained in place by
+// DynMatrix, but color submatrices are rebuilt on demand.
+func (o *MatrixOracle) InvalidateColors() {
+	o.colorMu.Lock()
+	o.colors = nil
+	o.colorMu.Unlock()
 }
 
 // bfsCache holds one full BFS frontier keyed by (node, direction, color).

@@ -142,25 +142,33 @@ func (dm *DynMatrix) Apply(updates []Update) ([]Pair, error) {
 // applyStructural validates and applies edge changes, rolling back on the
 // first error so the graph is untouched on failure.
 func (dm *DynMatrix) applyStructural(updates []Update) error {
+	return ApplyToGraph(dm.g, updates)
+}
+
+// ApplyToGraph validates and applies a batch of edge updates directly to
+// g, rolling back on the first error so the graph is untouched on
+// failure. The engine layer uses it when no distance matrix is being
+// maintained; DynMatrix.Apply uses it as its structural step.
+func ApplyToGraph(g *graph.Graph, updates []Update) error {
 	var err error
 	for i, up := range updates {
-		if up.U < 0 || up.U >= dm.g.N() || up.V < 0 || up.V >= dm.g.N() {
+		if up.U < 0 || up.U >= g.N() || up.V < 0 || up.V >= g.N() {
 			err = fmt.Errorf("incremental: update %v out of range", up)
 		} else if up.Insert {
-			if !dm.g.AddEdge(up.U, up.V) {
+			if !g.AddEdge(up.U, up.V) {
 				err = fmt.Errorf("incremental: inserting existing edge %d->%d", up.U, up.V)
 			}
 		} else {
-			if !dm.g.RemoveEdge(up.U, up.V) {
+			if !g.RemoveEdge(up.U, up.V) {
 				err = fmt.Errorf("incremental: deleting missing edge %d->%d", up.U, up.V)
 			}
 		}
 		if err != nil {
 			for j := i - 1; j >= 0; j-- { // roll back in reverse
 				if updates[j].Insert {
-					dm.g.RemoveEdge(updates[j].U, updates[j].V)
+					g.RemoveEdge(updates[j].U, updates[j].V)
 				} else {
-					dm.g.AddEdge(updates[j].U, updates[j].V)
+					g.AddEdge(updates[j].U, updates[j].V)
 				}
 			}
 			return err

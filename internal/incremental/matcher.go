@@ -201,6 +201,15 @@ func (m *Matcher) Apply(updates []Update) (Delta, error) {
 	if err != nil {
 		return Delta{}, err
 	}
+	return m.ApplyPrecomputed(aff, updates), nil
+}
+
+// ApplyPrecomputed cascades a batch whose structural and matrix effects
+// were already applied to the shared DynMatrix (aff is the AFF1 set its
+// Apply returned). This is how several matchers share one DynMatrix: one
+// party applies the updates, every matcher absorbs the same AFF1. The
+// engine layer drives its watchers through this.
+func (m *Matcher) ApplyPrecomputed(aff []Pair, updates []Update) Delta {
 	delta := Delta{Aff1: len(aff)}
 
 	// Cyclic patterns: additions need a global check (Lemma 4.4 is
@@ -212,7 +221,7 @@ func (m *Matcher) Apply(updates []Update) (Delta, error) {
 		delta.Recomputed = true
 		m.diffInto(before, &delta)
 		delta.Aff2 = len(delta.Added) + len(delta.Removed)
-		return delta, nil
+		return delta
 	}
 
 	// Counter deltas from AFF1 threshold crossings.
@@ -250,7 +259,7 @@ func (m *Matcher) Apply(updates []Update) (Delta, error) {
 	m.drainAdditions(&delta.Added, &delta.Removed)
 	cancelNetNoops(&delta)
 	delta.Aff2 = len(delta.Added) + len(delta.Removed)
-	return delta, nil
+	return delta
 }
 
 // cancelNetNoops drops pairs that were removed and re-added within one

@@ -7,9 +7,11 @@
 package simulation
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"gpm/internal/cancel"
 	"gpm/internal/graph"
 	"gpm/internal/pattern"
 )
@@ -19,6 +21,13 @@ import (
 // it; ok reports whether every pattern node kept at least one match.
 // Patterns must have all edge bounds equal to 1.
 func Run(p *pattern.Pattern, g *graph.Graph) (rel [][]int32, ok bool, err error) {
+	return RunContext(context.Background(), p, g)
+}
+
+// RunContext is Run with cancellation: ctx is polled inside the counter
+// and refinement loops, and a cancelled context aborts with ctx.Err().
+func RunContext(ctx context.Context, p *pattern.Pattern, g *graph.Graph) (rel [][]int32, ok bool, err error) {
+	poll := cancel.Every(ctx, 4096)
 	if !p.AllBoundsOne() {
 		return nil, false, fmt.Errorf("simulation: pattern has a bound != 1; use bounded simulation")
 	}
@@ -52,6 +61,9 @@ func Run(p *pattern.Pattern, g *graph.Graph) (rel [][]int32, ok bool, err error)
 		e := p.EdgeAt(int(eid))
 		c := make([]int32, n)
 		for x := 0; x < n; x++ {
+			if err := poll.Err(); err != nil {
+				return nil, false, err
+			}
 			if !sim[e.From][x] {
 				continue
 			}
@@ -73,6 +85,9 @@ func Run(p *pattern.Pattern, g *graph.Graph) (rel [][]int32, ok bool, err error)
 	// Worklist refinement: removing x from sim[u] may zero counters of its
 	// predecessors for every pattern edge entering u.
 	for len(work) > 0 {
+		if err := poll.Err(); err != nil {
+			return nil, false, err
+		}
 		rm := work[len(work)-1]
 		work = work[:len(work)-1]
 		if !sim[rm.u][rm.x] {

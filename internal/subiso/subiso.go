@@ -11,16 +11,30 @@
 package subiso
 
 import (
+	"context"
 	"sort"
 
+	"gpm/internal/cancel"
 	"gpm/internal/graph"
 	"gpm/internal/pattern"
+)
+
+// Algo selects the enumeration algorithm when callers go through the
+// algorithm-agnostic Enumerate entry point (the Engine API does).
+type Algo int
+
+const (
+	// AlgoVF2 is VF2-style search (the default).
+	AlgoVF2 Algo = iota
+	// AlgoUllmann is Ullmann-style search with candidate refinement.
+	AlgoUllmann
 )
 
 // Options bound the enumeration.
 type Options struct {
 	MaxEmbeddings int   // stop after this many embeddings (0 = 1<<31-1)
 	MaxSteps      int64 // stop after this many search-tree nodes (0 = no limit)
+	Algo          Algo  // algorithm used by Enumerate (VF2/Ullmann ignore it)
 }
 
 func (o Options) maxEmb() int {
@@ -63,38 +77,61 @@ func (e *Enumeration) PairsPerNode(np int) [][]int32 {
 // VF2 enumerates subgraph monomorphisms of p into g with VF2-style
 // feasibility pruning and connectivity-aware candidate ordering.
 func VF2(p *pattern.Pattern, g *graph.Graph, opts Options) *Enumeration {
-	s := &searcher{p: p, g: g, opts: opts, enum: &Enumeration{Complete: true}}
+	enum, _ := VF2Context(context.Background(), p, g, opts)
+	return enum
+}
+
+// VF2Context is VF2 with cancellation: ctx is polled as the search tree
+// grows, and a cancelled context aborts with ctx.Err() (the partial
+// enumeration is returned alongside, with Complete == false).
+func VF2Context(ctx context.Context, p *pattern.Pattern, g *graph.Graph, opts Options) (*Enumeration, error) {
+	s := &searcher{p: p, g: g, opts: opts, enum: &Enumeration{Complete: true}, poll: cancel.Every(ctx, 1024)}
 	if !s.prepare() {
-		return s.enum
+		return s.enum, nil
 	}
 	s.order = vf2Order(p)
-	s.assign = make([]int32, p.N())
-	for i := range s.assign {
-		s.assign[i] = -1
-	}
-	s.used = make([]bool, g.N())
-	s.recurse(0)
-	return s.enum
+	s.run()
+	return s.enum, s.err
 }
 
 // Ullmann enumerates the same embeddings with Ullmann's candidate-matrix
 // refinement at each level — the paper's "SubIso".
 func Ullmann(p *pattern.Pattern, g *graph.Graph, opts Options) *Enumeration {
-	s := &searcher{p: p, g: g, opts: opts, enum: &Enumeration{Complete: true}, refine: true}
+	enum, _ := UllmannContext(context.Background(), p, g, opts)
+	return enum
+}
+
+// UllmannContext is Ullmann with cancellation, mirroring VF2Context.
+func UllmannContext(ctx context.Context, p *pattern.Pattern, g *graph.Graph, opts Options) (*Enumeration, error) {
+	s := &searcher{p: p, g: g, opts: opts, enum: &Enumeration{Complete: true}, refine: true, poll: cancel.Every(ctx, 1024)}
 	if !s.prepare() {
-		return s.enum
+		return s.enum, nil
 	}
 	s.order = make([]int, p.N())
 	for i := range s.order {
 		s.order[i] = i
 	}
-	s.assign = make([]int32, p.N())
+	s.run()
+	return s.enum, s.err
+}
+
+// Enumerate dispatches on opts.Algo — the entry point for callers that
+// treat the algorithm as a query option rather than an API choice.
+func Enumerate(ctx context.Context, p *pattern.Pattern, g *graph.Graph, opts Options) (*Enumeration, error) {
+	if opts.Algo == AlgoUllmann {
+		return UllmannContext(ctx, p, g, opts)
+	}
+	return VF2Context(ctx, p, g, opts)
+}
+
+// run allocates the shared search state and starts the recursion.
+func (s *searcher) run() {
+	s.assign = make([]int32, s.p.N())
 	for i := range s.assign {
 		s.assign[i] = -1
 	}
-	s.used = make([]bool, g.N())
+	s.used = make([]bool, s.g.N())
 	s.recurse(0)
-	return s.enum
 }
 
 type searcher struct {
@@ -109,6 +146,9 @@ type searcher struct {
 	used   []bool
 	refine bool
 	halted bool
+
+	poll cancel.Poller
+	err  error // ctx.Err() once cancelled
 }
 
 // prepare computes per-node candidate sets; false when some node has no
@@ -190,6 +230,12 @@ func (s *searcher) recurse(depth int) {
 		return
 	}
 	s.enum.Steps++
+	if err := s.poll.Err(); err != nil {
+		s.err = err
+		s.halted = true
+		s.enum.Complete = false
+		return
+	}
 	if s.opts.MaxSteps > 0 && s.enum.Steps > s.opts.MaxSteps {
 		s.halted = true
 		s.enum.Complete = false
