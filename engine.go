@@ -3,11 +3,13 @@ package gpm
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"gpm/internal/core"
+	"gpm/internal/graph"
 	"gpm/internal/incremental"
 	"gpm/internal/simulation"
 	"gpm/internal/subiso"
@@ -81,7 +83,8 @@ func resolveOracleKind(k OracleKind, g *Graph) OracleKind {
 type EngineOption func(*engineConfig)
 
 type engineConfig struct {
-	kind OracleKind
+	kind    OracleKind
+	workers int
 }
 
 // WithOracle fixes the engine's distance-oracle strategy. The default is
@@ -97,6 +100,16 @@ func WithOracle(k OracleKind) EngineOption {
 // size and density — equivalent to WithOracle(OracleAuto).
 func WithAutoOracle() EngineOption {
 	return func(c *engineConfig) { c.kind = OracleAuto }
+}
+
+// WithWorkers sets the engine's matching parallelism: the number of
+// goroutines one Match query shards its fixpoint initialisation across,
+// and the fan-out of MatchBatch. n <= 0 (and the default) means
+// GOMAXPROCS. WithWorkers(1) pins fully sequential matching — the
+// reference behavior the differential tests compare against; any worker
+// count produces bit-identical results (the greatest fixpoint is unique).
+func WithWorkers(n int) EngineOption {
+	return func(c *engineConfig) { c.workers = n }
 }
 
 // MatchStats instruments one engine query: which oracle served it, how
@@ -151,8 +164,9 @@ type WatchDelta struct {
 // each other, and Update excludes them while it mutates the graph. The
 // bound graph must not be mutated except through [Engine.Update].
 type Engine struct {
-	g    *Graph
-	kind OracleKind // resolved; never OracleAuto
+	g       *Graph
+	kind    OracleKind // resolved; never OracleAuto
+	workers int        // resolved; >= 1
 
 	// mu orders queries (read side) against Update/Watch (write side).
 	// buildMu serialises lazy index construction, which runs under the
@@ -163,6 +177,7 @@ type Engine struct {
 	mo       atomic.Pointer[core.MatrixOracle]     // kind == OracleMatrix
 	idx      atomic.Pointer[twohop.Index]          // kind == OracleTwoHop
 	dm       atomic.Pointer[incremental.DynMatrix] // shared matrix maintenance
+	fz       atomic.Pointer[graph.Frozen]          // CSR snapshot; dropped on Update
 	watchers []*Watcher                            // guarded by mu (write side)
 }
 
@@ -178,7 +193,11 @@ func NewEngine(g *Graph, opts ...EngineOption) *Engine {
 	default:
 		panic(fmt.Sprintf("gpm: WithOracle(%v) is not a valid engine oracle strategy", cfg.kind))
 	}
-	return &Engine{g: g, kind: resolveOracleKind(cfg.kind, g)}
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{g: g, kind: resolveOracleKind(cfg.kind, g), workers: workers}
 }
 
 // Graph returns the bound data graph. Treat it as read-only; mutate only
@@ -188,6 +207,31 @@ func (e *Engine) Graph() *Graph { return e.g }
 // OracleKind reports the resolved oracle strategy (never OracleAuto:
 // WithAutoOracle resolves against the graph at bind time).
 func (e *Engine) OracleKind() OracleKind { return e.kind }
+
+// Workers reports the resolved matching parallelism (see WithWorkers).
+func (e *Engine) Workers() int { return e.workers }
+
+// frozen returns the engine's cached immutable CSR snapshot of the bound
+// graph, freezing it on first use. Must be called with mu read-held and
+// buildMu NOT held; the snapshot is dropped by Update and lazily rebuilt.
+func (e *Engine) frozen() *graph.Frozen {
+	if f := e.fz.Load(); f != nil {
+		return f
+	}
+	e.buildMu.Lock()
+	defer e.buildMu.Unlock()
+	return e.frozenLocked()
+}
+
+// frozenLocked is frozen for callers already holding buildMu.
+func (e *Engine) frozenLocked() *graph.Frozen {
+	f := e.fz.Load()
+	if f == nil {
+		f = e.g.Freeze()
+		e.fz.Store(f)
+	}
+	return f
+}
 
 // ensureDM returns the shared maintained graph+matrix pair, building it
 // on first use. Callers must hold either buildMu (with mu read-held) or
@@ -208,11 +252,13 @@ func (e *Engine) ensureDM() *incremental.DynMatrix {
 func (e *Engine) queryOracle() (DistOracle, time.Duration) {
 	switch e.kind {
 	case OracleBFS:
-		// No shared index: a BFS oracle is its own per-query cache.
-		return core.NewBFSOracle(e.g), 0
+		// No shared index: a BFS oracle is its own per-query cache. It
+		// does share the engine's frozen snapshot, so repeated queries
+		// skip the O(|V|+|E|) freeze.
+		return core.NewBFSOracleFrozen(e.frozen()), 0
 	case OracleTwoHop:
 		if idx := e.idx.Load(); idx != nil {
-			return core.NewTwoHopOracle(e.g, idx), 0
+			return core.NewTwoHopOracleFrozen(e.frozen(), idx), 0
 		}
 		e.buildMu.Lock()
 		defer e.buildMu.Unlock()
@@ -224,7 +270,7 @@ func (e *Engine) queryOracle() (DistOracle, time.Duration) {
 			built = time.Since(start)
 			e.idx.Store(idx)
 		}
-		return core.NewTwoHopOracle(e.g, idx), built
+		return core.NewTwoHopOracleFrozen(e.frozenLocked(), idx), built
 	default: // OracleMatrix
 		if mo := e.mo.Load(); mo != nil {
 			return mo, 0
@@ -257,7 +303,10 @@ func (e *Engine) Match(ctx context.Context, p *Pattern) (*MatchResult, error) {
 	o, built := e.queryOracle()
 	var cs core.Stats
 	start := time.Now()
-	res, err := core.MatchContext(ctx, p, e.g, o, &cs)
+	res, err := core.MatchOpts(ctx, p, e.g, o, &cs, core.MatchOptions{
+		Workers: e.workers,
+		Frozen:  e.frozen(),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -271,6 +320,102 @@ func (e *Engine) Match(ctx context.Context, p *Pattern) (*MatchResult, error) {
 	}}, nil
 }
 
+// MatchBatch computes the maximum bounded-simulation match of every
+// pattern in ps against the bound graph, fanning the batch across the
+// engine's workers (see WithWorkers) over the shared cached oracle.
+// Results align positionally with ps. The shared index build time, if
+// this batch paid it, is charged to the first result's stats.
+//
+// Inside a batch each query runs its fixpoint sequentially when the
+// batch itself saturates the workers; a batch smaller than the worker
+// count hands the spare workers to per-query sharding. Cancelling ctx
+// aborts outstanding queries and returns ctx.Err(); the whole batch
+// fails on the first query error.
+func (e *Engine) MatchBatch(ctx context.Context, ps []*Pattern) ([]*MatchResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(ps) == 0 {
+		return nil, nil
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	o, built := e.queryOracle()
+	f := e.frozen()
+	fanout := e.workers
+	if fanout > len(ps) {
+		fanout = len(ps)
+	}
+	// Split the worker budget across the fan-out lanes; the first
+	// e.workers%fanout lanes take the remainder so no worker idles.
+	perQuery := e.workers / fanout
+	extra := e.workers % fanout
+	if perQuery < 1 {
+		perQuery = 1
+		extra = 0
+	}
+	ctx, cancelBatch := context.WithCancel(ctx)
+	defer cancelBatch()
+
+	results := make([]*MatchResult, len(ps))
+	// The first real failure is latched before the batch is cancelled, so
+	// sibling queries aborting with context.Canceled cannot mask it.
+	var errOnce sync.Once
+	var batchErr error
+	var wg sync.WaitGroup
+	idxCh := make(chan int)
+	for w := 0; w < fanout; w++ {
+		laneWorkers := perQuery
+		if w < extra {
+			laneWorkers++
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each fan-out worker probes a private clone of the shared
+			// oracle (the matrix oracle is itself concurrency-safe and
+			// clones to itself; BFS-backed oracles clone their frontier
+			// caches but share the frozen snapshot and 2-hop labelling).
+			wo := o
+			if c, ok := o.(core.WorkerCloner); ok {
+				wo = c.CloneForWorker()
+			}
+			for i := range idxCh {
+				var cs core.Stats
+				start := time.Now()
+				res, err := core.MatchOpts(ctx, ps[i], e.g, wo, &cs, core.MatchOptions{
+					Workers: laneWorkers,
+					Frozen:  f,
+				})
+				if err != nil {
+					errOnce.Do(func() {
+						batchErr = err
+						cancelBatch()
+					})
+					continue
+				}
+				results[i] = &MatchResult{Result: res, Stats: MatchStats{
+					Oracle:        e.kind,
+					MatchTime:     time.Since(start),
+					OracleQueries: cs.OracleQueries,
+					Removals:      cs.Removals,
+					InitialPairs:  cs.InitialPairs,
+				}}
+			}
+		}()
+	}
+	for i := range ps {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	if batchErr != nil {
+		return nil, batchErr
+	}
+	results[0].Stats.OracleBuild = built
+	return results, nil
+}
+
 // Simulate computes plain graph simulation of p (every pattern edge
 // bound must be 1) against the bound graph.
 func (e *Engine) Simulate(ctx context.Context, p *Pattern) (*SimulationResult, error) {
@@ -280,7 +425,7 @@ func (e *Engine) Simulate(ctx context.Context, p *Pattern) (*SimulationResult, e
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	start := time.Now()
-	rel, ok, err := simulation.RunContext(ctx, p, e.g)
+	rel, ok, err := simulation.RunFrozen(ctx, p, e.frozen())
 	if err != nil {
 		return nil, err
 	}
@@ -318,7 +463,7 @@ func (e *Engine) ResultGraph(res *MatchResult) *ResultGraph {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	o, _ := e.queryOracle()
-	return core.BuildResultGraph(res.Result, o)
+	return core.BuildResultGraphFrozen(res.Result, o, e.frozen())
 }
 
 // Watch starts maintaining the maximum match of p incrementally (the
@@ -360,12 +505,14 @@ func (e *Engine) Update(updates ...Update) ([]WatchDelta, error) {
 			return nil, err
 		}
 	}
-	// The main matrix was maintained in place; color submatrices and the
-	// 2-hop labelling were not, so drop them for lazy rebuild.
+	// The main matrix was maintained in place; color submatrices, the
+	// 2-hop labelling and the frozen CSR snapshot were not, so drop them
+	// for lazy rebuild.
 	if mo := e.mo.Load(); mo != nil {
 		mo.InvalidateColors()
 	}
 	e.idx.Store(nil)
+	e.fz.Store(nil)
 	return deltas, nil
 }
 

@@ -69,6 +69,7 @@ func All(cfg Config) []*Table {
 		TwoHopStats(cfg),
 		Ablation(cfg),
 		EngineThroughput(cfg),
+		ParallelSpeedup(cfg),
 	}
 }
 
@@ -119,7 +120,9 @@ func ByID(id string, cfg Config) ([]*Table, error) {
 		return []*Table{Ablation(cfg)}, nil
 	case "engine":
 		return []*Table{EngineThroughput(cfg)}, nil
+	case "parallel", "parallel-speedup":
+		return []*Table{ParallelSpeedup(cfg)}, nil
 	default:
-		return nil, fmt.Errorf("bench: unknown experiment %q (want all, datasets, 6a, 6b, 6c, 6d, 6e, 6f, 6g, 6h, 6i, 6j, 6k, fig9, gr, aff, 2hop, ablation, engine)", id)
+		return nil, fmt.Errorf("bench: unknown experiment %q (want all, datasets, 6a, 6b, 6c, 6d, 6e, 6f, 6g, 6h, 6i, 6j, 6k, fig9, gr, aff, 2hop, ablation, engine, parallel)", id)
 	}
 }

@@ -22,6 +22,7 @@ func Fig6e(cfg Config) *Table {
 		g := dataset(cfg, name)
 		oracle := core.BuildMatrixOracle(g)
 		hop := core.BuildTwoHopOracle(g)
+		fz := g.Freeze() // outside the timed region: the table excludes precomputation
 		for _, shape := range [][2]int{{4, 4}, {8, 8}} {
 			ps := patternBatch(cfg, g, cfg.Patterns, shape[0], shape[1], 4)
 			var m, h, b time.Duration
@@ -32,7 +33,7 @@ func Fig6e(cfg Config) *Table {
 				h += timed(func() { core.MatchWithOracle(p, g, hop) })
 			}
 			for _, p := range ps {
-				bo := core.NewBFSOracle(g)
+				bo := core.NewBFSOracleFrozen(fz)
 				b += timed(func() { core.MatchWithOracle(p, g, bo) })
 			}
 			t.AddRow(name, fmt.Sprintf("P(%d,%d,4)", shape[0], shape[1]),
@@ -68,6 +69,7 @@ func Fig6fgh(cfg Config, factor int) *Table {
 	}
 	oracle := core.BuildMatrixOracle(g)
 	hop := core.BuildTwoHopOracle(g)
+	fz := g.Freeze() // outside the timed region: the table excludes precomputation
 	for size := 4; size <= 10; size++ {
 		ps := patternBatch(cfg, g, cfg.Patterns, size, size, 3)
 		var m, h, b time.Duration
@@ -78,7 +80,7 @@ func Fig6fgh(cfg Config, factor int) *Table {
 			h += timed(func() { core.MatchWithOracle(p, g, hop) })
 		}
 		for _, p := range ps {
-			bo := core.NewBFSOracle(g)
+			bo := core.NewBFSOracleFrozen(fz)
 			b += timed(func() { core.MatchWithOracle(p, g, bo) })
 		}
 		t.AddRow(fmt.Sprintf("P(%d,%d,3)", size, size),

@@ -142,25 +142,55 @@ func MatchWithOracle(p *pattern.Pattern, g *graph.Graph, o DistOracle) (*Result,
 // cancelled context aborts the fixpoint with ctx.Err()), and when stats
 // is non-nil the query's work counters are accumulated into it.
 func MatchContext(ctx context.Context, p *pattern.Pattern, g *graph.Graph, o DistOracle, stats *Stats) (*Result, error) {
+	return MatchOpts(ctx, p, g, o, stats, MatchOptions{})
+}
+
+// MatchOptions tunes one MatchOpts call beyond the defaults.
+type MatchOptions struct {
+	// Workers shards the candidate and counter initialisation — the
+	// quadratic O(|Ep||V|²) phase of Theorem 3.1 — across this many
+	// goroutines. Values <= 1 run fully sequentially. Parallel runs
+	// require an oracle implementing WorkerCloner (all three built-in
+	// oracles do); unknown oracles silently fall back to sequential.
+	// The refinement cascade itself stays single-threaded: the greatest
+	// fixpoint is unique (Proposition 2.1), so the result is identical
+	// for every worker count.
+	Workers int
+	// Frozen, when non-nil, is a pre-frozen snapshot of the data graph
+	// reused by the walk prober and the parallel phases; callers serving
+	// many queries (the engine layer) pass their cached snapshot so each
+	// query skips the O(|V|+|E|) freeze.
+	Frozen *graph.Frozen
+}
+
+// MatchOpts is MatchContext with explicit MatchOptions.
+func MatchOpts(ctx context.Context, p *pattern.Pattern, g *graph.Graph, o DistOracle, stats *Stats, opts MatchOptions) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	base := o
 	if stats != nil {
 		o = &countingOracle{inner: o, n: &stats.OracleQueries}
 	}
 	st := newState(p, g, o)
+	st.f = opts.Frozen
 	st.poll = cancel.Every(ctx, cancelPollInterval)
 	st.stats = stats
-	if err := st.initCandidates(); err != nil {
-		return nil, err
+	workers := opts.Workers
+	if _, ok := base.(WorkerCloner); !ok {
+		workers = 1
 	}
-	if stats != nil {
-		for _, s := range st.matSize {
-			stats.InitialPairs += int64(s)
+	if workers > 1 {
+		if err := st.parallelInit(ctx, base, workers); err != nil {
+			return nil, err
 		}
-	}
-	if err := st.initCounters(); err != nil {
-		return nil, err
+	} else {
+		if err := st.initCandidates(); err != nil {
+			return nil, err
+		}
+		if err := st.initCountersFinish(); err != nil {
+			return nil, err
+		}
 	}
 	if err := st.refine(); err != nil {
 		return nil, err
@@ -168,11 +198,23 @@ func MatchContext(ctx context.Context, p *pattern.Pattern, g *graph.Graph, o Dis
 	return st.result(), nil
 }
 
+// initCountersFinish records InitialPairs then fills the counters — the
+// sequential tail shared by MatchOpts and tests.
+func (st *state) initCountersFinish() error {
+	if st.stats != nil {
+		for _, s := range st.matSize {
+			st.stats.InitialPairs += int64(s)
+		}
+	}
+	return st.initCounters()
+}
+
 // state carries the refinement data shared by the batch algorithm here
 // and the incremental matcher built on top of it.
 type state struct {
 	p *pattern.Pattern
 	g *graph.Graph
+	f *graph.Frozen // lazy CSR snapshot; shared with workers and the walk prober
 	o DistOracle
 
 	cand    [][]int32 // static candidate lists (predicate + out-degree test)
@@ -198,6 +240,15 @@ type removalItem struct {
 
 func newState(p *pattern.Pattern, g *graph.Graph, o DistOracle) *state {
 	return &state{p: p, g: g, o: o}
+}
+
+// frozen returns the CSR snapshot of the data graph, freezing on first
+// use when the caller did not supply one.
+func (st *state) frozen() *graph.Frozen {
+	if st.f == nil {
+		st.f = st.g.Freeze()
+	}
+	return st.f
 }
 
 // initCandidates computes cand(u): data nodes satisfying fv(u) whose
@@ -328,7 +379,7 @@ func MatchNaive(p *pattern.Pattern, g *graph.Graph, o DistOracle) (*Result, erro
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	witness := witnessFunc(g, o)
+	witness := witnessFunc(g, nil, o)
 	np, n := p.N(), g.N()
 	sim := make([][]bool, np)
 	for u := 0; u < np; u++ {
@@ -383,7 +434,7 @@ func IsMatch(p *pattern.Pattern, g *graph.Graph, rel [][]int32, o DistOracle) bo
 	if len(rel) != p.N() {
 		return false
 	}
-	witness := witnessFunc(g, o)
+	witness := witnessFunc(g, nil, o)
 	in := make([][]bool, p.N())
 	for u := range in {
 		in[u] = make([]bool, g.N())
@@ -418,13 +469,18 @@ func IsMatch(p *pattern.Pattern, g *graph.Graph, rel [][]int32, o DistOracle) bo
 }
 
 // witnessFunc returns a probe closure answering plain edges through the
-// oracle and ranged edges through a shared walk prober.
-func witnessFunc(g *graph.Graph, o DistOracle) func(x, z int, e pattern.Edge) int {
+// oracle and ranged edges through a shared walk prober. f, when non-nil,
+// is a pre-frozen snapshot of g for the prober; nil freezes lazily on the
+// first ranged probe.
+func witnessFunc(g *graph.Graph, f *graph.Frozen, o DistOracle) func(x, z int, e pattern.Edge) int {
 	var wp *walkProber
 	return func(x, z int, e pattern.Edge) int {
 		if e.Ranged() {
 			if wp == nil {
-				wp = newWalkProber(g)
+				if f == nil {
+					f = g.Freeze()
+				}
+				wp = newWalkProber(f)
 			}
 			return wp.WalkWithin(x, z, e.MinBound, e.Bound, e.Color, false)
 		}

@@ -26,6 +26,26 @@ type DistOracle interface {
 	NonemptyDistWithin(u, v, bound int, color string) int
 }
 
+// WorkerCloner is implemented by oracles that can hand out additional
+// instances for concurrent workers. A clone shares the oracle's immutable
+// indexes (distance matrix, 2-hop labelling, frozen adjacency) but owns
+// any mutable per-query caches, so each worker of the parallel fixpoint
+// probes its clone without locking. Oracles that are themselves safe for
+// concurrent use may return themselves.
+type WorkerCloner interface {
+	CloneForWorker() DistOracle
+}
+
+// cloneForWorker returns a worker-private view of o, or nil when o cannot
+// be shared across goroutines (unknown user-supplied oracle): callers
+// must then fall back to sequential matching.
+func cloneForWorker(o DistOracle) DistOracle {
+	if c, ok := o.(WorkerCloner); ok {
+		return c.CloneForWorker()
+	}
+	return nil
+}
+
 func clampToBound(d, bound int) int {
 	if d < 0 || (bound >= 0 && d > bound) {
 		return -1
@@ -38,14 +58,22 @@ func clampToBound(d, bound int) int {
 // Per-color sub-matrices for the edge-color extension are built lazily.
 //
 // Unlike the BFS-backed oracles, a MatrixOracle is safe for concurrent
-// queries as long as the graph and matrix are not mutated meanwhile:
-// the plain-edge path reads the immutable matrix only, and the lazy
-// color-submatrix cache is guarded by a mutex.
+// queries as long as the graph and matrix are not mutated meanwhile: the
+// plain-edge path reads the immutable matrix only, and the lazy
+// color-submatrix cache is guarded by a mutex around a per-color
+// sync.Once, so distinct colors build concurrently while racing builders
+// of the same color coalesce into one build.
 type MatrixOracle struct {
 	g       *graph.Graph
 	m       *matrix.Matrix
-	colorMu sync.RWMutex
-	colors  map[string]*matrix.Matrix // distance matrices of color subgraphs
+	colorMu sync.Mutex
+	colors  map[string]*colorEntry // distance matrices of color subgraphs
+}
+
+// colorEntry coalesces concurrent builds of one color submatrix.
+type colorEntry struct {
+	once sync.Once
+	m    *matrix.Matrix
 }
 
 // NewMatrixOracle wraps an existing matrix; the matrix must describe g.
@@ -62,6 +90,10 @@ func BuildMatrixOracle(g *graph.Graph) *MatrixOracle {
 // Matrix exposes the underlying distance matrix.
 func (o *MatrixOracle) Matrix() *matrix.Matrix { return o.m }
 
+// CloneForWorker implements WorkerCloner: the oracle itself is safe for
+// concurrent queries.
+func (o *MatrixOracle) CloneForWorker() DistOracle { return o }
+
 // NonemptyDistWithin implements DistOracle.
 func (o *MatrixOracle) NonemptyDistWithin(u, v, bound int, color string) int {
 	m := o.m
@@ -72,30 +104,29 @@ func (o *MatrixOracle) NonemptyDistWithin(u, v, bound int, color string) int {
 }
 
 func (o *MatrixOracle) colorMatrix(color string) *matrix.Matrix {
-	o.colorMu.RLock()
-	m, ok := o.colors[color]
-	o.colorMu.RUnlock()
-	if ok {
-		return m
-	}
 	o.colorMu.Lock()
-	defer o.colorMu.Unlock()
-	if m, ok := o.colors[color]; ok { // raced with another builder
-		return m
-	}
-	// Build the color subgraph once and take its matrix.
-	sub := graph.New(o.g.N())
-	o.g.Edges(func(u, v int) {
-		if c, _ := o.g.Color(u, v); c == color {
-			sub.AddEdge(u, v)
-		}
-	})
-	m = matrix.New(sub)
 	if o.colors == nil {
-		o.colors = make(map[string]*matrix.Matrix)
+		o.colors = make(map[string]*colorEntry)
 	}
-	o.colors[color] = m
-	return m
+	e, ok := o.colors[color]
+	if !ok {
+		e = &colorEntry{}
+		o.colors[color] = e
+	}
+	o.colorMu.Unlock()
+	e.once.Do(func() {
+		// Build the color subgraph once and take its matrix; matrix.New
+		// itself fans the per-source BFS across all CPUs. Other colors
+		// build concurrently — only same-color builders wait here.
+		sub := graph.New(o.g.N())
+		o.g.Edges(func(u, v int) {
+			if c, _ := o.g.Color(u, v); c == color {
+				sub.AddEdge(u, v)
+			}
+		})
+		e.m = matrix.New(sub)
+	})
+	return e.m
 }
 
 // InvalidateColors drops the cached color submatrices. The engine layer
@@ -133,31 +164,60 @@ func (c *bfsCache) reset(node int, color string, n int) {
 	c.valid = true
 }
 
-// BFSOracle answers queries by breadth-first search, caching the last
-// forward frontier (distances from one source) and the last backward
-// frontier (distances to one target). Match's loops fix one endpoint and
-// sweep the other, so almost every query after the first per group is a
-// cache hit; this is the paper's "BFS" variant.
+// BFSOracle answers queries by breadth-first search over a frozen CSR
+// snapshot, caching the last forward frontier (distances from one source)
+// and the last backward frontier (distances to one target). Match's loops
+// fix one endpoint and sweep the other, so almost every query after the
+// first per group is a cache hit; this is the paper's "BFS" variant.
+//
+// A BFSOracle is single-goroutine state; for parallel matching each
+// worker takes a CloneForWorker, which shares the snapshot but owns its
+// frontier caches.
 type BFSOracle struct {
-	g        *graph.Graph
+	g        *graph.Graph  // nil for snapshot-only oracles
+	f        *graph.Frozen // lazily frozen from g when nil
 	fwd, bwd bfsCache
 	lastU    int
 	lastV    int
 }
 
-// NewBFSOracle returns a BFS-based oracle over g. The oracle reads the
-// graph live: mutate the graph and subsequent queries see the new state
-// (caches are invalidated via Invalidate).
+// NewBFSOracle returns a BFS-based oracle over g. The graph is frozen on
+// first use; after mutating g, call Invalidate to re-freeze and drop
+// cached frontiers.
 func NewBFSOracle(g *graph.Graph) *BFSOracle {
 	return &BFSOracle{g: g, lastU: -1, lastV: -1}
 }
 
-// Invalidate drops cached frontiers; callers must invoke it after the
-// graph changes.
+// NewBFSOracleFrozen returns a BFS oracle over an existing immutable
+// snapshot, skipping the freeze NewBFSOracle would pay. The engine layer
+// uses this to serve per-query oracles from its cached snapshot.
+func NewBFSOracleFrozen(f *graph.Frozen) *BFSOracle {
+	return &BFSOracle{f: f, lastU: -1, lastV: -1}
+}
+
+// CloneForWorker implements WorkerCloner: the clone shares the frozen
+// snapshot and starts with empty frontier caches.
+func (o *BFSOracle) CloneForWorker() DistOracle {
+	return NewBFSOracleFrozen(o.frozen())
+}
+
+func (o *BFSOracle) frozen() *graph.Frozen {
+	if o.f == nil {
+		o.f = o.g.Freeze()
+	}
+	return o.f
+}
+
+// Invalidate drops cached frontiers and the frozen snapshot; callers must
+// invoke it after the graph changes. Snapshot-only oracles (built with
+// NewBFSOracleFrozen) keep their snapshot — it is immutable by contract.
 func (o *BFSOracle) Invalidate() {
 	o.fwd.valid = false
 	o.bwd.valid = false
 	o.lastU, o.lastV = -1, -1
+	if o.g != nil {
+		o.f = nil
+	}
 }
 
 // NonemptyDistWithin implements DistOracle.
@@ -196,12 +256,11 @@ func (o *BFSOracle) cycleLen(u int, color string) int {
 	if !(o.bwd.valid && o.bwd.node == u && o.bwd.color == color) {
 		o.buildBackward(u, color)
 	}
+	f := o.frozen()
 	best := -1
-	for _, w := range o.g.Out(u) {
-		if color != "" {
-			if c, _ := o.g.Color(u, int(w)); c != color {
-				continue
-			}
+	for _, w := range f.Out(u) {
+		if color != "" && f.Color(u, int(w)) != color {
+			continue
 		}
 		if dw := o.bwd.dist[w]; dw >= 0 && (best < 0 || int(dw)+1 < best) {
 			best = int(dw) + 1
@@ -211,19 +270,19 @@ func (o *BFSOracle) cycleLen(u int, color string) int {
 }
 
 func (o *BFSOracle) buildForward(u int, color string) {
-	o.fwd.reset(u, color, o.g.N())
-	bfsDirected(o.g, u, color, false, o.fwd.dist, &o.fwd.scratch)
+	o.fwd.reset(u, color, o.frozen().N())
+	bfsDirected(o.frozen(), u, color, false, o.fwd.dist, &o.fwd.scratch)
 }
 
 func (o *BFSOracle) buildBackward(v int, color string) {
-	o.bwd.reset(v, color, o.g.N())
-	bfsDirected(o.g, v, color, true, o.bwd.dist, &o.bwd.scratch)
+	o.bwd.reset(v, color, o.frozen().N())
+	bfsDirected(o.frozen(), v, color, true, o.bwd.dist, &o.bwd.scratch)
 }
 
-// bfsDirected runs an unbounded BFS from src into dist (pre-filled -1),
-// following in-edges when reverse is true and, when color is non-empty,
-// only edges of that color.
-func bfsDirected(g *graph.Graph, src int, color string, reverse bool, dist []int32, scratch *[]int32) {
+// bfsDirected runs an unbounded BFS from src into dist (pre-filled -1)
+// over the frozen snapshot, following in-edges when reverse is true and,
+// when color is non-empty, only edges of that color.
+func bfsDirected(f *graph.Frozen, src int, color string, reverse bool, dist []int32, scratch *[]int32) {
 	queue := (*scratch)[:0]
 	dist[src] = 0
 	queue = append(queue, int32(src))
@@ -232,9 +291,9 @@ func bfsDirected(g *graph.Graph, src int, color string, reverse bool, dist []int
 		dx := dist[x]
 		var nbrs []int32
 		if reverse {
-			nbrs = g.In(int(x))
+			nbrs = f.In(int(x))
 		} else {
-			nbrs = g.Out(int(x))
+			nbrs = f.Out(int(x))
 		}
 		for _, y := range nbrs {
 			if dist[y] >= 0 {
@@ -243,9 +302,9 @@ func bfsDirected(g *graph.Graph, src int, color string, reverse bool, dist []int
 			if color != "" {
 				var c string
 				if reverse {
-					c, _ = g.Color(int(y), int(x))
+					c = f.Color(int(y), int(x))
 				} else {
-					c, _ = g.Color(int(x), int(y))
+					c = f.Color(int(x), int(y))
 				}
 				if c != color {
 					continue
@@ -266,12 +325,17 @@ func bfsDirected(g *graph.Graph, src int, color string, reverse bool, dist []int
 type TwoHopOracle struct {
 	idx *twohop.Index
 	bfs *BFSOracle
-	g   *graph.Graph
 }
 
 // NewTwoHopOracle wraps a prebuilt index over g.
 func NewTwoHopOracle(g *graph.Graph, idx *twohop.Index) *TwoHopOracle {
-	return &TwoHopOracle{idx: idx, bfs: NewBFSOracle(g), g: g}
+	return &TwoHopOracle{idx: idx, bfs: NewBFSOracle(g)}
+}
+
+// NewTwoHopOracleFrozen wraps a prebuilt index over an existing frozen
+// snapshot, skipping the freeze NewTwoHopOracle would pay on first use.
+func NewTwoHopOracleFrozen(f *graph.Frozen, idx *twohop.Index) *TwoHopOracle {
+	return &TwoHopOracle{idx: idx, bfs: NewBFSOracleFrozen(f)}
 }
 
 // BuildTwoHopOracle constructs the labelling for g and wraps it.
@@ -282,9 +346,15 @@ func BuildTwoHopOracle(g *graph.Graph) *TwoHopOracle {
 // Index exposes the underlying 2-hop labelling.
 func (o *TwoHopOracle) Index() *twohop.Index { return o.idx }
 
+// CloneForWorker implements WorkerCloner: the clone shares the labelling
+// and the frozen snapshot but owns its BFS frontier caches.
+func (o *TwoHopOracle) CloneForWorker() DistOracle {
+	return &TwoHopOracle{idx: o.idx, bfs: NewBFSOracleFrozen(o.bfs.frozen())}
+}
+
 // NonemptyDistWithin implements DistOracle.
 func (o *TwoHopOracle) NonemptyDistWithin(u, v, bound int, color string) int {
-	if !o.idx.ReachableNonempty(o.g, u, v) {
+	if !o.idx.ReachableNonempty(o.bfs.frozen(), u, v) {
 		return -1
 	}
 	return o.bfs.NonemptyDistWithin(u, v, bound, color)

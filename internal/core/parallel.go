@@ -1,0 +1,257 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"gpm/internal/cancel"
+	"gpm/internal/graph"
+	"gpm/internal/pattern"
+)
+
+// This file shards the two initialisation phases of the bounded-simulation
+// fixpoint across a worker pool: candidate filtering (O(|Vp||V|) predicate
+// tests) and counter seeding (the O(|Ep||V|²) distance probes that
+// dominate Theorem 3.1's bound). The refinement cascade that follows stays
+// sequential — removals are a tiny fraction of the probes, and the
+// greatest fixpoint is unique regardless of removal order, so parallel and
+// sequential runs produce bit-identical results.
+//
+// Each worker owns a workerProbe: a clone of the distance oracle (shared
+// immutable indexes, private frontier caches — see WorkerCloner), a
+// private walk prober for ranged edges, a private cancellation poller and
+// a local probe counter, so the hot loops run without any locking.
+
+// minShardWork is the smallest number of per-task loop iterations worth a
+// task switch; below it, sharding overhead beats the parallel gain.
+const minShardWork = 256
+
+// workerProbe is the per-goroutine probing state of one parallel phase.
+type workerProbe struct {
+	o       DistOracle
+	walks   *walkProber
+	f       *graph.Frozen
+	poll    cancel.Poller
+	queries int64
+}
+
+// edgeWitness mirrors state.edgeWitness against worker-private state.
+func (w *workerProbe) edgeWitness(x, z int, e pattern.Edge) int {
+	if e.Ranged() {
+		if w.walks == nil {
+			w.walks = newWalkProber(w.f)
+		}
+		return w.walks.WalkWithin(x, z, e.MinBound, e.Bound, e.Color, false)
+	}
+	w.queries++
+	return w.o.NonemptyDistWithin(x, z, e.Bound, e.Color)
+}
+
+// abortFlag latches the first error of a worker pool.
+type abortFlag struct {
+	stop atomic.Bool
+	once sync.Once
+	err  error
+}
+
+func (a *abortFlag) set(err error) {
+	a.once.Do(func() {
+		a.err = err
+		a.stop.Store(true)
+	})
+}
+
+// runShards feeds task indexes 0..tasks-1 to a pool of probes. run must
+// only touch state disjoint per task (or read-only shared state). The
+// first error stops the pool; remaining tasks are skipped.
+func runShards(probes []*workerProbe, tasks int, run func(p *workerProbe, task int) error) error {
+	if len(probes) == 1 {
+		for t := 0; t < tasks; t++ {
+			if err := run(probes[0], t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	ch := make(chan int)
+	var ab abortFlag
+	var wg sync.WaitGroup
+	for _, p := range probes {
+		wg.Add(1)
+		go func(p *workerProbe) {
+			defer wg.Done()
+			for t := range ch {
+				if ab.stop.Load() {
+					continue
+				}
+				if err := run(p, t); err != nil {
+					ab.set(err)
+				}
+			}
+		}(p)
+	}
+	for t := 0; t < tasks; t++ {
+		if ab.stop.Load() {
+			break
+		}
+		ch <- t
+	}
+	close(ch)
+	wg.Wait()
+	return ab.err
+}
+
+// shardSpans splits [0, n) into spans of roughly equal size targeting a
+// few tasks per worker, but never below minWork iterations each (workUnit
+// is the inner-loop cost of one index).
+func shardSpans(n, workers, workUnit int) [][2]int {
+	if n == 0 {
+		return nil
+	}
+	if workUnit < 1 {
+		workUnit = 1
+	}
+	size := (n + 4*workers - 1) / (4 * workers)
+	if size*workUnit < minShardWork {
+		size = (minShardWork + workUnit - 1) / workUnit
+	}
+	var spans [][2]int
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		spans = append(spans, [2]int{lo, hi})
+	}
+	return spans
+}
+
+// parallelInit runs initCandidates and initCounters sharded across
+// workers. base is the unwrapped oracle (WorkerCloner-capable, checked by
+// the caller); probe counts are aggregated into st.stats at the end.
+func (st *state) parallelInit(ctx context.Context, base DistOracle, workers int) error {
+	np, n := st.p.N(), st.g.N()
+	f := st.frozen()
+
+	probes := make([]*workerProbe, workers)
+	for w := range probes {
+		probes[w] = &workerProbe{
+			o:    cloneForWorker(base),
+			f:    f,
+			poll: cancel.Every(ctx, cancelPollInterval),
+		}
+	}
+
+	// Phase 1: candidate filtering, sharded over (pattern node, data-node
+	// span). Writes are disjoint: each (u, x) belongs to exactly one task.
+	st.cand = make([][]int32, np)
+	st.inCand = make([][]bool, np)
+	st.inMat = make([][]bool, np)
+	st.matSize = make([]int, np)
+	for u := 0; u < np; u++ {
+		st.inCand[u] = make([]bool, n)
+		st.inMat[u] = make([]bool, n)
+	}
+	type candTask struct {
+		u      int
+		lo, hi int
+	}
+	var candTasks []candTask
+	for u := 0; u < np; u++ {
+		for _, s := range shardSpans(n, workers, 1) {
+			candTasks = append(candTasks, candTask{u, s[0], s[1]})
+		}
+	}
+	candOut := make([][]int32, len(candTasks))
+	err := runShards(probes, len(candTasks), func(p *workerProbe, t int) error {
+		task := candTasks[t]
+		u := task.u
+		pred := st.p.Pred(u)
+		needsOut := st.p.OutDegree(u) > 0
+		var local []int32
+		for x := task.lo; x < task.hi; x++ {
+			if err := p.poll.Err(); err != nil {
+				return err
+			}
+			if needsOut && f.OutDegree(x) == 0 {
+				continue
+			}
+			if !pred.Match(f.Attr(x)) {
+				continue
+			}
+			local = append(local, int32(x))
+			st.inCand[u][x] = true
+			st.inMat[u][x] = true
+		}
+		candOut[t] = local
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Concatenate spans in task order: cand lists come out identical to a
+	// sequential run (ascending data-node ids).
+	for t, task := range candTasks {
+		st.cand[task.u] = append(st.cand[task.u], candOut[t]...)
+		st.matSize[task.u] += len(candOut[t])
+	}
+	if st.stats != nil {
+		for _, s := range st.matSize {
+			st.stats.InitialPairs += int64(s)
+		}
+	}
+
+	// Phase 2: counter seeding, sharded over (pattern edge, candidate
+	// span). cnt rows are per-edge and candidate spans are disjoint, so
+	// writes never collide; inMat is read-only during this phase.
+	st.cnt = make([][]int32, st.p.EdgeCount())
+	type cntTask struct {
+		eid    int
+		lo, hi int
+	}
+	var cntTasks []cntTask
+	for eid := 0; eid < st.p.EdgeCount(); eid++ {
+		st.cnt[eid] = make([]int32, n)
+		e := st.p.EdgeAt(eid)
+		for _, s := range shardSpans(len(st.cand[e.From]), workers, len(st.cand[e.To])) {
+			cntTasks = append(cntTasks, cntTask{eid, s[0], s[1]})
+		}
+	}
+	seeds := make([][]removalItem, len(cntTasks))
+	err = runShards(probes, len(cntTasks), func(p *workerProbe, t int) error {
+		task := cntTasks[t]
+		e := st.p.EdgeAt(task.eid)
+		c := st.cnt[task.eid]
+		var local []removalItem
+		for _, x := range st.cand[e.From][task.lo:task.hi] {
+			for _, z := range st.cand[e.To] {
+				if err := p.poll.Err(); err != nil {
+					return err
+				}
+				if st.inMat[e.To][z] && p.edgeWitness(int(x), int(z), e) >= 0 {
+					c[x]++
+				}
+			}
+			if c[x] == 0 {
+				local = append(local, removalItem{int32(e.From), x})
+			}
+		}
+		seeds[t] = local
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Deterministic worklist: seeds appended in task order, matching the
+	// sequential edge-major, candidate-ascending order.
+	for _, s := range seeds {
+		st.work = append(st.work, s...)
+	}
+	if st.stats != nil {
+		for _, p := range probes {
+			st.stats.OracleQueries += p.queries
+		}
+	}
+	return nil
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"gpm/internal/graph"
 )
 
 // ResultEdge is one edge of a result graph: data nodes From and To are
@@ -30,6 +32,14 @@ type ResultGraph struct {
 // oracle for witness distances. For an empty or failed match it returns
 // an empty graph.
 func BuildResultGraph(res *Result, o DistOracle) *ResultGraph {
+	return BuildResultGraphFrozen(res, o, nil)
+}
+
+// BuildResultGraphFrozen is BuildResultGraph with a pre-frozen snapshot
+// of the data graph for ranged-edge walk probes (nil freezes lazily);
+// the engine layer passes its cached snapshot so repeated result-graph
+// materialisations skip the O(|V|+|E|) freeze.
+func BuildResultGraphFrozen(res *Result, o DistOracle, f *graph.Frozen) *ResultGraph {
 	rg := &ResultGraph{}
 	if !res.OK() {
 		return rg
@@ -49,7 +59,7 @@ func BuildResultGraph(res *Result, o DistOracle) *ResultGraph {
 	for i, x := range rg.Nodes {
 		rg.Matched[i] = matchedBy[x]
 	}
-	witness := witnessFunc(res.Graph(), o)
+	witness := witnessFunc(res.Graph(), f, o)
 	for eid := 0; eid < p.EdgeCount(); eid++ {
 		e := p.EdgeAt(eid)
 		for _, v1 := range res.Mat(e.From) {

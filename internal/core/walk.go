@@ -15,7 +15,7 @@ import (
 // direction, color) in the source-major / target-major access patterns
 // the matching fixpoint generates.
 type walkProber struct {
-	g        *graph.Graph
+	f        *graph.Frozen
 	fwd, bwd walkCache
 }
 
@@ -29,7 +29,7 @@ type walkCache struct {
 	inCur []bool
 }
 
-func newWalkProber(g *graph.Graph) *walkProber { return &walkProber{g: g} }
+func newWalkProber(f *graph.Frozen) *walkProber { return &walkProber{f: f} }
 
 // rangeMask has bits lo..hi set.
 func rangeMask(lo, hi int) uint64 {
@@ -89,7 +89,7 @@ func (w *walkProber) WalkWithin(u, v, lo, hi int, color string, preferBackward b
 // build runs the layered expansion from node (over in-edges when reverse)
 // for MaxRangeBound steps, filling c.mask.
 func (w *walkProber) build(c *walkCache, node int, color string, reverse bool) {
-	n := w.g.N()
+	n := w.f.N()
 	if c.mask == nil || len(c.mask) != n {
 		c.mask = make([]uint64, n)
 		c.cur = make([]int32, 0, n)
@@ -111,17 +111,17 @@ func (w *walkProber) build(c *walkCache, node int, color string, reverse bool) {
 		for _, x := range cur {
 			var nbrs []int32
 			if reverse {
-				nbrs = w.g.In(int(x))
+				nbrs = w.f.In(int(x))
 			} else {
-				nbrs = w.g.Out(int(x))
+				nbrs = w.f.Out(int(x))
 			}
 			for _, y := range nbrs {
 				if color != "" {
 					var ec string
 					if reverse {
-						ec, _ = w.g.Color(int(y), int(x))
+						ec = w.f.Color(int(y), int(x))
 					} else {
-						ec, _ = w.g.Color(int(x), int(y))
+						ec = w.f.Color(int(x), int(y))
 					}
 					if ec != color {
 						continue
@@ -154,7 +154,7 @@ func (w *walkProber) Invalidate() {
 func (st *state) edgeWitness(x, z int, e pattern.Edge, preferBackward bool) int {
 	if e.Ranged() {
 		if st.walks == nil {
-			st.walks = newWalkProber(st.g)
+			st.walks = newWalkProber(st.frozen())
 		}
 		return st.walks.WalkWithin(x, z, e.MinBound, e.Bound, e.Color, preferBackward)
 	}

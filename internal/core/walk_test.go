@@ -46,7 +46,7 @@ func TestWalkProberHandCases(t *testing.T) {
 	g.AddEdge(1, 2)
 	g.AddEdge(2, 3)
 	g.AddEdge(0, 3)
-	w := newWalkProber(g)
+	w := newWalkProber(g.Freeze())
 	if got := w.WalkWithin(0, 3, 1, 1, "", false); got != 1 {
 		t.Errorf("lo=1,hi=1: %d, want 1 (the shortcut)", got)
 	}
@@ -69,7 +69,7 @@ func TestWalkProberRepeatsVertices(t *testing.T) {
 	g.AddEdge(0, 1)
 	g.AddEdge(1, 0)
 	g.AddEdge(0, 2)
-	w := newWalkProber(g)
+	w := newWalkProber(g.Freeze())
 	if got := w.WalkWithin(0, 2, 2, 4, "", false); got != 3 {
 		t.Errorf("walk with revisit: %d, want 3", got)
 	}
@@ -93,7 +93,7 @@ func TestWalkProberAgainstNaive(t *testing.T) {
 		for g.M() < edges {
 			g.AddColoredEdge(r.Intn(n), r.Intn(n), colors[r.Intn(2)])
 		}
-		w := newWalkProber(g)
+		w := newWalkProber(g.Freeze())
 		for i := 0; i < 80; i++ {
 			u, v := r.Intn(n), r.Intn(n)
 			lo := 1 + r.Intn(6)

@@ -1,0 +1,141 @@
+// Package difftest is the cross-semantics differential test harness: on
+// generator-produced random graph/pattern pairs it checks the precise
+// containment and equivalence relationships between the five matching
+// semantics the engine serves, and uses them as oracles for the parallel
+// matching core:
+//
+//   - plain simulation is bounded simulation with every bound fixed to 1
+//     (paper §2.2, remark 2), so Match and Simulate must agree exactly on
+//     all-bounds-one patterns;
+//   - every subgraph-isomorphism embedding is itself a bounded simulation,
+//     so each VF2/Ullmann match pair must be contained in the maximum
+//     bounded-simulation relation;
+//   - the matrix, BFS and 2-hop oracles answer the same distance queries,
+//     so Match results must be identical across them;
+//   - the greatest fixpoint is unique (Proposition 2.1), so parallel
+//     matching (WithWorkers(N)) must be bit-identical to sequential
+//     (WithWorkers(1)) on every seed.
+//
+// The helpers here generate the random workloads and compare relations;
+// the assertions live in the package's tests.
+package difftest
+
+import (
+	"fmt"
+
+	"gpm"
+	"gpm/internal/generator"
+)
+
+// Workload is one generated data graph with a batch of patterns.
+type Workload struct {
+	Seed     int64
+	G        *gpm.Graph
+	Patterns []*gpm.Pattern
+}
+
+// Config shapes NewWorkload's output.
+type Config struct {
+	Nodes    int     // data graph nodes (default 80)
+	Edges    int     // data graph edges (default 3×Nodes)
+	Attrs    int     // attribute alphabet (default Nodes/8)
+	Patterns int     // patterns per workload (default 4)
+	PNodes   int     // pattern nodes (default 4)
+	PEdges   int     // pattern edges (default 5)
+	K        int     // hop-bound upper limit; 1 forces all-bounds-one (default 3)
+	StarProb float64 // probability of an unbounded edge
+	IsoBias  bool    // bias patterns toward isomorphic embeddability
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 80
+	}
+	if c.Edges <= 0 {
+		c.Edges = 3 * c.Nodes
+	}
+	if c.Attrs <= 0 {
+		c.Attrs = c.Nodes / 8
+		if c.Attrs < 2 {
+			c.Attrs = 2
+		}
+	}
+	if c.Patterns <= 0 {
+		c.Patterns = 4
+	}
+	if c.PNodes <= 0 {
+		c.PNodes = 4
+	}
+	if c.PEdges <= 0 {
+		c.PEdges = 5
+	}
+	if c.K <= 0 {
+		c.K = 3
+	}
+	return c
+}
+
+// NewWorkload generates a random graph and pattern batch, deterministic
+// in seed.
+func NewWorkload(seed int64, cfg Config) *Workload {
+	cfg = cfg.withDefaults()
+	models := []generator.Model{generator.ER, generator.PowerLaw, generator.Communities}
+	pick := int(seed % int64(len(models)))
+	if pick < 0 {
+		pick += len(models)
+	}
+	g := generator.Graph(generator.GraphConfig{
+		Nodes: cfg.Nodes,
+		Edges: cfg.Edges,
+		Attrs: cfg.Attrs,
+		Model: models[pick],
+		Seed:  seed,
+	})
+	w := &Workload{Seed: seed, G: g}
+	for i := 0; i < cfg.Patterns; i++ {
+		w.Patterns = append(w.Patterns, generator.Pattern(generator.PatternConfig{
+			Nodes:     cfg.PNodes,
+			Edges:     cfg.PEdges,
+			K:         cfg.K,
+			C:         cfg.K - 1,
+			StarProb:  cfg.StarProb,
+			PredAttrs: 1 + int(seed)%2,
+			IsoBias:   cfg.IsoBias,
+			Seed:      seed*1009 + int64(i)*31,
+		}, g))
+	}
+	return w
+}
+
+// RelationsEqual reports whether two relations are identical: same number
+// of pattern nodes and the same sorted data-node list for each.
+func RelationsEqual(a, b [][]int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for u := range a {
+		if len(a[u]) != len(b[u]) {
+			return false
+		}
+		for i := range a[u] {
+			if a[u][i] != b[u][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// DiffRelations renders the first few differing entries of two relations,
+// for failure messages.
+func DiffRelations(a, b [][]int32) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("pattern node counts differ: %d vs %d", len(a), len(b))
+	}
+	for u := range a {
+		if !RelationsEqual(a[u:u+1], b[u:u+1]) {
+			return fmt.Sprintf("mat(%d): %v vs %v", u, a[u], b[u])
+		}
+	}
+	return "equal"
+}

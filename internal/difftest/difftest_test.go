@@ -1,0 +1,250 @@
+package difftest
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"gpm"
+	"gpm/internal/generator"
+)
+
+const workloads = 12 // random workloads per differential property
+
+// Property (a): plain simulation is the all-bounds-one special case of
+// bounded simulation (paper §2.2, remark 2), so on K=1 patterns
+// Engine.Match and Engine.Simulate must compute the same relation and the
+// same OK verdict.
+func TestMatchBoundsOneEqualsSimulate(t *testing.T) {
+	for seed := int64(1); seed <= workloads; seed++ {
+		w := NewWorkload(seed, Config{K: 1})
+		eng := gpm.NewEngine(w.G)
+		for pi, p := range w.Patterns {
+			m, err := eng.Match(context.Background(), p)
+			if err != nil {
+				t.Fatalf("seed %d pattern %d: Match: %v", seed, pi, err)
+			}
+			s, err := eng.Simulate(context.Background(), p)
+			if err != nil {
+				t.Fatalf("seed %d pattern %d: Simulate: %v", seed, pi, err)
+			}
+			if m.OK() != s.OK {
+				t.Errorf("seed %d pattern %d: Match OK=%v, Simulate OK=%v", seed, pi, m.OK(), s.OK)
+			}
+			if !RelationsEqual(m.Relation(), s.Relation) {
+				t.Errorf("seed %d pattern %d: relations differ: %s",
+					seed, pi, DiffRelations(m.Relation(), s.Relation))
+			}
+		}
+	}
+}
+
+// Property (b): every VF2/Ullmann embedding maps each pattern edge to a
+// data edge, so its pairs form a bounded simulation and must be contained
+// in the unique maximum bounded-simulation relation.
+func TestIsoEmbeddingsContainedInMatch(t *testing.T) {
+	opts := gpm.IsoOptions{MaxEmbeddings: 200, MaxSteps: 200_000}
+	for seed := int64(1); seed <= workloads; seed++ {
+		w := NewWorkload(seed, Config{IsoBias: true, K: 2, PEdges: 4})
+		eng := gpm.NewEngine(w.G)
+		checked := 0
+		for pi, p := range w.Patterns {
+			m, err := eng.Match(context.Background(), p)
+			if err != nil {
+				t.Fatalf("seed %d pattern %d: Match: %v", seed, pi, err)
+			}
+			for _, algo := range []gpm.EnumAlgo{gpm.AlgoVF2, gpm.AlgoUllmann} {
+				o := opts
+				o.Algo = algo
+				enum, err := eng.Enumerate(context.Background(), p, o)
+				if err != nil {
+					t.Fatalf("seed %d pattern %d algo %v: Enumerate: %v", seed, pi, algo, err)
+				}
+				for ei, emb := range enum.Embeddings {
+					for u, x := range emb {
+						checked++
+						if !m.Contains(u, x) {
+							t.Errorf("seed %d pattern %d algo %v embedding %d: pair (%d,%d) not in max bounded-simulation relation",
+								seed, pi, algo, ei, u, x)
+						}
+					}
+				}
+			}
+		}
+		if checked == 0 && seed == workloads {
+			t.Log("warning: no embeddings produced by any workload; containment property unexercised")
+		}
+	}
+}
+
+// Property (c): the matrix, BFS and 2-hop oracles answer the same
+// distance queries, so Match through any of them must produce identical
+// results.
+func TestOraclesProduceIdenticalMatches(t *testing.T) {
+	kinds := []gpm.OracleKind{gpm.OracleMatrix, gpm.OracleBFS, gpm.OracleTwoHop}
+	for seed := int64(1); seed <= workloads; seed++ {
+		w := NewWorkload(seed, Config{StarProb: 0.2})
+		engines := make([]*gpm.Engine, len(kinds))
+		for i, k := range kinds {
+			engines[i] = gpm.NewEngine(w.G, gpm.WithOracle(k))
+		}
+		for pi, p := range w.Patterns {
+			ref, err := engines[0].Match(context.Background(), p)
+			if err != nil {
+				t.Fatalf("seed %d pattern %d: matrix Match: %v", seed, pi, err)
+			}
+			for i, k := range kinds[1:] {
+				got, err := engines[i+1].Match(context.Background(), p)
+				if err != nil {
+					t.Fatalf("seed %d pattern %d: %v Match: %v", seed, pi, k, err)
+				}
+				if got.OK() != ref.OK() || !RelationsEqual(got.Relation(), ref.Relation()) {
+					t.Errorf("seed %d pattern %d: %v oracle diverges from matrix: %s",
+						seed, pi, k, DiffRelations(got.Relation(), ref.Relation()))
+				}
+			}
+		}
+	}
+}
+
+// Property (d): the greatest fixpoint is unique, and the parallel
+// initialisation computes the same candidates and counters, so
+// WithWorkers(N) must be bit-identical to WithWorkers(1) on every seed —
+// for every oracle kind, since each parallelises differently.
+func TestParallelEqualsSequential(t *testing.T) {
+	for seed := int64(1); seed <= workloads; seed++ {
+		w := NewWorkload(seed, Config{StarProb: 0.1})
+		for _, kind := range []gpm.OracleKind{gpm.OracleMatrix, gpm.OracleBFS, gpm.OracleTwoHop} {
+			seq := gpm.NewEngine(w.G, gpm.WithOracle(kind), gpm.WithWorkers(1))
+			for _, workers := range []int{2, 8} {
+				par := gpm.NewEngine(w.G, gpm.WithOracle(kind), gpm.WithWorkers(workers))
+				for pi, p := range w.Patterns {
+					want, err := seq.Match(context.Background(), p)
+					if err != nil {
+						t.Fatalf("seed %d pattern %d: sequential: %v", seed, pi, err)
+					}
+					got, err := par.Match(context.Background(), p)
+					if err != nil {
+						t.Fatalf("seed %d pattern %d: %d workers: %v", seed, pi, workers, err)
+					}
+					if got.OK() != want.OK() || !RelationsEqual(got.Relation(), want.Relation()) {
+						t.Errorf("seed %d pattern %d oracle %v: %d workers diverge: %s",
+							seed, pi, kind, workers, DiffRelations(got.Relation(), want.Relation()))
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatchBatch is the fan-out form of Match: its results must equal
+// one-at-a-time Match on the same engine, position by position.
+func TestMatchBatchEqualsSequentialMatch(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		w := NewWorkload(seed, Config{Patterns: 8})
+		eng := gpm.NewEngine(w.G, gpm.WithWorkers(4))
+		batch, err := eng.MatchBatch(context.Background(), w.Patterns)
+		if err != nil {
+			t.Fatalf("seed %d: MatchBatch: %v", seed, err)
+		}
+		if len(batch) != len(w.Patterns) {
+			t.Fatalf("seed %d: %d results for %d patterns", seed, len(batch), len(w.Patterns))
+		}
+		for pi, p := range w.Patterns {
+			want, err := eng.Match(context.Background(), p)
+			if err != nil {
+				t.Fatalf("seed %d pattern %d: Match: %v", seed, pi, err)
+			}
+			if batch[pi].OK() != want.OK() || !RelationsEqual(batch[pi].Relation(), want.Relation()) {
+				t.Errorf("seed %d pattern %d: batch result diverges: %s",
+					seed, pi, DiffRelations(batch[pi].Relation(), want.Relation()))
+			}
+		}
+	}
+}
+
+// Property test: after random update batches, the incrementally
+// maintained match (Engine.Update driving IncMatch) must equal a
+// from-scratch recompute by a fresh engine bound to the mutated graph.
+func TestIncrementalMatchesRecompute(t *testing.T) {
+	const rounds = 4
+	for seed := int64(1); seed <= 8; seed++ {
+		w := NewWorkload(seed, Config{Nodes: 50, Edges: 120, Patterns: 1, PNodes: 3, PEdges: 3, K: 2})
+		p := w.Patterns[0]
+		eng := gpm.NewEngine(w.G)
+		watch, err := eng.Watch(p)
+		if err != nil {
+			t.Fatalf("seed %d: Watch: %v", seed, err)
+		}
+		for round := 0; round < rounds; round++ {
+			ups := generator.Updates(generator.UpdatesConfig{
+				Insertions: 4,
+				Deletions:  4,
+				Seed:       seed*131 + int64(round),
+			}, w.G)
+			if _, err := eng.Update(ups...); err != nil {
+				t.Fatalf("seed %d round %d: Update: %v", seed, round, err)
+			}
+			fresh := gpm.NewEngine(w.G.Clone())
+			want, err := fresh.Match(context.Background(), p)
+			if err != nil {
+				t.Fatalf("seed %d round %d: recompute: %v", seed, round, err)
+			}
+			if watch.OK() != want.OK() || !RelationsEqual(watch.Relation(), want.Relation()) {
+				t.Errorf("seed %d round %d: incremental diverges from recompute: %s",
+					seed, round, DiffRelations(watch.Relation(), want.Relation()))
+			}
+		}
+		watch.Close()
+	}
+}
+
+// MatchBatch must stay correct and race-free while Update mutates the
+// graph between batches (run under -race in CI): queries hold the read
+// lock, updates the write lock, and every batch must see a consistent
+// snapshot.
+func TestMatchBatchUnderConcurrentUpdate(t *testing.T) {
+	w := NewWorkload(99, Config{Nodes: 60, Edges: 150, Patterns: 6})
+	eng := gpm.NewEngine(w.G, gpm.WithWorkers(4))
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errCh := make(chan error, 8)
+	for q := 0; q < 3; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := eng.MatchBatch(context.Background(), w.Patterns); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			ups := generator.Updates(generator.UpdatesConfig{
+				Insertions: 2, Deletions: 2, Seed: int64(1000 + i),
+			}, w.G)
+			if _, err := eng.Update(ups...); err != nil {
+				errCh <- err
+				return
+			}
+		}
+		close(stop)
+	}()
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatalf("concurrent MatchBatch/Update: %v", err)
+	default:
+	}
+}

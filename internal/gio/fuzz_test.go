@@ -1,0 +1,59 @@
+package gio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadGraph fuzzes the .graph text-format reader. Accepted inputs
+// must produce an internally consistent graph (Validate) that round-trips
+// through WriteGraph/ReadGraph to an identical serialisation.
+func FuzzReadGraph(f *testing.F) {
+	seeds := []string{
+		"graph 0\n",
+		"graph 3\nedge 0 1\nedge 1 2\n",
+		"graph 2\nnode 0 label=a w=3\nnode 1 label=\"b c\"\nedge 0 1 likes\n",
+		"# comment\n\ngraph 1\nnode 0 a=1.5\n",
+		"graph 2\nedge 0 1\nedge 0 1\n",
+		"graph -1\n",
+		"node 0 a=1\ngraph 1\n",
+		"graph 1\nedge 0 5\n",
+		"graph 2\nnode 1 =bad\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadGraph(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if g.N() > 1<<16 {
+			// Headers can declare huge empty graphs; skip the quadratic
+			// checks but still require structural sanity.
+			if g.M() < 0 {
+				t.Fatalf("negative edge count")
+			}
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails Validate: %v\ninput: %q", err, data)
+		}
+		var first strings.Builder
+		if err := WriteGraph(&first, g); err != nil {
+			t.Fatalf("WriteGraph: %v", err)
+		}
+		g2, err := ReadGraph(strings.NewReader(first.String()))
+		if err != nil {
+			t.Fatalf("rewritten graph rejected: %v\nserialised: %q", err, first.String())
+		}
+		var second strings.Builder
+		if err := WriteGraph(&second, g2); err != nil {
+			t.Fatalf("WriteGraph (second): %v", err)
+		}
+		if first.String() != second.String() {
+			t.Fatalf("round-trip not stable:\nfirst:  %q\nsecond: %q", first.String(), second.String())
+		}
+	})
+}

@@ -37,6 +37,13 @@ import (
 	"gpm/internal/value"
 )
 
+// MaxNodes caps the node count a graph or pattern header may declare:
+// the readers allocate O(n) adjacency state up front, so an unchecked
+// header lets a 20-byte input demand petabytes (found by FuzzReadGraph).
+// The limit comfortably exceeds the paper's largest dataset; graphs
+// beyond it should be built programmatically.
+const MaxNodes = 1 << 20
+
 // WriteGraph serialises g.
 func WriteGraph(w io.Writer, g *graph.Graph) error {
 	bw := bufio.NewWriter(w)
@@ -74,9 +81,15 @@ func ReadGraph(r io.Reader) (*graph.Graph, error) {
 			if g != nil {
 				return nil, sc.errf("duplicate graph header")
 			}
-			n, err := strconv.Atoi(fields[1])
-			if err != nil || n < 0 || len(fields) != 2 {
+			if len(fields) != 2 {
 				return nil, sc.errf("bad graph header")
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, sc.errf("bad graph header")
+			}
+			if n > MaxNodes {
+				return nil, sc.errf("graph header declares %d nodes (max %d)", n, MaxNodes)
 			}
 			g = graph.New(n)
 		case "node":
@@ -95,6 +108,11 @@ func ReadGraph(r io.Reader) (*graph.Graph, error) {
 				eq := strings.IndexByte(kv, '=')
 				if eq <= 0 {
 					return nil, sc.errf("bad attribute %q", kv)
+				}
+				// Keys containing quotes cannot survive re-serialisation
+				// (the writer does not quote keys), so reject them.
+				if strings.ContainsAny(kv[:eq], "\"\\") {
+					return nil, sc.errf("bad attribute name %q", kv[:eq])
 				}
 				attrs[kv[:eq]] = value.Parse(kv[eq+1:])
 			}
@@ -160,10 +178,16 @@ func ReadPattern(r io.Reader) (*pattern.Pattern, error) {
 			if p != nil {
 				return nil, sc.errf("duplicate pattern header")
 			}
+			if len(fields) != 2 {
+				return nil, sc.errf("bad pattern header")
+			}
 			var err error
 			n, err = strconv.Atoi(fields[1])
-			if err != nil || n <= 0 || len(fields) != 2 {
+			if err != nil || n <= 0 {
 				return nil, sc.errf("bad pattern header")
+			}
+			if n > MaxNodes {
+				return nil, sc.errf("pattern header declares %d nodes (max %d)", n, MaxNodes)
 			}
 			p = pattern.New()
 			for i := 0; i < n; i++ {
@@ -312,10 +336,14 @@ func (s *scanner) errf(format string, args ...interface{}) error {
 }
 
 // splitQuoted splits on whitespace but keeps double-quoted spans intact.
+// Inside quotes a backslash escapes the next character, matching the
+// strconv.Quote escaping the writers emit, so string values containing
+// quotes round-trip.
 func splitQuoted(s string) []string {
 	var out []string
 	var cur strings.Builder
 	inQuote := false
+	escaped := false
 	flush := func() {
 		if cur.Len() > 0 {
 			out = append(out, cur.String())
@@ -324,6 +352,12 @@ func splitQuoted(s string) []string {
 	}
 	for _, r := range s {
 		switch {
+		case escaped:
+			cur.WriteRune(r)
+			escaped = false
+		case inQuote && r == '\\':
+			cur.WriteRune(r)
+			escaped = true
 		case r == '"':
 			inQuote = !inQuote
 			cur.WriteRune(r)

@@ -18,18 +18,22 @@ func (g *Graph) BFSDist(src int) []int32 {
 
 // BFSDistInto runs a BFS from src into dist, which must be pre-filled with
 // -1 and have length N(). When bound >= 0 the search stops expanding
-// beyond that depth. queue, if non-nil, is reused as scratch space.
+// beyond that depth. queue, if non-nil, is used as scratch space; its
+// grown backing array is handed back through the pointer so reuse is
+// sticky across calls (historically the queue was passed by value and
+// every growth was lost to the caller — see Scratch for pooled reuse).
 // It returns the number of nodes reached (including src).
-func (g *Graph) BFSDistInto(src, bound int, dist []int32, queue []int32) int {
+func (g *Graph) BFSDistInto(src, bound int, dist []int32, queue *[]int32) int {
+	var local []int32
 	if queue == nil {
-		queue = make([]int32, 0, 64)
+		queue = &local
 	}
-	queue = queue[:0]
+	q := (*queue)[:0]
 	dist[src] = 0
-	queue = append(queue, int32(src))
+	q = append(q, int32(src))
 	reached := 1
-	for head := 0; head < len(queue); head++ {
-		u := queue[head]
+	for head := 0; head < len(q); head++ {
+		u := q[head]
 		du := dist[u]
 		if bound >= 0 && int(du) >= bound {
 			continue
@@ -38,25 +42,27 @@ func (g *Graph) BFSDistInto(src, bound int, dist []int32, queue []int32) int {
 			if dist[v] < 0 {
 				dist[v] = du + 1
 				reached++
-				queue = append(queue, v)
+				q = append(q, v)
 			}
 		}
 	}
+	*queue = q
 	return reached
 }
 
 // BFSReverseDistInto is BFSDistInto over reversed edges: dist[v] becomes
 // the length of the shortest path from v to dst.
-func (g *Graph) BFSReverseDistInto(dst, bound int, dist []int32, queue []int32) int {
+func (g *Graph) BFSReverseDistInto(dst, bound int, dist []int32, queue *[]int32) int {
+	var local []int32
 	if queue == nil {
-		queue = make([]int32, 0, 64)
+		queue = &local
 	}
-	queue = queue[:0]
+	q := (*queue)[:0]
 	dist[dst] = 0
-	queue = append(queue, int32(dst))
+	q = append(q, int32(dst))
 	reached := 1
-	for head := 0; head < len(queue); head++ {
-		v := queue[head]
+	for head := 0; head < len(q); head++ {
+		v := q[head]
 		dv := dist[v]
 		if bound >= 0 && int(dv) >= bound {
 			continue
@@ -65,10 +71,11 @@ func (g *Graph) BFSReverseDistInto(dst, bound int, dist []int32, queue []int32) 
 			if dist[u] < 0 {
 				dist[u] = dv + 1
 				reached++
-				queue = append(queue, u)
+				q = append(q, u)
 			}
 		}
 	}
+	*queue = q
 	return reached
 }
 

@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"gpm/internal/value"
+)
+
+func randomFrozenTestGraph(t *testing.T, seed int64, n, edges int) *Graph {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	g := New(0)
+	for i := 0; i < n; i++ {
+		g.AddNode(Attrs{"label": value.Str("L"), "i": value.Int(int64(i))})
+	}
+	for tries := 0; g.M() < edges && tries < 20*edges; tries++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		if r.Intn(4) == 0 {
+			g.AddColoredEdge(u, v, "likes")
+		} else {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Property: a Frozen snapshot agrees with its source graph on every
+// adjacency, degree, attribute and color, and on BFS distances in both
+// directions.
+func TestFrozenMatchesGraph(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		n := 2 + int(seed)%13
+		g := randomFrozenTestGraph(t, seed, n, 3*n)
+		f := g.Freeze()
+		if f.N() != g.N() || f.M() != g.M() {
+			t.Fatalf("seed %d: size mismatch: frozen %d/%d graph %d/%d", seed, f.N(), f.M(), g.N(), g.M())
+		}
+		for v := 0; v < n; v++ {
+			if got, want := f.OutDegree(v), g.OutDegree(v); got != want {
+				t.Fatalf("seed %d: out-degree(%d) %d want %d", seed, v, got, want)
+			}
+			if got, want := f.InDegree(v), g.InDegree(v); got != want {
+				t.Fatalf("seed %d: in-degree(%d) %d want %d", seed, v, got, want)
+			}
+			if f.Attr(v)["i"] != g.Attr(v)["i"] {
+				t.Fatalf("seed %d: attr mismatch at %d", seed, v)
+			}
+			for i, w := range g.Out(v) {
+				if f.Out(v)[i] != w {
+					t.Fatalf("seed %d: out adjacency of %d differs", seed, v)
+				}
+				wantC, _ := g.Color(v, int(w))
+				if f.Color(v, int(w)) != wantC {
+					t.Fatalf("seed %d: color of (%d,%d) differs", seed, v, w)
+				}
+			}
+			for i, w := range g.In(v) {
+				if f.In(v)[i] != w {
+					t.Fatalf("seed %d: in adjacency of %d differs", seed, v)
+				}
+			}
+		}
+		for src := 0; src < n; src++ {
+			for _, bound := range []int{-1, 1, 2} {
+				dg := make([]int32, n)
+				df := make([]int32, n)
+				for i := range dg {
+					dg[i], df[i] = -1, -1
+				}
+				rg := g.BFSDistInto(src, bound, dg, nil)
+				rf := f.BFSDistInto(src, bound, df, nil)
+				if rg != rf {
+					t.Fatalf("seed %d: reached %d vs %d from %d", seed, rg, rf, src)
+				}
+				for v := range dg {
+					if dg[v] != df[v] {
+						t.Fatalf("seed %d: dist[%d->%d] %d vs %d", seed, src, v, dg[v], df[v])
+					}
+				}
+				for i := range dg {
+					dg[i], df[i] = -1, -1
+				}
+				g.BFSReverseDistInto(src, bound, dg, nil)
+				f.BFSReverseDistInto(src, bound, df, nil)
+				for v := range dg {
+					if dg[v] != df[v] {
+						t.Fatalf("seed %d: reverse dist[%d<-%d] %d vs %d", seed, src, v, dg[v], df[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Frozen is a snapshot: later mutations of the source must not leak in.
+func TestFrozenIsImmutableSnapshot(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	f := g.Freeze()
+	g.AddEdge(1, 2)
+	g.AddColoredEdge(2, 0, "new")
+	if f.M() != 1 {
+		t.Fatalf("snapshot edge count changed: %d", f.M())
+	}
+	if f.OutDegree(1) != 0 {
+		t.Fatalf("snapshot adjacency changed")
+	}
+	if f.Colored() {
+		t.Fatalf("snapshot colors changed")
+	}
+}
+
+// Regression: repeated BFS through a reused Scratch must not allocate.
+// BFSDistInto used to take its queue by value, so the grown backing array
+// was lost to the caller and every call re-allocated; the *[]int32
+// signature plus the Scratch pool make reuse sticky.
+func TestBFSDistIntoZeroAllocs(t *testing.T) {
+	g := randomFrozenTestGraph(t, 7, 256, 1024)
+	n := g.N()
+	s := GetScratch(n)
+	defer s.Put()
+	// Warm up so the queue reaches its high-water capacity.
+	g.BFSDistInto(0, -1, s.Dist, &s.Queue)
+
+	allocs := testing.AllocsPerRun(50, func() {
+		s.Reset(n)
+		g.BFSDistInto(0, -1, s.Dist, &s.Queue)
+	})
+	if allocs != 0 {
+		t.Errorf("BFSDistInto with sticky scratch: %.1f allocs/op, want 0", allocs)
+	}
+
+	f := g.Freeze()
+	s.Reset(n)
+	f.BFSDistInto(0, -1, s.Dist, &s.Queue)
+	allocs = testing.AllocsPerRun(50, func() {
+		s.Reset(n)
+		f.BFSDistInto(0, -1, s.Dist, &s.Queue)
+	})
+	if allocs != 0 {
+		t.Errorf("Frozen.BFSDistInto with sticky scratch: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// The pool hands back scratches with Dist sized and -1-filled.
+func TestScratchPool(t *testing.T) {
+	s := GetScratch(10)
+	if len(s.Dist) != 10 {
+		t.Fatalf("Dist length %d, want 10", len(s.Dist))
+	}
+	for i, d := range s.Dist {
+		if d != -1 {
+			t.Fatalf("Dist[%d] = %d, want -1", i, d)
+		}
+	}
+	s.Dist[3] = 7
+	s.Queue = append(s.Queue[:0], 1, 2, 3)
+	s.Put()
+	s2 := GetScratch(5)
+	defer s2.Put()
+	for i, d := range s2.Dist {
+		if d != -1 {
+			t.Fatalf("reused Dist[%d] = %d, want -1", i, d)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package graph
+
+import "sync"
+
+// Scratch bundles the per-traversal buffers of one BFS: a distance slice
+// and a frontier queue. Scratches are pooled so that the worker goroutines
+// of the parallel matching core allocate their traversal state once per
+// burst instead of once per source; pair every GetScratch with a Put.
+type Scratch struct {
+	Dist  []int32
+	Queue []int32
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return new(Scratch) }}
+
+// GetScratch returns a pooled Scratch whose Dist has length n and is
+// pre-filled with -1, ready for BFSDistInto.
+func GetScratch(n int) *Scratch {
+	s := scratchPool.Get().(*Scratch)
+	s.Reset(n)
+	return s
+}
+
+// Reset sizes Dist to n and refills it with -1. The queue keeps its grown
+// capacity.
+func (s *Scratch) Reset(n int) {
+	if cap(s.Dist) < n {
+		s.Dist = make([]int32, n)
+	}
+	s.Dist = s.Dist[:n]
+	for i := range s.Dist {
+		s.Dist[i] = -1
+	}
+}
+
+// Put returns the scratch to the pool. The buffers (including any growth
+// the BFS caused) stay with it, making reuse sticky.
+func (s *Scratch) Put() {
+	scratchPool.Put(s)
+}

@@ -109,13 +109,14 @@ func (dm *DynMatrix) Apply(updates []Update) ([]Pair, error) {
 			// Any decrease routes its new shortest path through some
 			// inserted edge (u,v), so the sink is reachable from v in the
 			// new graph. fixColumn's seed check rejects the rest cheaply.
-			dist := dm.scratchDist()
-			dm.g.BFSDistInto(up.V, -1, dist, nil)
+			s := graph.GetScratch(dm.g.N())
+			dm.g.BFSDistInto(up.V, -1, s.Dist, &s.Queue)
 			for y := 0; y < dm.g.N(); y++ {
-				if dist[y] >= 0 {
+				if s.Dist[y] >= 0 {
 					sinkSet[int32(y)] = struct{}{}
 				}
 			}
+			s.Put()
 		} else {
 			row := dm.m.Row(up.V) // old distances from v
 			for y, dvy := range row {
@@ -175,15 +176,6 @@ func ApplyToGraph(g *graph.Graph, updates []Update) error {
 		}
 	}
 	return nil
-}
-
-func (dm *DynMatrix) scratchDist() []int32 {
-	n := dm.g.N()
-	dist := make([]int32, n)
-	for i := range dist {
-		dist[i] = -1
-	}
-	return dist
 }
 
 // touch brings x into the current epoch, initialising d and rhs from the

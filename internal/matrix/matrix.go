@@ -24,19 +24,23 @@ type Matrix struct {
 }
 
 // New computes the distance matrix of g with one BFS per source, run on
-// all available CPUs.
+// all available CPUs over a frozen CSR snapshot of g.
 func New(g *graph.Graph) *Matrix {
-	return newMatrix(g, runtime.GOMAXPROCS(0))
+	return NewFrozen(g.Freeze(), runtime.GOMAXPROCS(0))
 }
 
 // NewSequential computes the matrix single-threaded; used by tests and by
 // benchmarks that want stable timings.
 func NewSequential(g *graph.Graph) *Matrix {
-	return newMatrix(g, 1)
+	return NewFrozen(g.Freeze(), 1)
 }
 
-func newMatrix(g *graph.Graph, workers int) *Matrix {
-	n := g.N()
+// NewFrozen computes the distance matrix of an already-frozen snapshot
+// across the given number of workers. Callers that hold a Frozen (the
+// engine layer keeps one per bound graph) skip the O(|V|+|E|) re-freeze
+// that New pays.
+func NewFrozen(f *graph.Frozen, workers int) *Matrix {
+	n := f.N()
 	m := &Matrix{n: n, d: make([][]int32, n)}
 	if n == 0 {
 		return m
@@ -61,30 +65,63 @@ func newMatrix(g *graph.Graph, workers int) *Matrix {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			queue := make([]int32, 0, n)
+			// Pooled queue scratch: sticky across sources and across
+			// successive builds (color submatrices, rebuilds).
+			s := graph.GetScratch(0)
+			defer s.Put()
 			for src := lo; src < hi; src++ {
 				row := make([]int32, n)
 				for i := range row {
 					row[i] = -1
 				}
-				g.BFSDistInto(src, -1, row, queue)
+				f.BFSDistInto(src, -1, row, &s.Queue)
 				m.d[src] = row
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
-	m.cyc = cycles(g, m.d)
+	m.cyc = cyclesFrozen(f, m.d, workers)
 	return m
 }
 
-// cycles derives the shortest-cycle vector from the matrix:
-// cyc[v] = 1 + min over successors w of d[w][v].
-func cycles(g *graph.Graph, d [][]int32) []int32 {
-	cyc := make([]int32, g.N())
-	for v := range cyc {
-		cyc[v] = cycleOf(g, d, v)
+// cyclesFrozen derives the shortest-cycle vector from the matrix in
+// parallel: cyc[v] = 1 + min over successors w of d[w][v].
+func cyclesFrozen(f *graph.Frozen, d [][]int32, workers int) []int32 {
+	n := f.N()
+	cyc := make([]int32, n)
+	if workers <= 1 || n < 2048 {
+		for v := range cyc {
+			cyc[v] = cycleOfFrozen(f, d, v)
+		}
+		return cyc
 	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for v := lo; v < hi; v++ {
+				cyc[v] = cycleOfFrozen(f, d, v)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
 	return cyc
+}
+
+func cycleOfFrozen(f *graph.Frozen, d [][]int32, v int) int32 {
+	best := int32(-1)
+	for _, w := range f.Out(v) {
+		if dv := d[w][v]; dv >= 0 && (best < 0 || dv+1 < best) {
+			best = dv + 1
+		}
+	}
+	return best
 }
 
 func cycleOf(g *graph.Graph, d [][]int32, v int) int32 {

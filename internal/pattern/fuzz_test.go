@@ -1,0 +1,47 @@
+package pattern
+
+import "testing"
+
+// FuzzParsePattern fuzzes the two surface parsers of the pattern syntax:
+// node predicates (ParsePredicate) and edge bounds (ParseBoundRange).
+// Beyond not panicking, accepted inputs must satisfy the parser's
+// documented invariants and predicates must round-trip through String.
+func FuzzParsePattern(f *testing.F) {
+	predSeeds := []string{
+		"", "*", "CS",
+		`label = "db systems" && w <= 5`,
+		"a != 3 && b >= 2.5",
+		"x < 1", "label <> foo", "n ≤ 10", "m ≥ 0 && m ≠ 7",
+		`q = "quoted && not split"`, "bad attr =", "= 3", "a == b == c",
+	}
+	boundSeeds := []string{"1", "*", "2..5", "0", "-1", "3..63", "2..64", "..", "5..2", "x"}
+	for i, p := range predSeeds {
+		f.Add(p, boundSeeds[i%len(boundSeeds)])
+	}
+	f.Fuzz(func(t *testing.T, predStr, boundStr string) {
+		pred, err := ParsePredicate(predStr)
+		if err == nil {
+			// Round-trip: the rendered form must reparse to a predicate
+			// that renders identically (String is the canonical form).
+			s := pred.String()
+			pred2, err2 := ParsePredicate(s)
+			if err2 != nil {
+				t.Fatalf("ParsePredicate(%q) ok but rendered form %q rejected: %v", predStr, s, err2)
+			}
+			if s2 := pred2.String(); s2 != s {
+				t.Fatalf("round-trip not stable: %q -> %q -> %q", predStr, s, s2)
+			}
+		}
+
+		lo, hi, err := ParseBoundRange(boundStr)
+		if err == nil {
+			switch {
+			case lo == 0 && hi == Unbounded: // "*"
+			case lo == 0 && hi >= 1: // plain bound
+			case lo >= 2 && hi >= lo && hi <= MaxRangeBound: // range form
+			default:
+				t.Fatalf("ParseBoundRange(%q) accepted invalid (lo=%d, hi=%d)", boundStr, lo, hi)
+			}
+		}
+	})
+}

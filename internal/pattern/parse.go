@@ -32,16 +32,24 @@ func ParsePredicate(s string) (Predicate, error) {
 	return pred, nil
 }
 
-// splitConjuncts splits on && outside of double quotes.
+// splitConjuncts splits on && outside of double quotes. Inside quotes a
+// backslash escapes the next character, matching the strconv.Quote
+// escaping Predicate.String emits, so string constants containing quotes
+// or && round-trip.
 func splitConjuncts(s string) []string {
 	var parts []string
-	depth := false // inside quotes
+	inQuote := false
+	escaped := false
 	start := 0
 	for i := 0; i < len(s); i++ {
 		switch {
+		case escaped:
+			escaped = false
+		case inQuote && s[i] == '\\':
+			escaped = true
 		case s[i] == '"':
-			depth = !depth
-		case !depth && s[i] == '&' && i+1 < len(s) && s[i+1] == '&':
+			inQuote = !inQuote
+		case !inQuote && s[i] == '&' && i+1 < len(s) && s[i+1] == '&':
 			parts = append(parts, s[start:i])
 			i++
 			start = i + 1
@@ -54,11 +62,21 @@ func parseAtom(s string) (Atom, error) {
 	if s == "" {
 		return Atom{}, fmt.Errorf("pattern: empty conjunct")
 	}
-	// Find the operator: the first of < > = ! outside quotes.
+	// Find the operator: the first of < > = ! outside quotes
+	// (backslash-escapes inside quotes are skipped, as in splitConjuncts).
 	inQuote := false
+	escaped := false
 	opStart := -1
 	for i := 0; i < len(s); i++ {
 		c := s[i]
+		if escaped {
+			escaped = false
+			continue
+		}
+		if inQuote && c == '\\' {
+			escaped = true
+			continue
+		}
 		if c == '"' {
 			inQuote = !inQuote
 		}

@@ -16,6 +16,27 @@ import (
 	"gpm/internal/pattern"
 )
 
+// adjacency is the read-only graph view the fixpoint traverses; both the
+// live *graph.Graph and the immutable *graph.Frozen satisfy it, so the
+// engine can run simulation over its cached CSR snapshot (concurrency-
+// safe, cache-friendly) while one-shot callers pass the graph directly.
+type adjacency interface {
+	N() int
+	Attr(v int) graph.Attrs
+	Out(u int) []int32
+	In(v int) []int32
+}
+
+// colorFunc returns the color of a known edge (u, v), "" for uncolored.
+type colorFunc func(u, v int) string
+
+func graphColor(g *graph.Graph) colorFunc {
+	return func(u, v int) string {
+		c, _ := g.Color(u, v)
+		return c
+	}
+}
+
 // Run computes the maximum plain simulation of p in g. The returned
 // relation lists, per pattern node, the sorted data nodes that simulate
 // it; ok reports whether every pattern node kept at least one match.
@@ -27,6 +48,15 @@ func Run(p *pattern.Pattern, g *graph.Graph) (rel [][]int32, ok bool, err error)
 // RunContext is Run with cancellation: ctx is polled inside the counter
 // and refinement loops, and a cancelled context aborts with ctx.Err().
 func RunContext(ctx context.Context, p *pattern.Pattern, g *graph.Graph) (rel [][]int32, ok bool, err error) {
+	return runCore(ctx, p, g, graphColor(g))
+}
+
+// RunFrozen is RunContext over an immutable CSR snapshot.
+func RunFrozen(ctx context.Context, p *pattern.Pattern, f *graph.Frozen) (rel [][]int32, ok bool, err error) {
+	return runCore(ctx, p, f, f.Color)
+}
+
+func runCore(ctx context.Context, p *pattern.Pattern, g adjacency, color colorFunc) (rel [][]int32, ok bool, err error) {
 	poll := cancel.Every(ctx, 4096)
 	if !p.AllBoundsOne() {
 		return nil, false, fmt.Errorf("simulation: pattern has a bound != 1; use bounded simulation")
@@ -68,7 +98,7 @@ func RunContext(ctx context.Context, p *pattern.Pattern, g *graph.Graph) (rel []
 				continue
 			}
 			for _, y := range g.Out(x) {
-				if !edgeColorOK(g, x, int(y), e.Color) {
+				if !colorOK(color, x, int(y), e.Color) {
 					continue
 				}
 				if sim[e.To][y] {
@@ -102,7 +132,7 @@ func RunContext(ctx context.Context, p *pattern.Pattern, g *graph.Graph) (rel []
 				if !sim[e.From][w] {
 					continue
 				}
-				if !edgeColorOK(g, int(w), int(rm.x), e.Color) {
+				if !colorOK(color, int(w), int(rm.x), e.Color) {
 					continue
 				}
 				c[w]--
@@ -128,12 +158,15 @@ func RunContext(ctx context.Context, p *pattern.Pattern, g *graph.Graph) (rel []
 	return rel, ok, nil
 }
 
-func edgeColorOK(g *graph.Graph, u, v int, want string) bool {
+func colorOK(color colorFunc, u, v int, want string) bool {
 	if want == "" {
 		return true
 	}
-	c, _ := g.Color(u, v)
-	return c == want
+	return color(u, v) == want
+}
+
+func edgeColorOK(g *graph.Graph, u, v int, want string) bool {
+	return colorOK(graphColor(g), u, v, want)
 }
 
 // RunNaive is the textbook fixpoint: repeatedly delete pairs (u, x) for

@@ -111,9 +111,15 @@ func (idx *Index) Reachable(u, v int) bool {
 	return intersectsSorted(idx.lout[u], idx.lin[v])
 }
 
+// NeighborSource is the minimal adjacency view the index needs at query
+// time; both *graph.Graph and *graph.Frozen satisfy it.
+type NeighborSource interface {
+	Out(u int) []int32
+}
+
 // ReachableNonempty reports whether there is a nonempty path from u to v:
 // plain reachability when u != v, a cycle through u otherwise.
-func (idx *Index) ReachableNonempty(g *graph.Graph, u, v int) bool {
+func (idx *Index) ReachableNonempty(g NeighborSource, u, v int) bool {
 	if u != v {
 		return idx.Reachable(u, v)
 	}

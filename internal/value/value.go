@@ -116,6 +116,12 @@ func Parse(s string) Value {
 		return Int(i)
 	}
 	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		if f == 0 {
+			// Normalise negative zero: "-.0" would otherwise render as
+			// "-0", which re-parses as the integer 0 and breaks text
+			// round-trips (found by FuzzReadGraph).
+			f = 0
+		}
 		return Float(f)
 	}
 	return Str(s)
