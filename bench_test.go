@@ -19,6 +19,7 @@
 package gpm_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -313,5 +314,43 @@ func BenchmarkAblationPlainSimulation(b *testing.B) {
 		if _, _, err := gpm.Simulate(p, ytGraph); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Topology-preserving semantics (Ma et al., VLDB 2012) on the YouTube
+// stand-in: dual simulation is the whole-graph fixpoint, strong
+// simulation adds one ball-local fixpoint per candidate center. The
+// all-bounds-one pattern is IsoBias-backed so it actually matches.
+func topoPattern() *gpm.Pattern {
+	return gpm.GeneratePattern(gpm.PatternGenConfig{
+		Nodes: 4, Edges: 5, K: 1, IsoBias: true, PredAttrs: 1, Seed: 404,
+	}, ytGraph)
+}
+
+func BenchmarkDualSim(b *testing.B) {
+	setup()
+	p := topoPattern()
+	eng := gpm.NewEngine(ytGraph)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.DualSimulate(context.Background(), p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStrongSim(b *testing.B) {
+	setup()
+	p := topoPattern()
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng := gpm.NewEngine(ytGraph, gpm.WithWorkers(workers))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.StrongSimulate(context.Background(), p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -2,21 +2,27 @@
 //
 // Usage:
 //
-//	gpmatch -graph g.graph -pattern p.pattern [-algo match|bfs|2hop|auto|sim|vf2|ullmann]
+//	gpmatch -graph g.graph -pattern p.pattern
+//	        [-semantics match|bfs|2hop|auto|sim|dual|strong|vf2|ullmann]
 //	        [-result] [-limit 100] [-time]
 //
-// The default algorithm is the paper's cubic-time Match (bounded
-// simulation over a distance matrix); auto lets the engine pick the
-// oracle from the graph's size and density. -result additionally prints
-// the result graph; vf2/ullmann print embeddings under the traditional
-// subgraph-isomorphism semantics (-limit caps them). -time reports the
-// oracle preprocessing and the matching fixpoint separately.
+// The default semantics is the paper's cubic-time Match (bounded
+// simulation over a distance matrix); bfs/2hop/auto select the oracle
+// (auto lets the engine pick from the graph's size and density). sim is
+// plain graph simulation; dual and strong are the topology-preserving
+// semantics of Ma et al. (VLDB 2012), requiring all edge bounds to be 1;
+// vf2/ullmann print embeddings under the traditional subgraph-
+// isomorphism semantics (-limit caps them). -result additionally prints
+// the result graph (bounded, dual and strong simulation). -time reports
+// the oracle preprocessing and the matching time separately. -algo is
+// the deprecated spelling of -semantics.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"gpm"
@@ -26,8 +32,9 @@ func main() {
 	var (
 		graphPath   = flag.String("graph", "", "data graph file (required)")
 		patternPath = flag.String("pattern", "", "pattern file (required)")
-		algo        = flag.String("algo", "match", "match | bfs | 2hop | auto | sim | vf2 | ullmann")
-		showResult  = flag.Bool("result", false, "print the result graph (bounded simulation only)")
+		algo        = flag.String("algo", "", "deprecated alias for -semantics")
+		semantics   = flag.String("semantics", "", "match | bfs | 2hop | auto | sim | dual | strong | vf2 | ullmann")
+		showResult  = flag.Bool("result", false, "print the result graph (bounded/dual/strong simulation)")
 		limit       = flag.Int("limit", 100, "embedding cap for vf2/ullmann")
 		showTime    = flag.Bool("time", false, "print oracle-build and match time separately")
 	)
@@ -36,13 +43,20 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*graphPath, *patternPath, *algo, *showResult, *limit, *showTime); err != nil {
+	sem := *semantics
+	if sem == "" {
+		sem = *algo
+	}
+	if sem == "" {
+		sem = "match"
+	}
+	if err := run(os.Stdout, *graphPath, *patternPath, sem, *showResult, *limit, *showTime); err != nil {
 		fmt.Fprintln(os.Stderr, "gpmatch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath, patternPath, algo string, showResult bool, limit int, showTime bool) error {
+func run(w io.Writer, graphPath, patternPath, semantics string, showResult bool, limit int, showTime bool) error {
 	g, err := gpm.LoadGraphFile(graphPath)
 	if err != nil {
 		return err
@@ -51,29 +65,29 @@ func run(graphPath, patternPath, algo string, showResult bool, limit int, showTi
 	if err != nil {
 		return err
 	}
-	fmt.Printf("graph: %d nodes, %d edges; pattern: %d nodes, %d edges\n",
+	fmt.Fprintf(w, "graph: %d nodes, %d edges; pattern: %d nodes, %d edges\n",
 		g.N(), g.M(), p.N(), p.EdgeCount())
 	ctx := context.Background()
 
-	switch algo {
+	switch semantics {
 	case "match", "bfs", "2hop", "auto":
 		kind := map[string]gpm.OracleKind{
 			"match": gpm.OracleMatrix,
 			"bfs":   gpm.OracleBFS,
 			"2hop":  gpm.OracleTwoHop,
 			"auto":  gpm.OracleAuto,
-		}[algo]
+		}[semantics]
 		eng := gpm.NewEngine(g, gpm.WithOracle(kind))
 		res, err := eng.Match(ctx, p)
 		if err != nil {
 			return err
 		}
-		printMatch(res)
+		printRelation(w, "bounded simulation", res.Result, p)
 		if showTime {
-			printTime(res.Stats)
+			printTime(w, res.Stats)
 		}
 		if showResult {
-			fmt.Print(eng.ResultGraph(res).String())
+			fmt.Fprint(w, eng.ResultGraph(res).String())
 		}
 	case "sim":
 		eng := gpm.NewEngine(g)
@@ -81,16 +95,35 @@ func run(graphPath, patternPath, algo string, showResult bool, limit int, showTi
 		if err != nil {
 			return err
 		}
-		fmt.Printf("plain simulation: ok=%v\n", sim.OK)
+		fmt.Fprintf(w, "plain simulation: ok=%v\n", sim.OK)
 		for u, l := range sim.Relation {
-			fmt.Printf("  sim(%d): %d nodes\n", u, len(l))
+			fmt.Fprintf(w, "  sim(%d): %d nodes\n", u, len(l))
 		}
 		if showTime {
-			printTime(sim.Stats)
+			printTime(w, sim.Stats)
+		}
+	case "dual", "strong":
+		eng := gpm.NewEngine(g)
+		var res *gpm.TopoResult
+		var err error
+		if semantics == "dual" {
+			res, err = eng.DualSimulate(ctx, p)
+		} else {
+			res, err = eng.StrongSimulate(ctx, p)
+		}
+		if err != nil {
+			return err
+		}
+		printRelation(w, semantics+" simulation", res.Result, p)
+		if showTime {
+			printTime(w, res.Stats)
+		}
+		if showResult {
+			fmt.Fprint(w, eng.ResultGraphOf(res.Result).String())
 		}
 	case "vf2", "ullmann":
 		opts := gpm.IsoOptions{MaxEmbeddings: limit}
-		if algo == "ullmann" {
+		if semantics == "ullmann" {
 			opts.Algo = gpm.AlgoUllmann
 		}
 		eng := gpm.NewEngine(g)
@@ -98,39 +131,39 @@ func run(graphPath, patternPath, algo string, showResult bool, limit int, showTi
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%s: %d embeddings (complete=%v, steps=%d)\n",
-			algo, len(enum.Embeddings), enum.Complete, enum.Steps)
+		fmt.Fprintf(w, "%s: %d embeddings (complete=%v, steps=%d)\n",
+			semantics, len(enum.Embeddings), enum.Complete, enum.Steps)
 		for i, emb := range enum.Embeddings {
 			if i >= 10 {
-				fmt.Printf("  ... %d more\n", len(enum.Embeddings)-10)
+				fmt.Fprintf(w, "  ... %d more\n", len(enum.Embeddings)-10)
 				break
 			}
-			fmt.Printf("  %v\n", emb)
+			fmt.Fprintf(w, "  %v\n", emb)
 		}
 		if showTime {
-			printTime(enum.Stats)
+			printTime(w, enum.Stats)
 		}
 	default:
-		return fmt.Errorf("unknown algorithm %q", algo)
+		return fmt.Errorf("unknown semantics %q", semantics)
 	}
 	return nil
 }
 
-func printTime(s gpm.MatchStats) {
+func printTime(w io.Writer, s gpm.MatchStats) {
 	if s.Oracle != gpm.OracleNone {
-		fmt.Printf("oracle: %s, build %v (%d queries)\n", s.Oracle, s.OracleBuild, s.OracleQueries)
+		fmt.Fprintf(w, "oracle: %s, build %v (%d queries)\n", s.Oracle, s.OracleBuild, s.OracleQueries)
 	}
-	fmt.Printf("match: %v\n", s.MatchTime)
+	fmt.Fprintf(w, "match: %v\n", s.MatchTime)
 }
 
-func printMatch(res *gpm.MatchResult) {
-	fmt.Printf("bounded simulation: ok=%v, |S|=%d pairs\n", res.OK(), res.Pairs())
-	for u := 0; u < res.Pattern().N(); u++ {
+func printRelation(w io.Writer, name string, res *gpm.Result, p *gpm.Pattern) {
+	fmt.Fprintf(w, "%s: ok=%v, |S|=%d pairs\n", name, res.OK(), res.Pairs())
+	for u := 0; u < p.N(); u++ {
 		mat := res.Mat(u)
-		fmt.Printf("  mat(%d) [%s]: %d nodes", u, res.Pattern().Pred(u), len(mat))
+		fmt.Fprintf(w, "  mat(%d) [%s]: %d nodes", u, p.Pred(u), len(mat))
 		if len(mat) <= 12 {
-			fmt.Printf(" %v", mat)
+			fmt.Fprintf(w, " %v", mat)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 }

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// Golden-file coverage of every -semantics value against the tiny
+// fixture: a 6-cycle that dual-matches a triangle pattern but strongly
+// does not, plus a genuine triangle every semantics accepts. The output
+// format is CLI contract — regressions fail here instead of silently
+// breaking downstream consumers.
+func TestGoldenSemantics(t *testing.T) {
+	cases := []struct {
+		name       string
+		semantics  string
+		showResult bool
+	}{
+		{"match", "match", true},
+		{"bfs", "bfs", false},
+		{"2hop", "2hop", false},
+		{"auto", "auto", false},
+		{"sim", "sim", false},
+		{"dual", "dual", true},
+		{"strong", "strong", true},
+		{"vf2", "vf2", false},
+		{"ullmann", "ullmann", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := run(&buf, filepath.Join("testdata", "tiny.graph"), filepath.Join("testdata", "tiny.pattern"),
+				tc.semantics, tc.showResult, 100, false)
+			if err != nil {
+				t.Fatalf("run(%s): %v", tc.semantics, err)
+			}
+			goldenPath := filepath.Join("testdata", "golden", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("output diverges from %s\n--- got ---\n%s\n--- want ---\n%s", goldenPath, buf.String(), want)
+			}
+		})
+	}
+}
+
+// Unknown semantics must error, not fall through to a default.
+func TestUnknownSemantics(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, filepath.Join("testdata", "tiny.graph"), filepath.Join("testdata", "tiny.pattern"),
+		"nonsense", false, 100, false)
+	if err == nil {
+		t.Fatal("run accepted unknown semantics")
+	}
+}

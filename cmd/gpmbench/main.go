@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -69,24 +70,8 @@ func main() {
 		os.Exit(2)
 	}
 	if *asJSON {
-		resolved := cfg.Resolved()
-		report := jsonReport{
-			Exp:       *exp,
-			Scale:     resolved.Scale,
-			Seed:      resolved.Seed,
-			Patterns:  resolved.Patterns,
-			Nodes:     resolved.SynthNodes,
-			GoVersion: runtime.Version(),
-			GOOS:      runtime.GOOS,
-			GOARCH:    runtime.GOARCH,
-			CPUs:      runtime.GOMAXPROCS(0),
-			Timestamp: start.UTC().Format(time.RFC3339),
-			Elapsed:   time.Since(start).String(),
-			Tables:    tables,
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(report); err != nil {
+		report := makeReport(*exp, cfg, start, time.Since(start), tables)
+		if err := writeJSON(os.Stdout, report); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -95,4 +80,30 @@ func main() {
 	for _, t := range tables {
 		t.Fprint(os.Stdout)
 	}
+}
+
+// makeReport assembles the -json document for one run.
+func makeReport(exp string, cfg bench.Config, start time.Time, elapsed time.Duration, tables []*bench.Table) jsonReport {
+	resolved := cfg.Resolved()
+	return jsonReport{
+		Exp:       exp,
+		Scale:     resolved.Scale,
+		Seed:      resolved.Seed,
+		Patterns:  resolved.Patterns,
+		Nodes:     resolved.SynthNodes,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.GOMAXPROCS(0),
+		Timestamp: start.UTC().Format(time.RFC3339),
+		Elapsed:   elapsed.String(),
+		Tables:    tables,
+	}
+}
+
+// writeJSON encodes one report in the BENCH_*.json trajectory schema.
+func writeJSON(w io.Writer, report jsonReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
 }

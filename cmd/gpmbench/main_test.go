@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gpm/internal/bench"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// volatileColumns are table cells that vary run to run (wall-clock
+// readings and their derivatives); the golden comparison replaces them
+// with a placeholder. Relation checksums deliberately stay: they are
+// deterministic in the seed, so the golden also pins cross-run (and
+// cross-platform) determinism of the topo relations themselves.
+var volatileColumns = map[string]bool{
+	"elapsed (ms)": true,
+	"speedup":      true,
+}
+
+// scrub replaces run-dependent report fields and table cells with fixed
+// placeholders, leaving the deterministic structure — experiment id,
+// resolved config, column sets, worker counts, checksums — intact.
+func scrub(r *jsonReport) {
+	r.GoVersion = "go"
+	r.GOOS = "linux"
+	r.GOARCH = "any"
+	r.CPUs = 0
+	r.Timestamp = "TIMESTAMP"
+	r.Elapsed = "ELAPSED"
+	for _, t := range r.Tables {
+		for _, row := range t.Rows {
+			for i, col := range t.Columns {
+				if volatileColumns[col] && i < len(row) {
+					row[i] = "X"
+				}
+			}
+		}
+	}
+}
+
+// Golden-file pin of the `gpmbench -exp topo -json` document: the
+// trajectory schema, the topo table's shape and the relation checksums
+// must not drift silently.
+func TestGoldenTopoJSON(t *testing.T) {
+	cfg := bench.Config{Scale: 0.15, Patterns: 2, SynthNodes: 600}
+	tables, err := bench.ByID("topo", cfg)
+	if err != nil {
+		t.Fatalf("ByID(topo): %v", err)
+	}
+	report := makeReport("topo", cfg, time.Time{}, 0, tables)
+	scrub(&report)
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, report); err != nil {
+		t.Fatalf("writeJSON: %v", err)
+	}
+
+	goldenPath := filepath.Join("testdata", "golden", "topo_json.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-exp topo -json diverges from %s\n--- got ---\n%s\n--- want ---\n%s",
+			goldenPath, buf.String(), want)
+	}
+}
+
+// Unknown experiment ids must keep erroring with the full id list (the
+// topo id rides on it).
+func TestByIDUnknown(t *testing.T) {
+	if _, err := bench.ByID("no-such-exp", bench.Config{}); err == nil {
+		t.Fatal("ByID accepted an unknown experiment")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"gpm/internal/incremental"
 	"gpm/internal/simulation"
 	"gpm/internal/subiso"
+	"gpm/internal/topo"
 	"gpm/internal/twohop"
 )
 
@@ -141,6 +142,15 @@ type SimulationResult struct {
 // stats.
 type EnumerationResult struct {
 	*Enumeration
+	Stats MatchStats
+}
+
+// TopoResult is a dual- or strong-simulation outcome with its query
+// stats (see [Engine.DualSimulate] and [Engine.StrongSimulate]). It
+// embeds [Result], so it carries the full relation accessor set and can
+// be materialised as a result graph through [Engine.ResultGraphOf].
+type TopoResult struct {
+	*Result
 	Stats MatchStats
 }
 
@@ -435,6 +445,55 @@ func (e *Engine) Simulate(ctx context.Context, p *Pattern) (*SimulationResult, e
 	}}, nil
 }
 
+// DualSimulate computes the maximum dual simulation of p (every pattern
+// edge bound must be 1) against the bound graph: plain simulation
+// extended with parent constraints, so both child and parent topology
+// of the pattern are preserved (Ma et al., "Capturing Topology in Graph
+// Pattern Matching", VLDB 2012). The fixpoint's initialisation shards
+// across the engine's workers (see WithWorkers); every worker count
+// returns bit-identical relations.
+func (e *Engine) DualSimulate(ctx context.Context, p *Pattern) (*TopoResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	start := time.Now()
+	rel, ok, err := topo.DualSim(ctx, p, e.frozen(), topo.Options{Workers: e.workers})
+	if err != nil {
+		return nil, err
+	}
+	return &TopoResult{Result: core.NewResult(p, e.g, rel, ok), Stats: MatchStats{
+		Oracle:    OracleNone,
+		MatchTime: time.Since(start),
+	}}, nil
+}
+
+// StrongSimulate computes strong simulation of p (every pattern edge
+// bound must be 1) against the bound graph: dual simulation evaluated
+// inside diameter-bounded balls around candidate centers, keeping only
+// maximum perfect subgraphs (Ma et al., VLDB 2012) — the strictest
+// polynomial-time semantics the engine serves, preserving topology that
+// plain and dual simulation lose. Ball evaluation fans out across the
+// engine's workers (see WithWorkers); every worker count returns
+// bit-identical relations.
+func (e *Engine) StrongSimulate(ctx context.Context, p *Pattern) (*TopoResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	start := time.Now()
+	rel, ok, err := topo.StrongSim(ctx, p, e.frozen(), topo.Options{Workers: e.workers})
+	if err != nil {
+		return nil, err
+	}
+	return &TopoResult{Result: core.NewResult(p, e.g, rel, ok), Stats: MatchStats{
+		Oracle:    OracleNone,
+		MatchTime: time.Since(start),
+	}}, nil
+}
+
 // Enumerate lists subgraph-isomorphism embeddings of p (edge-to-edge
 // semantics) against the bound graph; opts bounds the search and selects
 // VF2 (default) or Ullmann. On cancellation it returns ctx.Err()
@@ -460,10 +519,26 @@ func (e *Engine) Enumerate(ctx context.Context, p *Pattern, opts IsoOptions) (*E
 // ResultGraph materialises the succinct result graph (§2.2) of a match
 // this engine computed.
 func (e *Engine) ResultGraph(res *MatchResult) *ResultGraph {
+	return e.ResultGraphOf(res.Result)
+}
+
+// ResultGraphOf materialises the result graph of any relation-valued
+// result this engine computed — bounded simulation ([Engine.Match]) as
+// well as dual and strong simulation ([Engine.DualSimulate],
+// [Engine.StrongSimulate], whose TopoResult embeds a Result).
+func (e *Engine) ResultGraphOf(res *Result) *ResultGraph {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	if res.Pattern().AllBoundsOne() {
+		// All witnesses are single edges (the only case for dual/strong
+		// results), so adjacency over the cached snapshot answers every
+		// probe — no need to build (or pay the memory for) the full
+		// distance oracle on an engine that never ran a bounded query.
+		f := e.frozen()
+		return core.BuildResultGraphFrozen(res, core.NewEdgeOracle(f), f)
+	}
 	o, _ := e.queryOracle()
-	return core.BuildResultGraphFrozen(res.Result, o, e.frozen())
+	return core.BuildResultGraphFrozen(res, o, e.frozen())
 }
 
 // Watch starts maintaining the maximum match of p incrementally (the

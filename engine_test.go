@@ -395,3 +395,125 @@ func TestEngineSimulateEnumerate(t *testing.T) {
 		t.Fatalf("Ullmann embeddings: engine %d, direct %d", len(gotUll.Embeddings), len(wantUll.Embeddings))
 	}
 }
+
+// Engine.DualSimulate / StrongSimulate agree with the one-shot top-level
+// wrappers, observe Updates (the frozen snapshot is invalidated), and
+// stay safe under concurrent queries.
+func TestEngineTopoSemantics(t *testing.T) {
+	g := engineTestGraph(t, 60, 180, 17)
+	p := gpm.GeneratePattern(gpm.PatternGenConfig{
+		Nodes: 3, Edges: 3, K: 1, IsoBias: true, Seed: 99,
+	}, g)
+	eng := gpm.NewEngine(g)
+
+	dual, err := eng.DualSimulate(context.Background(), p)
+	if err != nil {
+		t.Fatalf("DualSimulate: %v", err)
+	}
+	wantDual, wantOK, err := gpm.DualSimulate(p, g.Clone())
+	if err != nil {
+		t.Fatalf("gpm.DualSimulate: %v", err)
+	}
+	if dual.OK() != wantOK || !reflect.DeepEqual(dual.Relation(), relCopy(wantDual)) {
+		t.Errorf("engine dual diverges from one-shot wrapper")
+	}
+	strong, err := eng.StrongSimulate(context.Background(), p)
+	if err != nil {
+		t.Fatalf("StrongSimulate: %v", err)
+	}
+	wantStrong, wantSOK, err := gpm.StrongSimulate(p, g.Clone())
+	if err != nil {
+		t.Fatalf("gpm.StrongSimulate: %v", err)
+	}
+	if strong.OK() != wantSOK || !reflect.DeepEqual(strong.Relation(), relCopy(wantStrong)) {
+		t.Errorf("engine strong diverges from one-shot wrapper")
+	}
+
+	// Stats carry no oracle: these semantics never probe distances.
+	if dual.Stats.Oracle != gpm.OracleNone || strong.Stats.Oracle != gpm.OracleNone {
+		t.Errorf("topo stats report an oracle: %v / %v", dual.Stats.Oracle, strong.Stats.Oracle)
+	}
+
+	// After an Update the engine must re-freeze and recompute.
+	ups := gpm.GenerateUpdates(gpm.UpdateGenConfig{Insertions: 6, Deletions: 6, Seed: 5}, g)
+	if _, err := eng.Update(ups...); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	dual2, err := eng.DualSimulate(context.Background(), p)
+	if err != nil {
+		t.Fatalf("DualSimulate after update: %v", err)
+	}
+	wantDual2, _, err := gpm.DualSimulate(p, g.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dual2.Relation(), relCopy(wantDual2)) {
+		t.Errorf("post-update dual does not match recompute on the mutated graph")
+	}
+
+	// Cancellation propagates.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.DualSimulate(ctx, p); err == nil {
+		t.Errorf("DualSimulate ignored cancelled context")
+	}
+	if _, err := eng.StrongSimulate(ctx, p); err == nil {
+		t.Errorf("StrongSimulate ignored cancelled context")
+	}
+}
+
+// Concurrent topo queries against one engine must be race-free and
+// consistent (run under -race in CI).
+func TestEngineTopoConcurrent(t *testing.T) {
+	g := engineTestGraph(t, 50, 150, 23)
+	p := gpm.GeneratePattern(gpm.PatternGenConfig{
+		Nodes: 3, Edges: 3, K: 1, IsoBias: true, Seed: 7,
+	}, g)
+	eng := gpm.NewEngine(g, gpm.WithWorkers(4))
+	ref, err := eng.StrongSimulate(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for q := 0; q < 8; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if q%2 == 0 {
+					res, err := eng.StrongSimulate(context.Background(), p)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if !reflect.DeepEqual(res.Relation(), ref.Relation()) {
+						errCh <- fmt.Errorf("concurrent strong diverged")
+						return
+					}
+				} else {
+					if _, err := eng.DualSimulate(context.Background(), p); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(q)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// relCopy maps a raw relation into the append-allocated form
+// Result.Relation returns, for DeepEqual comparisons.
+func relCopy(rel [][]int32) [][]int32 {
+	out := make([][]int32, len(rel))
+	for i, l := range rel {
+		out[i] = append([]int32(nil), l...)
+	}
+	return out
+}

@@ -16,8 +16,10 @@
 //   - [Engine], the graph-bound, concurrency-safe query API: it caches
 //     the distance oracle across queries and serves every matching
 //     semantics — bounded simulation ([Engine.Match]), plain simulation
-//     ([Engine.Simulate]), subgraph-isomorphism enumeration
-//     ([Engine.Enumerate]) and incremental matching ([Engine.Watch]);
+//     ([Engine.Simulate]), topology-preserving dual and strong
+//     simulation ([Engine.DualSimulate], [Engine.StrongSimulate]),
+//     subgraph-isomorphism enumeration ([Engine.Enumerate]) and
+//     incremental matching ([Engine.Watch]);
 //   - the flat per-call entry points the Engine supersedes ([Match],
 //     [Simulate], [VF2], …), kept as deprecated wrappers;
 //   - synthetic generators and dataset stand-ins used by the experiment
@@ -46,12 +48,15 @@
 package gpm
 
 import (
+	"context"
+
 	"gpm/internal/core"
 	"gpm/internal/graph"
 	"gpm/internal/incremental"
 	"gpm/internal/pattern"
 	"gpm/internal/simulation"
 	"gpm/internal/subiso"
+	"gpm/internal/topo"
 	"gpm/internal/value"
 )
 
@@ -211,6 +216,28 @@ func ResultGraphOf(res *Result, o DistOracle) *ResultGraph {
 //
 // Deprecated: use [Engine.Simulate].
 func Simulate(p *Pattern, g *Graph) ([][]int32, bool, error) { return simulation.Run(p, g) }
+
+// DualSimulate computes the maximum dual simulation of p in g (every
+// pattern edge bound must be 1): plain simulation extended with parent
+// constraints, preserving both child and parent topology (Ma et al.,
+// "Capturing Topology in Graph Pattern Matching", VLDB 2012). The
+// returned relation lists, per pattern node, the sorted data nodes that
+// dual-simulate it; ok reports whether every pattern node matched. It
+// freezes g on every call; bind the graph once with [NewEngine] and use
+// [Engine.DualSimulate] for repeated queries.
+func DualSimulate(p *Pattern, g *Graph) (rel [][]int32, ok bool, err error) {
+	return topo.DualSim(context.Background(), p, g.Freeze(), topo.Options{})
+}
+
+// StrongSimulate computes strong simulation of p in g (every pattern
+// edge bound must be 1): dual simulation inside diameter-bounded balls
+// with maximum-perfect-subgraph filtering — the strictest cubic-time
+// semantics the package serves (Ma et al., VLDB 2012). It freezes g on
+// every call; bind the graph once with [NewEngine] and use
+// [Engine.StrongSimulate] for repeated (and parallel) queries.
+func StrongSimulate(p *Pattern, g *Graph) (rel [][]int32, ok bool, err error) {
+	return topo.StrongSim(context.Background(), p, g.Freeze(), topo.Options{})
+}
 
 // VF2 enumerates subgraph-isomorphism embeddings of p in g (edge-to-edge
 // semantics) — the baseline the paper compares against in Exp-1.

@@ -105,6 +105,15 @@ func (r *Result) String() string {
 	return fmt.Sprintf("match{ok: %v, pairs: %d}", r.ok, r.Pairs())
 }
 
+// NewResult wraps a relation computed by another matching semantics
+// (dual or strong simulation, see internal/topo) into a Result, making
+// it result-graph-capable and giving it the Result accessor set. mat
+// must hold ascending data-node ids per pattern node; ok reports whether
+// every pattern node matched. The caller hands over ownership of mat.
+func NewResult(p *pattern.Pattern, g *graph.Graph, mat [][]int32, ok bool) *Result {
+	return &Result{p: p, g: g, mat: mat, ok: ok}
+}
+
 // Match computes the maximum bounded-simulation match of p in g using a
 // freshly built distance matrix — the paper's algorithm Match (Fig. 4).
 func Match(p *pattern.Pattern, g *graph.Graph) (*Result, error) {

@@ -359,3 +359,36 @@ func (o *TwoHopOracle) NonemptyDistWithin(u, v, bound int, color string) int {
 	}
 	return o.bfs.NonemptyDistWithin(u, v, bound, color)
 }
+
+// EdgeOracle answers distance queries by direct adjacency scan over a
+// frozen snapshot: it reports distance 1 when the edge (u, v) exists
+// (color-compatible), and no witness otherwise — correct only for
+// bound-1 probes, so it serves the all-bounds-one semantics (plain,
+// dual and strong simulation), whose result graphs need no path oracle.
+// The engine layer uses it to materialise topo result graphs without
+// building (and paying the memory for) a full distance oracle.
+type EdgeOracle struct {
+	f *graph.Frozen
+}
+
+// NewEdgeOracle wraps f as a bound-1 DistOracle.
+func NewEdgeOracle(f *graph.Frozen) EdgeOracle { return EdgeOracle{f: f} }
+
+// NonemptyDistWithin reports 1 when edge (u, v) exists with a compatible
+// color and the bound admits a length-1 path, -1 otherwise. Bounds
+// beyond 1 are still answered by adjacency only: callers must only use
+// this oracle with all-bounds-one patterns.
+func (o EdgeOracle) NonemptyDistWithin(u, v, bound int, color string) int {
+	if bound >= 0 && bound < 1 {
+		return -1
+	}
+	for _, y := range o.f.Out(u) {
+		if int(y) != v {
+			continue
+		}
+		if color == "" || o.f.Color(u, v) == color {
+			return 1
+		}
+	}
+	return -1
+}

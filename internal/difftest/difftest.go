@@ -7,14 +7,32 @@
 //   - plain simulation is bounded simulation with every bound fixed to 1
 //     (paper §2.2, remark 2), so Match and Simulate must agree exactly on
 //     all-bounds-one patterns;
+//
 //   - every subgraph-isomorphism embedding is itself a bounded simulation,
 //     so each VF2/Ullmann match pair must be contained in the maximum
 //     bounded-simulation relation;
+//
 //   - the matrix, BFS and 2-hop oracles answer the same distance queries,
 //     so Match results must be identical across them;
+//
 //   - the greatest fixpoint is unique (Proposition 2.1), so parallel
 //     matching (WithWorkers(N)) must be bit-identical to sequential
-//     (WithWorkers(1)) on every seed.
+//     (WithWorkers(1)) on every seed;
+//
+//   - the semantics form a containment lattice on all-bounds-one
+//     patterns (Ma et al., "Capturing Topology in Graph Pattern
+//     Matching", VLDB 2012):
+//
+//     subiso pairs ⊆ StrongSimulate ⊆ DualSimulate ⊆ Simulate ⊆ Match(k)
+//
+//     with two collapse points: child-only dual simulation equals plain
+//     simulation equals bounded simulation at k=1, and on out-tree
+//     patterns strong simulation equals dual simulation (topology
+//     preservation is free on trees);
+//
+//   - dual and strong relations are unions/fixpoints independent of
+//     evaluation order, so every worker count must produce bit-identical
+//     relations (equal checksums).
 //
 // The helpers here generate the random workloads and compare relations;
 // the assertions live in the package's tests.
@@ -22,6 +40,7 @@ package difftest
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"gpm"
 	"gpm/internal/generator"
@@ -124,6 +143,79 @@ func RelationsEqual(a, b [][]int32) bool {
 		}
 	}
 	return true
+}
+
+// Contained reports whether sub ⊆ sup as relations: same number of
+// pattern nodes, and every data node of each sub row present in the
+// corresponding sup row (rows sorted ascending, as every matcher in the
+// module returns them).
+func Contained(sub, sup [][]int32) bool {
+	if len(sub) != len(sup) {
+		return false
+	}
+	for u := range sub {
+		j := 0
+		for _, x := range sub[u] {
+			for j < len(sup[u]) && sup[u][j] < x {
+				j++
+			}
+			if j >= len(sup[u]) || sup[u][j] != x {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Checksum folds every (pattern node, data node) pair of a relation into
+// one FNV-1a hash, so bit-identity across worker counts can be asserted
+// (and reported) as checksum equality.
+func Checksum(rel [][]int32) uint64 {
+	h := fnv.New64a()
+	var buf [6]byte
+	for u, l := range rel {
+		for _, x := range l {
+			buf[0] = byte(u)
+			buf[1] = byte(u >> 8)
+			buf[2] = byte(x)
+			buf[3] = byte(x >> 8)
+			buf[4] = byte(x >> 16)
+			buf[5] = byte(x >> 24)
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
+}
+
+// RaiseBounds clones p with every edge bound replaced by k, keeping
+// nodes, predicates and colors: the pattern Match(k) runs in the lattice
+// tests, where the all-bounds-one relations must be contained in the
+// bounded-simulation relation at any k >= 1 (a single-edge witness is a
+// path of length 1 <= k).
+func RaiseBounds(p *gpm.Pattern, k int) *gpm.Pattern {
+	q := gpm.NewPattern()
+	for u := 0; u < p.N(); u++ {
+		q.AddNode(p.Pred(u))
+	}
+	for _, e := range p.Edges() {
+		if _, err := q.AddColoredEdge(e.From, e.To, k, e.Color); err != nil {
+			panic(err) // cannot happen: source pattern was consistent
+		}
+	}
+	return q
+}
+
+// TreePattern generates a random out-tree pattern against g: node 0 is
+// the root and every other node has exactly one incoming edge, all
+// bounds 1. Tree patterns are the lattice's second collapse point —
+// strong simulation equals dual simulation on them.
+func TreePattern(seed int64, g *gpm.Graph, nodes int) *gpm.Pattern {
+	return generator.Pattern(generator.PatternConfig{
+		Nodes: nodes,
+		Edges: nodes - 1, // skeleton only: an out-tree
+		K:     1,
+		Seed:  seed,
+	}, g)
 }
 
 // DiffRelations renders the first few differing entries of two relations,

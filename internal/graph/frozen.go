@@ -126,6 +126,50 @@ func (f *Frozen) BFSDistInto(src, bound int, dist []int32, queue *[]int32) int {
 	return reached
 }
 
+// BallInto runs an undirected BFS from center, treating every edge as
+// bidirectional, and stops expanding beyond radius hops (radius < 0 means
+// no limit). It fills dist — which must be pre-filled with -1 and have
+// length N() — with undirected hop distances, and returns the number of
+// nodes reached (including center). The reached nodes are left in *queue
+// in BFS order, so queue[:reached] is the ball's member list — this is
+// the ball-extraction primitive of strong simulation (Ma et al., VLDB
+// 2012), where the ball Ĝ[w, r] around a candidate center w collects the
+// nodes within undirected distance r. queue follows the same sticky-
+// scratch contract as BFSDistInto (see Scratch for pooled reuse).
+func (f *Frozen) BallInto(center, radius int, dist []int32, queue *[]int32) int {
+	var local []int32
+	if queue == nil {
+		queue = &local
+	}
+	q := (*queue)[:0]
+	dist[center] = 0
+	q = append(q, int32(center))
+	reached := 1
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		du := dist[u]
+		if radius >= 0 && int(du) >= radius {
+			continue
+		}
+		for _, v := range f.Out(int(u)) {
+			if dist[v] < 0 {
+				dist[v] = du + 1
+				reached++
+				q = append(q, v)
+			}
+		}
+		for _, v := range f.In(int(u)) {
+			if dist[v] < 0 {
+				dist[v] = du + 1
+				reached++
+				q = append(q, v)
+			}
+		}
+	}
+	*queue = q
+	return reached
+}
+
 // BFSReverseDistInto is BFSDistInto over reversed edges: dist[v] becomes
 // the length of the shortest path from v to dst.
 func (f *Frozen) BFSReverseDistInto(dst, bound int, dist []int32, queue *[]int32) int {

@@ -168,3 +168,85 @@ func TestScratchPool(t *testing.T) {
 		}
 	}
 }
+
+// BallInto must agree with a naive undirected BFS: same membership and
+// the same undirected hop distances, at every radius.
+func TestBallIntoMatchesNaive(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		n := 6 + int(seed)%40
+		f := randomFrozenTestGraph(t, seed, n, 3*n).Freeze()
+		for _, radius := range []int{0, 1, 2, 3, -1} {
+			for center := 0; center < n; center += 1 + n/7 {
+				want := make([]int32, n)
+				for i := range want {
+					want[i] = -1
+				}
+				want[center] = 0
+				queue := []int{center}
+				for head := 0; head < len(queue); head++ {
+					u := queue[head]
+					if radius >= 0 && int(want[u]) >= radius {
+						continue
+					}
+					both := append(append([]int32(nil), f.Out(u)...), f.In(u)...)
+					for _, v := range both {
+						if want[v] < 0 {
+							want[v] = want[u] + 1
+							queue = append(queue, int(v))
+						}
+					}
+				}
+				wantReached := 0
+				for _, d := range want {
+					if d >= 0 {
+						wantReached++
+					}
+				}
+
+				dist := make([]int32, n)
+				for i := range dist {
+					dist[i] = -1
+				}
+				var q []int32
+				reached := f.BallInto(center, radius, dist, &q)
+				if reached != wantReached {
+					t.Fatalf("seed %d center %d radius %d: reached %d want %d", seed, center, radius, reached, wantReached)
+				}
+				if len(q) != reached {
+					t.Fatalf("seed %d: queue holds %d members, want %d", seed, len(q), reached)
+				}
+				for v := 0; v < n; v++ {
+					if dist[v] != want[v] {
+						t.Fatalf("seed %d center %d radius %d: dist[%d] = %d, want %d",
+							seed, center, radius, v, dist[v], want[v])
+					}
+				}
+				for _, m := range q {
+					if dist[m] < 0 {
+						t.Fatalf("seed %d: queue member %d not reached", seed, m)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Regression: ball extraction is the hot path of strong simulation — one
+// call per candidate center — so, like BFSDistInto, it must not allocate
+// when run through a reused Scratch.
+func TestBallIntoZeroAllocs(t *testing.T) {
+	f := randomFrozenTestGraph(t, 11, 256, 1024).Freeze()
+	n := f.N()
+	s := GetScratch(n)
+	defer s.Put()
+	// Warm up so the queue reaches its high-water capacity.
+	f.BallInto(0, -1, s.Dist, &s.Queue)
+
+	allocs := testing.AllocsPerRun(50, func() {
+		s.Reset(n)
+		f.BallInto(0, 2, s.Dist, &s.Queue)
+	})
+	if allocs != 0 {
+		t.Errorf("Frozen.BallInto with sticky scratch: %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,85 @@
+package topo
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// minShardWork is the smallest number of inner-loop iterations worth a
+// task switch, mirroring the parallel matching core's threshold.
+const minShardWork = 256
+
+// runShards feeds task indexes 0..tasks-1 to a pool of workers goroutines
+// and hands each invocation its worker id, so tasks can use per-worker
+// scratch without locking. run must only write state disjoint per task
+// (or per worker). The first error stops the pool; remaining tasks are
+// skipped and the error returned.
+func runShards(workers, tasks int, run func(worker, task int) error) error {
+	if workers > tasks {
+		workers = tasks
+	}
+	if workers <= 1 {
+		for t := 0; t < tasks; t++ {
+			if err := run(0, t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	ch := make(chan int)
+	var stop atomic.Bool
+	var once sync.Once
+	var firstErr error
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for t := range ch {
+				if stop.Load() {
+					continue
+				}
+				if err := run(worker, t); err != nil {
+					once.Do(func() {
+						firstErr = err
+						stop.Store(true)
+					})
+				}
+			}
+		}(w)
+	}
+	for t := 0; t < tasks; t++ {
+		if stop.Load() {
+			break
+		}
+		ch <- t
+	}
+	close(ch)
+	wg.Wait()
+	return firstErr
+}
+
+// shardSpans splits [0, n) into spans of roughly equal size targeting a
+// few tasks per worker, but never below minShardWork iterations each
+// (workUnit is the inner-loop cost of one index).
+func shardSpans(n, workers, workUnit int) [][2]int {
+	if n == 0 {
+		return nil
+	}
+	if workUnit < 1 {
+		workUnit = 1
+	}
+	size := (n + 4*workers - 1) / (4 * workers)
+	if size*workUnit < minShardWork {
+		size = (minShardWork + workUnit - 1) / workUnit
+	}
+	var spans [][2]int
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		spans = append(spans, [2]int{lo, hi})
+	}
+	return spans
+}

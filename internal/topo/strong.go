@@ -1,0 +1,462 @@
+package topo
+
+import (
+	"context"
+	"sync"
+
+	"gpm/internal/cancel"
+	"gpm/internal/graph"
+	"gpm/internal/pattern"
+)
+
+// StrongSim computes strong simulation of p in f (Ma et al., §4): dual
+// simulation with locality. For every candidate center w — a data node
+// in the image of the whole-graph dual simulation — the ball Ĝ[w, dP] of
+// radius dP (the pattern's undirected diameter) is extracted, dual
+// simulation of the pattern is computed inside the ball, and the ball is
+// accepted when w itself is matched and the connected component of the
+// match graph containing w covers every pattern node (the maximum
+// perfect subgraph). The result relation is the union over accepted
+// balls; ok reports whether every pattern node kept at least one match.
+//
+// Disconnected patterns are handled per weakly-connected component, each
+// with its own diameter and ball sweep (Ma et al. assume connected
+// patterns; the component decomposition is the natural extension, since
+// dual-simulation constraints never cross components).
+//
+// Balls are independent, so their evaluation is sharded across
+// opts.Workers goroutines, each owning its scratch (ball BFS buffers
+// from the graph.Scratch pool, grow-on-demand local bitmaps and
+// counters). The union over accepted balls is order-independent and the
+// final relation is emitted by one sorted scan, so every worker count
+// returns bit-identical relations.
+func StrongSim(ctx context.Context, p *pattern.Pattern, f *graph.Frozen, opts Options) (rel [][]int32, ok bool, err error) {
+	if err := checkPattern(p); err != nil {
+		return nil, false, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	np, n := p.N(), f.N()
+
+	// Whole-graph dual simulation is both a prefilter (strong ⊆ dual, so
+	// per-ball candidates start from the dual relation) and the source
+	// of candidate centers (an unmatched center can never anchor a
+	// perfect subgraph).
+	dual, err := dualFixpoint(ctx, p, f, Options{Workers: opts.Workers})
+	if err != nil {
+		return nil, false, err
+	}
+
+	comps := patternComponents(p)
+
+	// Candidate centers per component: the sorted union of the dual
+	// matches of the component's pattern nodes.
+	type ballTask struct {
+		comp   int
+		center int32
+	}
+	var tasks []ballTask
+	mark := make([]bool, n)
+	for ci, c := range comps {
+		for _, u := range c.nodes {
+			for x := 0; x < n; x++ {
+				if dual[u][x] {
+					mark[x] = true
+				}
+			}
+		}
+		for x := 0; x < n; x++ {
+			if mark[x] {
+				tasks = append(tasks, ballTask{ci, int32(x)})
+				mark[x] = false
+			}
+		}
+	}
+
+	workers := opts.workers()
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Accepted pairs accumulate into one shared bitmap: emission happens
+	// once per accepted ball (rare next to ball evaluation), so a mutex
+	// costs nothing, and bit-marking is order-independent — the merge
+	// stays bit-identical at every worker count without paying
+	// O(workers·|Vp|·|V|) per-worker bitmaps.
+	res := &acceptedPairs{bits: make([][]bool, np)}
+	for u := 0; u < np; u++ {
+		res.bits[u] = make([]bool, n)
+	}
+	ws := make([]*strongWorker, workers)
+	for w := range ws {
+		ws[w] = newStrongWorker(ctx, p, f, dual, res)
+	}
+	defer func() {
+		for _, w := range ws {
+			w.sc.Put()
+		}
+	}()
+	err = runShards(workers, len(tasks), func(w, t int) error {
+		return ws[w].ball(&comps[tasks[t].comp], int(tasks[t].center))
+	})
+	if err != nil {
+		return nil, false, err
+	}
+
+	// Deterministic merge: one sorted scan over the shared bitmap —
+	// identical at every worker count.
+	rel, ok = collect(res.bits)
+	return rel, ok, nil
+}
+
+// acceptedPairs is the shared accepted-pair bitmap of one StrongSim
+// call; workers mark bits under the mutex once per accepted ball.
+type acceptedPairs struct {
+	mu   sync.Mutex
+	bits [][]bool
+}
+
+// component is one weakly-connected component of the pattern: its nodes,
+// its edges and its undirected diameter (the ball radius).
+type component struct {
+	nodes  []int
+	edges  []int
+	radius int
+}
+
+// patternComponents decomposes p into weakly-connected components and
+// computes each component's undirected diameter by BFS from every node
+// (patterns are small; this is O(|Vp|·|Ep|)).
+func patternComponents(p *pattern.Pattern) []component {
+	np := p.N()
+	adj := make([][]int, np) // undirected pattern adjacency
+	for eid := 0; eid < p.EdgeCount(); eid++ {
+		e := p.EdgeAt(eid)
+		if e.From != e.To {
+			adj[e.From] = append(adj[e.From], e.To)
+			adj[e.To] = append(adj[e.To], e.From)
+		}
+	}
+	compOf := make([]int, np)
+	for i := range compOf {
+		compOf[i] = -1
+	}
+	var comps []component
+	dist := make([]int, np)
+	var queue []int
+	for start := 0; start < np; start++ {
+		if compOf[start] >= 0 {
+			continue
+		}
+		ci := len(comps)
+		var c component
+		queue = append(queue[:0], start)
+		compOf[start] = ci
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			c.nodes = append(c.nodes, v)
+			for _, w := range adj[v] {
+				if compOf[w] < 0 {
+					compOf[w] = ci
+					queue = append(queue, w)
+				}
+			}
+		}
+		// Undirected eccentricities within the component.
+		for _, src := range c.nodes {
+			for _, v := range c.nodes {
+				dist[v] = -1
+			}
+			dist[src] = 0
+			queue = append(queue[:0], src)
+			for head := 0; head < len(queue); head++ {
+				v := queue[head]
+				for _, w := range adj[v] {
+					if dist[w] < 0 {
+						dist[w] = dist[v] + 1
+						queue = append(queue, w)
+					}
+				}
+			}
+			for _, v := range c.nodes {
+				if dist[v] > c.radius {
+					c.radius = dist[v]
+				}
+			}
+		}
+		comps = append(comps, c)
+	}
+	for eid := 0; eid < p.EdgeCount(); eid++ {
+		ci := compOf[p.EdgeAt(eid).From]
+		comps[ci].edges = append(comps[ci].edges, eid)
+	}
+	return comps
+}
+
+// strongWorker owns the scratch state of one ball-evaluation goroutine.
+// All per-ball buffers are indexed by local ids (the ball's BFS order)
+// and grown on demand, then zeroed back after each ball, so a worker's
+// steady-state evaluation does not allocate.
+type strongWorker struct {
+	p    *pattern.Pattern
+	f    *graph.Frozen
+	dual [][]bool
+	poll cancel.Poller
+	cur  *component // component being evaluated by the current ball
+
+	sc      *graph.Scratch // ball BFS dist + member queue (pooled)
+	lid     []int32        // global node -> local ball id; -1 outside
+	sim     [][]bool       // per pattern node, local ball ids
+	fwd     [][]int32      // per pattern edge, out-witness counters
+	back    [][]int32      // per pattern edge, in-witness counters
+	work    []removal      // local removal worklist
+	visited []bool         // match-graph BFS marks
+	mq      []int32        // match-graph BFS queue
+	res     *acceptedPairs // shared accepted-pair sink
+}
+
+func newStrongWorker(ctx context.Context, p *pattern.Pattern, f *graph.Frozen, dual [][]bool, res *acceptedPairs) *strongWorker {
+	np, n := p.N(), f.N()
+	w := &strongWorker{
+		p:    p,
+		f:    f,
+		dual: dual,
+		poll: cancel.Every(ctx, cancelPollInterval),
+		sc:   graph.GetScratch(n),
+		lid:  make([]int32, n),
+		sim:  make([][]bool, np),
+		fwd:  make([][]int32, p.EdgeCount()),
+		back: make([][]int32, p.EdgeCount()),
+		res:  res,
+	}
+	for i := range w.lid {
+		w.lid[i] = -1
+	}
+	return w
+}
+
+func growBool(s *[]bool, n int) []bool {
+	if cap(*s) < n {
+		*s = make([]bool, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+func growI32(s *[]int32, n int) []int32 {
+	if cap(*s) < n {
+		*s = make([]int32, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+// ball evaluates one candidate center: extract the ball, run dual
+// simulation inside it, extract the maximum perfect subgraph around the
+// center, and accumulate its pairs into w.res when it covers every
+// pattern node of the component.
+func (w *strongWorker) ball(c *component, center int) error {
+	pat := w.p
+	w.cur = c
+	r := w.f.BallInto(center, c.radius, w.sc.Dist, &w.sc.Queue)
+	members := w.sc.Queue[:r]
+	for i, g := range members {
+		w.lid[g] = int32(i)
+	}
+	defer func() {
+		// Return every touched buffer to its zero state so the next ball
+		// starts clean without O(n) refills.
+		for _, g := range members {
+			w.lid[g] = -1
+			w.sc.Dist[g] = -1
+		}
+		for _, u := range c.nodes {
+			row := w.sim[u]
+			for i := range row {
+				row[i] = false
+			}
+		}
+		for _, eid := range c.edges {
+			for i := range w.fwd[eid] {
+				w.fwd[eid][i] = 0
+			}
+			for i := range w.back[eid] {
+				w.back[eid][i] = 0
+			}
+		}
+		for i := range w.visited {
+			w.visited[i] = false
+		}
+		w.work = w.work[:0]
+		w.mq = w.mq[:0]
+	}()
+
+	// Initial candidates: the whole-graph dual relation restricted to the
+	// ball (it contains every dual simulation inside the ball, so the
+	// greatest fixpoint from here is the ball's maximum dual simulation).
+	for _, u := range c.nodes {
+		row := growBool(&w.sim[u], r)
+		for i, g := range members {
+			row[i] = w.dual[u][g]
+		}
+	}
+
+	// Counter seeding over ball-internal edges.
+	for _, eid := range c.edges {
+		e := pat.EdgeAt(eid)
+		fr := growI32(&w.fwd[eid], r)
+		bk := growI32(&w.back[eid], r)
+		for i, g := range members {
+			if err := w.poll.Err(); err != nil {
+				return err
+			}
+			if w.sim[e.From][i] {
+				for _, y := range w.f.Out(int(g)) {
+					ly := w.lid[y]
+					if ly >= 0 && w.sim[e.To][ly] && colorOK(w.f, int(g), int(y), e.Color) {
+						fr[i]++
+					}
+				}
+				if fr[i] == 0 {
+					w.work = append(w.work, removal{int32(e.From), int32(i)})
+				}
+			}
+			if w.sim[e.To][i] {
+				for _, z := range w.f.In(int(g)) {
+					lz := w.lid[z]
+					if lz >= 0 && w.sim[e.From][lz] && colorOK(w.f, int(z), int(g), e.Color) {
+						bk[i]++
+					}
+				}
+				if bk[i] == 0 {
+					w.work = append(w.work, removal{int32(e.To), int32(i)})
+				}
+			}
+		}
+	}
+
+	// Local refinement cascade (same scheme as DualSim, ball-restricted).
+	for len(w.work) > 0 {
+		rm := w.work[len(w.work)-1]
+		w.work = w.work[:len(w.work)-1]
+		u, lx := int(rm.u), int(rm.x)
+		if !w.sim[u][lx] {
+			continue
+		}
+		w.sim[u][lx] = false
+		gx := int(members[lx])
+		for _, eid := range pat.In(u) {
+			e := pat.EdgeAt(int(eid))
+			for _, z := range w.f.In(gx) {
+				if err := w.poll.Err(); err != nil {
+					return err
+				}
+				lz := w.lid[z]
+				if lz < 0 || !w.sim[e.From][lz] || !colorOK(w.f, int(z), gx, e.Color) {
+					continue
+				}
+				w.fwd[eid][lz]--
+				if w.fwd[eid][lz] == 0 {
+					w.work = append(w.work, removal{int32(e.From), lz})
+				}
+			}
+		}
+		for _, eid := range pat.Out(u) {
+			e := pat.EdgeAt(int(eid))
+			for _, y := range w.f.Out(gx) {
+				if err := w.poll.Err(); err != nil {
+					return err
+				}
+				ly := w.lid[y]
+				if ly < 0 || !w.sim[e.To][ly] || !colorOK(w.f, gx, int(y), e.Color) {
+					continue
+				}
+				w.back[eid][ly]--
+				if w.back[eid][ly] == 0 {
+					w.work = append(w.work, removal{int32(e.To), ly})
+				}
+			}
+		}
+	}
+
+	// The center (local id 0, first out of the BFS) must itself be
+	// matched, or the ball cannot anchor a perfect subgraph.
+	centerMatched := false
+	for _, u := range c.nodes {
+		if w.sim[u][0] {
+			centerMatched = true
+			break
+		}
+	}
+	if !centerMatched {
+		return nil
+	}
+
+	// Maximum perfect subgraph: the connected component of the match
+	// graph containing the center. Match-graph edges connect matched
+	// data nodes realising some pattern edge inside the ball.
+	w.visited = growBool(&w.visited, r)
+	for i := range w.visited {
+		w.visited[i] = false
+	}
+	w.visited[0] = true
+	w.mq = append(w.mq[:0], 0)
+	for head := 0; head < len(w.mq); head++ {
+		lx := int(w.mq[head])
+		gx := int(members[lx])
+		for _, y := range w.f.Out(gx) {
+			ly := w.lid[y]
+			if ly >= 0 && !w.visited[ly] && w.matchEdge(lx, int(ly), gx, int(y)) {
+				w.visited[ly] = true
+				w.mq = append(w.mq, ly)
+			}
+		}
+		for _, z := range w.f.In(gx) {
+			lz := w.lid[z]
+			if lz >= 0 && !w.visited[lz] && w.matchEdge(int(lz), lx, int(z), gx) {
+				w.visited[lz] = true
+				w.mq = append(w.mq, lz)
+			}
+		}
+	}
+
+	// Perfect = the component covers every pattern node of c.
+	for _, u := range c.nodes {
+		found := false
+		for i, in := range w.sim[u] {
+			if in && w.visited[i] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil
+		}
+	}
+	w.res.mu.Lock()
+	for _, u := range c.nodes {
+		for i, in := range w.sim[u] {
+			if in && w.visited[i] {
+				w.res.bits[u][members[i]] = true
+			}
+		}
+	}
+	w.res.mu.Unlock()
+	return nil
+}
+
+// matchEdge reports whether data edge (gx, gy) — both endpoints inside
+// the current ball with local ids lx, ly — realises some pattern edge of
+// the current component, i.e. is an edge of the match graph.
+func (w *strongWorker) matchEdge(lx, ly, gx, gy int) bool {
+	for _, eid := range w.cur.edges {
+		e := w.p.EdgeAt(eid)
+		if w.sim[e.From][lx] && w.sim[e.To][ly] && colorOK(w.f, gx, gy, e.Color) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,536 @@
+package topo
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"gpm/internal/generator"
+	"gpm/internal/graph"
+	"gpm/internal/pattern"
+	"gpm/internal/simulation"
+	"gpm/internal/value"
+)
+
+// --- naive reference implementations -------------------------------------
+//
+// Independent textbook fixpoints, deliberately sharing no machinery with
+// the counter/worklist code under test: the naive dual rescans every pair
+// until stable, and the naive strong enumerates every node as a ball
+// center (not just the dual prefilter's image).
+
+func naiveDual(p *pattern.Pattern, f *graph.Frozen, childOnly bool) ([][]int32, bool) {
+	np, n := p.N(), f.N()
+	sim := make([][]bool, np)
+	for u := 0; u < np; u++ {
+		sim[u] = make([]bool, n)
+		for x := 0; x < n; x++ {
+			sim[u][x] = p.Pred(u).Match(f.Attr(x))
+		}
+	}
+	inBall := func(int) bool { return true }
+	naiveDualFixpoint(p, f, sim, inBall, childOnly)
+	rel := make([][]int32, np)
+	ok := true
+	for u := 0; u < np; u++ {
+		for x := 0; x < n; x++ {
+			if sim[u][x] {
+				rel[u] = append(rel[u], int32(x))
+			}
+		}
+		if len(rel[u]) == 0 {
+			ok = false
+		}
+	}
+	return rel, ok
+}
+
+// naiveDualFixpoint repeatedly deletes pairs violating the child or
+// parent constraint, restricted to the data nodes inBall accepts.
+func naiveDualFixpoint(p *pattern.Pattern, f *graph.Frozen, sim [][]bool, inBall func(int) bool, childOnly bool) {
+	for changed := true; changed; {
+		changed = false
+		for u := 0; u < p.N(); u++ {
+			for x := 0; x < f.N(); x++ {
+				if !sim[u][x] || !inBall(x) {
+					continue
+				}
+				dead := false
+				for _, eid := range p.Out(u) {
+					e := p.EdgeAt(int(eid))
+					found := false
+					for _, y := range f.Out(x) {
+						if inBall(int(y)) && sim[e.To][y] && colorOK(f, x, int(y), e.Color) {
+							found = true
+							break
+						}
+					}
+					if !found {
+						dead = true
+						break
+					}
+				}
+				if !dead && !childOnly {
+					for _, eid := range p.In(u) {
+						e := p.EdgeAt(int(eid))
+						found := false
+						for _, z := range f.In(x) {
+							if inBall(int(z)) && sim[e.From][z] && colorOK(f, int(z), x, e.Color) {
+								found = true
+								break
+							}
+						}
+						if !found {
+							dead = true
+							break
+						}
+					}
+				}
+				if dead {
+					sim[u][x] = false
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// naiveStrong evaluates every data node as a ball center with a fresh
+// (unseeded) in-ball dual fixpoint.
+func naiveStrong(p *pattern.Pattern, f *graph.Frozen) ([][]int32, bool) {
+	np, n := p.N(), f.N()
+	res := make([][]bool, np)
+	for u := range res {
+		res[u] = make([]bool, n)
+	}
+	for _, c := range patternComponents(p) {
+		for center := 0; center < n; center++ {
+			// Undirected ball by naive BFS.
+			dist := make([]int32, n)
+			for i := range dist {
+				dist[i] = -1
+			}
+			var queue []int32
+			f.BallInto(center, c.radius, dist, &queue)
+			inBall := func(x int) bool { return dist[x] >= 0 }
+
+			sim := make([][]bool, np)
+			for _, u := range c.nodes {
+				sim[u] = make([]bool, n)
+				for x := 0; x < n; x++ {
+					sim[u][x] = inBall(x) && p.Pred(u).Match(f.Attr(x))
+				}
+			}
+			for u := 0; u < np; u++ {
+				if sim[u] == nil {
+					sim[u] = make([]bool, n) // nodes outside c: empty rows
+				}
+			}
+			sub := p // fixpoint only visits c's nodes via the rows seeded above
+			naiveDualCompFixpoint(sub, f, sim, inBall, c)
+
+			matched := false
+			for _, u := range c.nodes {
+				if sim[u][center] {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				continue
+			}
+			// Connected component of the match graph containing center.
+			visited := make([]bool, n)
+			visited[center] = true
+			comp := []int{center}
+			for head := 0; head < len(comp); head++ {
+				x := comp[head]
+				for y := 0; y < n; y++ {
+					if visited[y] || !inBall(y) {
+						continue
+					}
+					link := false
+					for _, eid := range c.edges {
+						e := p.EdgeAt(eid)
+						if hasEdge(f, x, y) && sim[e.From][x] && sim[e.To][y] && colorOK(f, x, y, e.Color) {
+							link = true
+						}
+						if hasEdge(f, y, x) && sim[e.From][y] && sim[e.To][x] && colorOK(f, y, x, e.Color) {
+							link = true
+						}
+					}
+					if link {
+						visited[y] = true
+						comp = append(comp, y)
+					}
+				}
+			}
+			perfect := true
+			for _, u := range c.nodes {
+				found := false
+				for _, x := range comp {
+					if sim[u][x] {
+						found = true
+						break
+					}
+				}
+				if !found {
+					perfect = false
+					break
+				}
+			}
+			if !perfect {
+				continue
+			}
+			for _, u := range c.nodes {
+				for _, x := range comp {
+					if sim[u][x] {
+						res[u][x] = true
+					}
+				}
+			}
+		}
+	}
+	rel := make([][]int32, np)
+	ok := true
+	for u := 0; u < np; u++ {
+		for x := 0; x < n; x++ {
+			if res[u][x] {
+				rel[u] = append(rel[u], int32(x))
+			}
+		}
+		if len(rel[u]) == 0 {
+			ok = false
+		}
+	}
+	return rel, ok
+}
+
+// naiveDualCompFixpoint is naiveDualFixpoint restricted to one pattern
+// component's nodes and edges.
+func naiveDualCompFixpoint(p *pattern.Pattern, f *graph.Frozen, sim [][]bool, inBall func(int) bool, c component) {
+	for changed := true; changed; {
+		changed = false
+		for _, u := range c.nodes {
+			for x := 0; x < f.N(); x++ {
+				if !sim[u][x] || !inBall(x) {
+					continue
+				}
+				dead := false
+				for _, eid := range p.Out(u) {
+					e := p.EdgeAt(int(eid))
+					found := false
+					for _, y := range f.Out(x) {
+						if inBall(int(y)) && sim[e.To][y] && colorOK(f, x, int(y), e.Color) {
+							found = true
+							break
+						}
+					}
+					if !found {
+						dead = true
+						break
+					}
+				}
+				if !dead {
+					for _, eid := range p.In(u) {
+						e := p.EdgeAt(int(eid))
+						found := false
+						for _, z := range f.In(x) {
+							if inBall(int(z)) && sim[e.From][z] && colorOK(f, int(z), x, e.Color) {
+								found = true
+								break
+							}
+						}
+						if !found {
+							dead = true
+							break
+						}
+					}
+				}
+				if dead {
+					sim[u][x] = false
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+func hasEdge(f *graph.Frozen, u, v int) bool {
+	for _, y := range f.Out(u) {
+		if int(y) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// --- helpers -------------------------------------------------------------
+
+func labeledGraph(t *testing.T, labels []string, edges [][2]int) *graph.Graph {
+	t.Helper()
+	g := graph.New(len(labels))
+	for i, l := range labels {
+		g.SetAttr(i, graph.Attrs{"label": value.Str(l)})
+	}
+	for _, e := range edges {
+		if !g.AddEdge(e[0], e[1]) {
+			t.Fatalf("duplicate edge %v", e)
+		}
+	}
+	return g
+}
+
+func labelPattern(t *testing.T, labels []string, edges [][2]int) *pattern.Pattern {
+	t.Helper()
+	p := pattern.New()
+	for _, l := range labels {
+		p.AddNode(pattern.Label(l))
+	}
+	for _, e := range edges {
+		p.MustAddEdge(e[0], e[1], 1)
+	}
+	return p
+}
+
+func randomCase(seed int64, nodes, edges, pnodes, pedges int) (*pattern.Pattern, *graph.Frozen) {
+	g := generator.Graph(generator.GraphConfig{
+		Nodes: nodes, Edges: edges, Attrs: nodes / 6, Model: generator.ER, Seed: seed,
+	})
+	p := generator.Pattern(generator.PatternConfig{
+		Nodes: pnodes, Edges: pedges, K: 1, Seed: seed * 7793,
+	}, g)
+	return p, g.Freeze()
+}
+
+// --- tests ---------------------------------------------------------------
+
+// Dual simulation removes matches that plain simulation keeps: a data
+// node with no matched parent violates the parent constraint even though
+// plain simulation (child constraints only) accepts it.
+func TestDualParentConstraint(t *testing.T) {
+	// b0 has no incoming edge from an A node; b1 does.
+	g := labeledGraph(t, []string{"A", "B", "B"}, [][2]int{{0, 2}})
+	p := labelPattern(t, []string{"A", "B"}, [][2]int{{0, 1}})
+	f := g.Freeze()
+
+	sim, ok, err := simulation.RunFrozen(context.Background(), p, f)
+	if err != nil || !ok {
+		t.Fatalf("plain simulation: ok=%v err=%v", ok, err)
+	}
+	if len(sim[1]) != 2 {
+		t.Fatalf("plain simulation should keep both B nodes, got %v", sim[1])
+	}
+
+	dual, ok, err := DualSim(context.Background(), p, f, Options{})
+	if err != nil {
+		t.Fatalf("DualSim: %v", err)
+	}
+	if !ok {
+		t.Fatalf("DualSim: pattern should match")
+	}
+	if want := []int32{2}; !reflect.DeepEqual(dual[1], want) {
+		t.Errorf("dual sim(B) = %v, want %v (b0 has no matched parent)", dual[1], want)
+	}
+	if want := []int32{0}; !reflect.DeepEqual(dual[0], want) {
+		t.Errorf("dual sim(A) = %v, want %v", dual[0], want)
+	}
+}
+
+// Strong simulation rejects matches that dual simulation accepts when the
+// topology only closes outside the ball: a triangle pattern dual-matches
+// a 6-cycle (labels repeat every 3 nodes), but no radius-1 ball around
+// any node contains a full triangle witness.
+func TestStrongRejectsUnrolledCycle(t *testing.T) {
+	g := labeledGraph(t,
+		[]string{"A", "B", "C", "A", "B", "C"},
+		[][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}})
+	p := labelPattern(t, []string{"A", "B", "C"}, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+	f := g.Freeze()
+
+	dual, ok, err := DualSim(context.Background(), p, f, Options{})
+	if err != nil || !ok {
+		t.Fatalf("DualSim: ok=%v err=%v (the 6-cycle dual-matches the triangle)", ok, err)
+	}
+	for u := 0; u < 3; u++ {
+		if len(dual[u]) != 2 {
+			t.Fatalf("dual sim(%d) = %v, want both same-label nodes", u, dual[u])
+		}
+	}
+
+	strong, ok, err := StrongSim(context.Background(), p, f, Options{})
+	if err != nil {
+		t.Fatalf("StrongSim: %v", err)
+	}
+	if ok {
+		t.Errorf("StrongSim accepted the unrolled cycle: %v", strong)
+	}
+	for u, l := range strong {
+		if len(l) != 0 {
+			t.Errorf("strong sim(%d) = %v, want empty", u, l)
+		}
+	}
+}
+
+// A genuine triangle is within one ball, so strong simulation accepts it.
+func TestStrongAcceptsRealCycle(t *testing.T) {
+	g := labeledGraph(t, []string{"A", "B", "C"}, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+	p := labelPattern(t, []string{"A", "B", "C"}, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+	strong, ok, err := StrongSim(context.Background(), p, g.Freeze(), Options{})
+	if err != nil || !ok {
+		t.Fatalf("StrongSim: ok=%v err=%v", ok, err)
+	}
+	for u := 0; u < 3; u++ {
+		if want := []int32{int32(u)}; !reflect.DeepEqual(strong[u], want) {
+			t.Errorf("strong sim(%d) = %v, want %v", u, strong[u], want)
+		}
+	}
+}
+
+// DualSim must equal the naive rescan fixpoint on random workloads, for
+// both the full semantics and the child-only collapse.
+func TestDualSimMatchesNaive(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		p, f := randomCase(seed, 60, 180, 4, 5)
+		for _, childOnly := range []bool{false, true} {
+			got, gotOK, err := DualSim(context.Background(), p, f, Options{ChildOnly: childOnly})
+			if err != nil {
+				t.Fatalf("seed %d childOnly=%v: %v", seed, childOnly, err)
+			}
+			want, wantOK := naiveDual(p, f, childOnly)
+			if gotOK != wantOK || !reflect.DeepEqual(got, want) {
+				t.Errorf("seed %d childOnly=%v: DualSim diverges from naive\n got %v ok=%v\nwant %v ok=%v",
+					seed, childOnly, got, gotOK, want, wantOK)
+			}
+		}
+	}
+}
+
+// Child-only dual simulation is plain graph simulation.
+func TestDualChildOnlyEqualsSimulation(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		p, f := randomCase(seed, 50, 150, 4, 5)
+		got, gotOK, err := DualSim(context.Background(), p, f, Options{ChildOnly: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want, wantOK, err := simulation.RunFrozen(context.Background(), p, f)
+		if err != nil {
+			t.Fatalf("seed %d: simulation: %v", seed, err)
+		}
+		if gotOK != wantOK || !reflect.DeepEqual(got, normalize(want)) {
+			t.Errorf("seed %d: child-only dual != plain simulation", seed)
+		}
+	}
+}
+
+// StrongSim must equal the naive all-centers reference on random
+// workloads (which also exercises the dual-prefilter center pruning).
+func TestStrongSimMatchesNaive(t *testing.T) {
+	for seed := int64(1); seed <= 16; seed++ {
+		p, f := randomCase(seed, 40, 110, 4, 5)
+		got, gotOK, err := StrongSim(context.Background(), p, f, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want, wantOK := naiveStrong(p, f)
+		if gotOK != wantOK || !reflect.DeepEqual(got, want) {
+			t.Errorf("seed %d: StrongSim diverges from naive\n got %v ok=%v\nwant %v ok=%v\npattern:\n%s",
+				seed, got, gotOK, want, wantOK, p)
+		}
+	}
+}
+
+// Every worker count must produce bit-identical relations.
+func TestWorkerCountsBitIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		p, f := randomCase(seed, 70, 210, 4, 5)
+		dualRef, dualOK, err := DualSim(context.Background(), p, f, Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		strongRef, strongOK, err := StrongSim(context.Background(), p, f, Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, w := range []int{2, 3, 4, 8} {
+			d, dok, err := DualSim(context.Background(), p, f, Options{Workers: w})
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, w, err)
+			}
+			if dok != dualOK || !reflect.DeepEqual(d, dualRef) {
+				t.Errorf("seed %d: DualSim at %d workers diverges", seed, w)
+			}
+			s, sok, err := StrongSim(context.Background(), p, f, Options{Workers: w})
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, w, err)
+			}
+			if sok != strongOK || !reflect.DeepEqual(s, strongRef) {
+				t.Errorf("seed %d: StrongSim at %d workers diverges", seed, w)
+			}
+		}
+	}
+}
+
+// Both semantics reject patterns with bounds != 1 and propagate
+// cancellation.
+func TestValidationAndCancellation(t *testing.T) {
+	g := labeledGraph(t, []string{"A", "B"}, [][2]int{{0, 1}})
+	f := g.Freeze()
+	p := pattern.New()
+	a := p.AddNode(pattern.Label("A"))
+	b := p.AddNode(pattern.Label("B"))
+	p.MustAddEdge(a, b, 2)
+	if _, _, err := DualSim(context.Background(), p, f, Options{}); err == nil {
+		t.Errorf("DualSim accepted a bound-2 pattern")
+	}
+	if _, _, err := StrongSim(context.Background(), p, f, Options{}); err == nil {
+		t.Errorf("StrongSim accepted a bound-2 pattern")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pBig, fBig := randomCase(3, 80, 240, 4, 5)
+	if _, _, err := DualSim(ctx, pBig, fBig, Options{}); err == nil {
+		t.Errorf("DualSim ignored a cancelled context")
+	}
+	if _, _, err := StrongSim(ctx, pBig, fBig, Options{}); err == nil {
+		t.Errorf("StrongSim ignored a cancelled context")
+	}
+}
+
+// IsDualSim accepts DualSim's output and rejects corrupted relations.
+func TestIsDualSim(t *testing.T) {
+	p, f := randomCase(5, 50, 150, 4, 5)
+	rel, _, err := DualSim(context.Background(), p, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsDualSim(p, f, rel) {
+		t.Fatalf("IsDualSim rejects DualSim output")
+	}
+	// Corrupt: add every node to sim(0); predicates or constraints must
+	// break somewhere on a nontrivial workload.
+	bad := make([][]int32, len(rel))
+	copy(bad, rel)
+	all := make([]int32, f.N())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	bad[0] = all
+	if IsDualSim(p, f, bad) {
+		t.Skipf("corrupted relation happens to be a dual simulation on this seed")
+	}
+}
+
+// normalize maps nil rows to nil for DeepEqual comparisons between
+// packages that append vs pre-allocate.
+func normalize(rel [][]int32) [][]int32 {
+	out := make([][]int32, len(rel))
+	for i, l := range rel {
+		if len(l) > 0 {
+			out[i] = l
+		}
+	}
+	return out
+}
