@@ -19,8 +19,10 @@ var update = flag.Bool("update", false, "rewrite golden files")
 // deterministic in the seed, so the golden also pins cross-run (and
 // cross-platform) determinism of the topo relations themselves.
 var volatileColumns = map[string]bool{
-	"elapsed (ms)": true,
-	"speedup":      true,
+	"elapsed (ms)":         true,
+	"speedup":              true,
+	"inc (ms/batch)":       true,
+	"recompute (ms/batch)": true,
 }
 
 // scrub replaces run-dependent report fields and table cells with fixed
@@ -76,6 +78,45 @@ func TestGoldenTopoJSON(t *testing.T) {
 	}
 	if !bytes.Equal(buf.Bytes(), want) {
 		t.Errorf("-exp topo -json diverges from %s\n--- got ---\n%s\n--- want ---\n%s",
+			goldenPath, buf.String(), want)
+	}
+}
+
+// Golden-file pin of the `gpmbench -exp incsim -json` document: the
+// trajectory schema, the incremental-vs-recompute table's shape and the
+// relation checksums must not drift. The checksums double as a
+// determinism pin: the incremental watcher's final relation is seeded,
+// so a maintenance bug that drifts the relation fails here even though
+// the timings are scrubbed.
+func TestGoldenIncsimJSON(t *testing.T) {
+	cfg := bench.Config{Scale: 0.15, Patterns: 2, SynthNodes: 400}
+	tables, err := bench.ByID("incsim", cfg)
+	if err != nil {
+		t.Fatalf("ByID(incsim): %v", err)
+	}
+	report := makeReport("incsim", cfg, time.Time{}, 0, tables)
+	scrub(&report)
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, report); err != nil {
+		t.Fatalf("writeJSON: %v", err)
+	}
+
+	goldenPath := filepath.Join("testdata", "golden", "incsim_json.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-exp incsim -json diverges from %s\n--- got ---\n%s\n--- want ---\n%s",
 			goldenPath, buf.String(), want)
 	}
 }

@@ -163,9 +163,11 @@ type WatchDelta struct {
 
 // Engine binds a data graph once and serves every matching semantics the
 // package implements against it: bounded simulation ([Engine.Match]),
-// plain simulation ([Engine.Simulate]), subgraph-isomorphism enumeration
-// ([Engine.Enumerate]), and incremental matching under edge updates
-// ([Engine.Watch] / [Engine.Update]). The distance oracle is built
+// plain simulation ([Engine.Simulate]), dual and strong simulation
+// ([Engine.DualSimulate], [Engine.StrongSimulate]), subgraph-isomorphism
+// enumeration ([Engine.Enumerate]), and incremental matching under edge
+// updates ([Engine.Watch], [Engine.WatchSim], [Engine.WatchDual],
+// [Engine.WatchStrong] / [Engine.Update]). The distance oracle is built
 // lazily on the first query that needs it and cached, so concurrent and
 // repeated queries share one preprocessing pass instead of re-paying it
 // per call.
@@ -541,10 +543,11 @@ func (e *Engine) ResultGraphOf(res *Result) *ResultGraph {
 	return core.BuildResultGraphFrozen(res, o, e.frozen())
 }
 
-// Watch starts maintaining the maximum match of p incrementally (the
-// paper's IncMatch). All watchers share the engine's DynamicMatrix; feed
-// edge updates through [Engine.Update] and every watcher absorbs the
-// same distance changes. Close a watcher to stop paying its maintenance.
+// Watch starts maintaining the maximum bounded-simulation match of p
+// incrementally (the paper's IncMatch). All bounded watchers share the
+// engine's DynamicMatrix; feed edge updates through [Engine.Update] and
+// every watcher absorbs the same distance changes. Close a watcher to
+// stop paying its maintenance.
 func (e *Engine) Watch(p *Pattern) (*Watcher, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -552,16 +555,70 @@ func (e *Engine) Watch(p *Pattern) (*Watcher, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := &Watcher{e: e, m: m}
+	return e.register(m, true), nil
+}
+
+// WatchSim starts maintaining the maximum plain-simulation relation of p
+// (every edge bound must be 1, no edge colors) incrementally: the
+// fixpoint's witness counters stay alive between updates and each Update
+// batch propagates deltas through them instead of re-running the
+// fixpoint. Unlike bounded watchers, sim/dual/strong watchers maintain
+// no distance matrix, so they cost no O(|V|²) memory.
+func (e *Engine) WatchSim(p *Pattern) (*Watcher, error) {
+	return e.watchIncSim(p, true)
+}
+
+// WatchDual is WatchSim for the maximum dual-simulation relation (Ma et
+// al., VLDB 2012): both child and parent witness counters are maintained
+// between updates.
+func (e *Engine) WatchDual(p *Pattern) (*Watcher, error) {
+	return e.watchIncSim(p, false)
+}
+
+func (e *Engine) watchIncSim(p *Pattern, childOnly bool) (*Watcher, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m, err := incremental.NewSimMatcher(p, e.g, childOnly)
+	if err != nil {
+		return nil, err
+	}
+	return e.register(m, false), nil
+}
+
+// WatchStrong starts maintaining the strong-simulation relation of p
+// (every edge bound must be 1, no edge colors) incrementally: per-ball
+// contributions are stored, and an Update batch re-evaluates only the
+// balls within the pattern's diameter of a touched node, fanning them
+// across the engine's workers (see WithWorkers). The maintained relation
+// is bit-identical to [Engine.StrongSimulate] at every worker count.
+func (e *Engine) WatchStrong(p *Pattern) (*Watcher, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m, err := incremental.NewStrongMatcher(p, e.g, e.workers)
+	if err != nil {
+		return nil, err
+	}
+	return e.register(m, false), nil
+}
+
+// register enrolls a maintainer in the watcher registry. Callers hold
+// the mu write lock.
+func (e *Engine) register(m incremental.Maintainer, needsMatrix bool) *Watcher {
+	w := &Watcher{e: e, m: m, needsMatrix: needsMatrix}
 	e.watchers = append(e.watchers, w)
-	return w, nil
+	return w
 }
 
 // Update applies a batch of edge updates to the bound graph, keeps the
 // shared distance matrix consistent (the paper's UpdateBM), cascades
-// every watcher (IncMatch), and invalidates derived caches. It returns
-// one delta per open watcher, in Watch order. On a validation error the
-// graph is unchanged.
+// every watcher — bounded (IncMatch) and sim/dual/strong alike — and
+// invalidates derived caches. It returns one delta per open watcher, in
+// Watch order. On a validation error the graph is unchanged.
+//
+// A batch with no net structural effect (empty, or every touched edge
+// inserted-then-deleted within the batch) keeps the cached frozen
+// snapshot, 2-hop labelling and color submatrices: they still describe
+// the graph, so later queries skip the rebuild.
 func (e *Engine) Update(updates ...Update) ([]WatchDelta, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -575,10 +632,17 @@ func (e *Engine) Update(updates ...Update) ([]WatchDelta, error) {
 			deltas = append(deltas, WatchDelta{Watcher: w, Delta: w.m.ApplyPrecomputed(aff, updates)})
 		}
 	} else {
-		// Nothing maintained yet: structural change only.
+		// No distance matrix maintained: structural change plus the
+		// adjacency-based watchers.
 		if err := incremental.ApplyToGraph(e.g, updates); err != nil {
 			return nil, err
 		}
+		for _, w := range e.watchers {
+			deltas = append(deltas, WatchDelta{Watcher: w, Delta: w.m.ApplyPrecomputed(nil, updates)})
+		}
+	}
+	if ins, dels := incremental.NetEffects(updates); len(ins) == 0 && len(dels) == 0 {
+		return deltas, nil
 	}
 	// The main matrix was maintained in place; color submatrices, the
 	// 2-hop labelling and the frozen CSR snapshot were not, so drop them
@@ -591,13 +655,16 @@ func (e *Engine) Update(updates ...Update) ([]WatchDelta, error) {
 	return deltas, nil
 }
 
-// Watcher is an incrementally maintained match bound to an engine (see
-// [Engine.Watch]). Its read methods are safe to call concurrently with
-// engine queries; they observe the state as of the last Update.
+// Watcher is an incrementally maintained match bound to an engine — a
+// bounded-simulation match ([Engine.Watch]) or a plain/dual/strong
+// simulation relation ([Engine.WatchSim], [Engine.WatchDual],
+// [Engine.WatchStrong]). Its read methods are safe to call concurrently
+// with engine queries; they observe the state as of the last Update.
 type Watcher struct {
-	e      *Engine
-	m      *incremental.Matcher
-	closed bool
+	e           *Engine
+	m           incremental.Maintainer
+	needsMatrix bool // bounded watchers keep the shared DynMatrix alive
+	closed      bool
 }
 
 // Pattern returns the watched pattern.
@@ -632,11 +699,11 @@ func (w *Watcher) Relation() [][]int32 {
 }
 
 // Close unregisters the watcher from its engine; subsequent Updates no
-// longer maintain it. When the last watcher closes and nothing else
-// uses the shared matrix (the engine's cached oracle is not backed by
-// it), the DynamicMatrix is released too, so Updates stop paying
-// distance-matrix maintenance and the O(|V|²) memory is freed. Closing
-// twice is a no-op.
+// longer maintain it. When the last matrix-backed watcher closes and
+// nothing else uses the shared matrix (the engine's cached oracle is not
+// backed by it), the DynamicMatrix is released too, so Updates stop
+// paying distance-matrix maintenance and the O(|V|²) memory is freed —
+// sim/dual/strong watchers never pin it. Closing twice is a no-op.
 func (w *Watcher) Close() {
 	w.e.mu.Lock()
 	defer w.e.mu.Unlock()
@@ -650,7 +717,14 @@ func (w *Watcher) Close() {
 			break
 		}
 	}
-	if len(w.e.watchers) == 0 && w.e.mo.Load() == nil {
+	matrixNeeded := false
+	for _, o := range w.e.watchers {
+		if o.needsMatrix {
+			matrixNeeded = true
+			break
+		}
+	}
+	if !matrixNeeded && w.e.mo.Load() == nil {
 		w.e.dm.Store(nil)
 	}
 }

@@ -1,0 +1,101 @@
+package gpm
+
+import (
+	"context"
+	"testing"
+)
+
+// noopTestEngine builds a small engine and forces its lazy caches into
+// existence.
+func noopTestEngine(t *testing.T, opts ...EngineOption) (*Engine, *Pattern) {
+	t.Helper()
+	g := NewGraph(4)
+	for i := 0; i < 4; i++ {
+		g.SetAttr(i, Attrs{"label": Str("A")})
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	p := NewPattern()
+	a := p.AddNode(Label("A"))
+	b := p.AddNode(Label("A"))
+	p.MustAddEdge(a, b, 1)
+	e := NewEngine(g, opts...)
+	if _, err := e.Match(context.Background(), p); err != nil {
+		t.Fatal(err)
+	}
+	return e, p
+}
+
+// Regression: Update used to drop the cached frozen snapshot (and 2-hop
+// labelling) wholesale even when the batch had no net structural effect
+// — an empty batch, or an insert-then-delete of the same edge. No-op
+// batches must keep the caches so the next query skips the rebuild.
+func TestUpdateNoopKeepsCaches(t *testing.T) {
+	e, _ := noopTestEngine(t)
+	fz := e.fz.Load()
+	if fz == nil {
+		t.Fatal("Match did not populate the frozen snapshot")
+	}
+
+	if _, err := e.Update(); err != nil {
+		t.Fatal(err)
+	}
+	if e.fz.Load() != fz {
+		t.Error("empty Update batch dropped the frozen snapshot")
+	}
+
+	if _, err := e.Update(InsertEdge(0, 2), DeleteEdge(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if e.fz.Load() != fz {
+		t.Error("insert-then-delete Update batch dropped the frozen snapshot")
+	}
+
+	// A real change must still invalidate.
+	if _, err := e.Update(InsertEdge(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if e.fz.Load() == fz {
+		t.Error("net-effective Update batch kept a stale frozen snapshot")
+	}
+}
+
+// The same retention must hold for the 2-hop labelling, which is much
+// more expensive to rebuild than the snapshot.
+func TestUpdateNoopKeepsTwoHopIndex(t *testing.T) {
+	e, p := noopTestEngine(t, WithOracle(OracleTwoHop))
+	if _, err := e.Match(context.Background(), p); err != nil {
+		t.Fatal(err)
+	}
+	idx := e.idx.Load()
+	if idx == nil {
+		t.Fatal("Match did not populate the 2-hop labelling")
+	}
+	if _, err := e.Update(InsertEdge(0, 2), DeleteEdge(0, 2), InsertEdge(3, 0), DeleteEdge(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if e.idx.Load() != idx {
+		t.Error("no-op Update batch dropped the 2-hop labelling")
+	}
+	if _, err := e.Update(InsertEdge(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if e.idx.Load() != nil {
+		t.Error("net-effective Update batch kept a stale 2-hop labelling")
+	}
+}
+
+// A delete-then-reinsert of the same edge is conservatively treated as a
+// change: the original edge may have carried a color the re-inserted one
+// lost, so the frozen snapshot (which copies colors) must be rebuilt.
+func TestUpdateDeleteReinsertInvalidates(t *testing.T) {
+	e, _ := noopTestEngine(t)
+	fz := e.fz.Load()
+	if _, err := e.Update(DeleteEdge(0, 1), InsertEdge(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if e.fz.Load() == fz {
+		t.Error("delete-then-reinsert batch kept a possibly stale frozen snapshot")
+	}
+}

@@ -71,6 +71,7 @@ func All(cfg Config) []*Table {
 		EngineThroughput(cfg),
 		ParallelSpeedup(cfg),
 		TopoSpeedup(cfg),
+		IncSimSpeedup(cfg),
 	}
 }
 
@@ -125,7 +126,9 @@ func ByID(id string, cfg Config) ([]*Table, error) {
 		return []*Table{ParallelSpeedup(cfg)}, nil
 	case "topo":
 		return []*Table{TopoSpeedup(cfg)}, nil
+	case "incsim":
+		return []*Table{IncSimSpeedup(cfg)}, nil
 	default:
-		return nil, fmt.Errorf("bench: unknown experiment %q (want all, datasets, 6a, 6b, 6c, 6d, 6e, 6f, 6g, 6h, 6i, 6j, 6k, fig9, gr, aff, 2hop, ablation, engine, parallel, topo)", id)
+		return nil, fmt.Errorf("bench: unknown experiment %q (want all, datasets, 6a, 6b, 6c, 6d, 6e, 6f, 6g, 6h, 6i, 6j, 6k, fig9, gr, aff, 2hop, ablation, engine, parallel, topo, incsim)", id)
 	}
 }

@@ -32,7 +32,14 @@
 //
 //   - dual and strong relations are unions/fixpoints independent of
 //     evaluation order, so every worker count must produce bit-identical
-//     relations (equal checksums).
+//     relations (equal checksums);
+//
+//   - incremental maintenance computes the same unique fixpoints the
+//     batch algorithms do, so after every batch of a random update
+//     stream each watcher (bounded, sim, dual, strong) must be
+//     bit-identical to a full recompute of its semantics, checksum-
+//     pinned across worker counts, with the containment lattice intact
+//     (the metamorphic update-stream harness).
 //
 // The helpers here generate the random workloads and compare relations;
 // the assertions live in the package's tests.

@@ -1,0 +1,618 @@
+package incremental
+
+import (
+	"fmt"
+
+	"gpm/internal/graph"
+	"gpm/internal/pattern"
+)
+
+// SimMatcher maintains the maximum plain- or dual-simulation relation of
+// an all-bounds-one pattern over a mutating data graph. It is the
+// edge-to-edge counterpart of the bounded-simulation Matcher: instead of
+// a distance matrix it keeps the child/parent witness counters of the
+// fixpoint alive between updates and propagates update deltas through
+// them, so a small batch touches only the affected area of the relation
+// instead of re-running the whole fixpoint.
+//
+// State per pattern edge e = (u, u′): fwd[e][x] counts the out-witnesses
+// of candidate x of u — data edges (x, y) with (u′, y) in the relation —
+// and, unless childOnly, back[e][y] counts the in-witnesses of candidate
+// y of u′. The invariant between updates is that every counter of a
+// member pair equals its witness count over the CURRENT graph and
+// relation; a member dies exactly when one of its counters reaches zero.
+//
+// Deletions only shrink the relation: each net-deleted edge decrements
+// the counters it witnessed and the standard removal cascade runs from
+// the zeros (the new greatest fixpoint is the greatest fixpoint below
+// the old relation, which is what the cascade computes). Insertions only
+// grow it: the affected area — the closure of candidate pairs whose
+// membership could transitively depend on a net-inserted edge — is
+// re-seeded optimistically, its counters recounted, and the same cascade
+// prunes the candidates that do not survive. When the closure exceeds
+// its cap the matcher falls back to a full rebuild (still bit-identical,
+// reported via Delta.Recomputed).
+type SimMatcher struct {
+	p         *pattern.Pattern
+	g         *graph.Graph
+	childOnly bool // plain simulation: no parent constraints
+
+	predOK [][]bool // static: predicate of u holds at x
+	sim    [][]bool // current membership
+	size   []int    // members per pattern node
+	fwd    [][]int32
+	back   [][]int32 // nil rows when childOnly
+
+	maxAffected int // insertion-closure cap before the rebuild fallback
+
+	// Reusable scratch, so the steady-state Apply path does not allocate.
+	work    []MatchPair // removal worklist
+	inA     [][]bool    // affected-candidate marks
+	apairs  []MatchPair // affected pairs in discovery order
+	removed []MatchPair // cascade output buffer
+	insBuf  []Update
+	delBuf  []Update
+}
+
+// NewSimMatcher computes the initial maximum simulation (childOnly) or
+// dual simulation of p over g and retains the counter state for
+// incremental maintenance. The graph must be mutated only through Apply
+// (or an engine's Update) from then on. Patterns must have every edge
+// bound equal to 1 and carry no edge colors: a deleted data edge's color
+// is unrecoverable after the structural change has been applied, so
+// colored witness counts cannot be maintained.
+func NewSimMatcher(p *pattern.Pattern, g *graph.Graph, childOnly bool) (*SimMatcher, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !p.AllBoundsOne() {
+		return nil, fmt.Errorf("incremental: pattern has a bound != 1; sim/dual watchers are edge-to-edge semantics (use Watch for hop bounds)")
+	}
+	if p.Colored() {
+		return nil, fmt.Errorf("incremental: colored pattern edges are not supported by sim/dual watchers")
+	}
+	m := &SimMatcher{p: p, g: g, childOnly: childOnly}
+	np, n := p.N(), g.N()
+	m.maxAffected = np * n / 2
+	if m.maxAffected < 64 {
+		m.maxAffected = 64
+	}
+	m.predOK = make([][]bool, np)
+	m.inA = make([][]bool, np)
+	for u := 0; u < np; u++ {
+		m.predOK[u] = make([]bool, n)
+		m.inA[u] = make([]bool, n)
+		pred := p.Pred(u)
+		for x := 0; x < n; x++ {
+			m.predOK[u][x] = pred.Match(g.Attr(x))
+		}
+	}
+	m.rebuild()
+	return m, nil
+}
+
+// Pattern returns the maintained pattern.
+func (m *SimMatcher) Pattern() *pattern.Pattern { return m.p }
+
+// ChildOnly reports whether the matcher maintains plain simulation
+// (true) or dual simulation (false).
+func (m *SimMatcher) ChildOnly() bool { return m.childOnly }
+
+// OK reports whether every pattern node currently has a match.
+func (m *SimMatcher) OK() bool {
+	for _, s := range m.size {
+		if s == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Pairs returns |S|, the current size of the maintained relation.
+func (m *SimMatcher) Pairs() int {
+	total := 0
+	for _, s := range m.size {
+		total += s
+	}
+	return total
+}
+
+// Mat returns the sorted data nodes currently matching pattern node u.
+func (m *SimMatcher) Mat(u int) []int32 {
+	var out []int32
+	for x, in := range m.sim[u] {
+		if in {
+			out = append(out, int32(x))
+		}
+	}
+	return out
+}
+
+// Relation snapshots the whole maintained relation.
+func (m *SimMatcher) Relation() [][]int32 {
+	out := make([][]int32, m.p.N())
+	for u := range out {
+		out[u] = m.Mat(u)
+	}
+	return out
+}
+
+// rebuild recomputes candidacy, counters and the relation from scratch —
+// the batch fixpoint run in place over the live graph. It backs both the
+// initial build and the insertion-closure fallback.
+func (m *SimMatcher) rebuild() {
+	np, n := m.p.N(), m.g.N()
+	if m.sim == nil {
+		m.sim = make([][]bool, np)
+		m.size = make([]int, np)
+		m.fwd = make([][]int32, m.p.EdgeCount())
+		m.back = make([][]int32, m.p.EdgeCount())
+		for u := 0; u < np; u++ {
+			m.sim[u] = make([]bool, n)
+		}
+		for eid := range m.fwd {
+			m.fwd[eid] = make([]int32, n)
+			if !m.childOnly {
+				m.back[eid] = make([]int32, n)
+			}
+		}
+	}
+	for u := 0; u < np; u++ {
+		copy(m.sim[u], m.predOK[u])
+		m.size[u] = 0
+		for _, in := range m.sim[u] {
+			if in {
+				m.size[u]++
+			}
+		}
+	}
+	m.work = m.work[:0]
+	for eid := 0; eid < m.p.EdgeCount(); eid++ {
+		e := m.p.EdgeAt(eid)
+		fw := m.fwd[eid]
+		for x := 0; x < n; x++ {
+			fw[x] = 0
+			if !m.sim[e.From][x] {
+				continue
+			}
+			for _, y := range m.g.Out(x) {
+				if m.sim[e.To][y] {
+					fw[x]++
+				}
+			}
+			if fw[x] == 0 {
+				m.work = append(m.work, MatchPair{int32(e.From), int32(x)})
+			}
+		}
+		if m.childOnly {
+			continue
+		}
+		bk := m.back[eid]
+		for y := 0; y < n; y++ {
+			bk[y] = 0
+			if !m.sim[e.To][y] {
+				continue
+			}
+			for _, z := range m.g.In(y) {
+				if m.sim[e.From][z] {
+					bk[y]++
+				}
+			}
+			if bk[y] == 0 {
+				m.work = append(m.work, MatchPair{int32(e.To), int32(y)})
+			}
+		}
+	}
+	m.removed = m.removed[:0]
+	m.drain()
+}
+
+// alive reports whether every counter of member (u, x) is positive.
+func (m *SimMatcher) alive(u, x int) bool {
+	for _, eid := range m.p.Out(u) {
+		if m.fwd[eid][x] == 0 {
+			return false
+		}
+	}
+	if m.childOnly {
+		return true
+	}
+	for _, eid := range m.p.In(u) {
+		if m.back[eid][x] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// drain runs the removal cascade: pop a queued pair, re-validate its
+// support (within one batch a counter can hit zero on a deletion and
+// recover on an insertion or an affected-area admission, so popping
+// blindly would evict a live pair), remove it, and decrement the
+// counters of its graph neighbors. Removed pairs accumulate in
+// m.removed.
+func (m *SimMatcher) drain() {
+	for len(m.work) > 0 {
+		it := m.work[len(m.work)-1]
+		m.work = m.work[:len(m.work)-1]
+		u, x := int(it.U), int(it.X)
+		if !m.sim[u][x] {
+			continue
+		}
+		if m.alive(u, x) {
+			continue // stale: support recovered before the pop
+		}
+		m.sim[u][x] = false
+		m.size[u]--
+		m.removed = append(m.removed, it)
+		for _, eid := range m.p.In(u) {
+			e := m.p.EdgeAt(int(eid))
+			c := m.fwd[eid]
+			for _, z := range m.g.In(x) {
+				if !m.sim[e.From][z] {
+					continue
+				}
+				c[z]--
+				if c[z] == 0 {
+					m.work = append(m.work, MatchPair{int32(e.From), z})
+				}
+			}
+		}
+		if m.childOnly {
+			continue
+		}
+		for _, eid := range m.p.Out(u) {
+			e := m.p.EdgeAt(int(eid))
+			c := m.back[eid]
+			for _, y := range m.g.Out(x) {
+				if !m.sim[e.To][y] {
+					continue
+				}
+				c[y]--
+				if c[y] == 0 {
+					m.work = append(m.work, MatchPair{int32(e.To), y})
+				}
+			}
+		}
+	}
+}
+
+// Apply performs one batch of edge updates: it applies the structural
+// changes to the graph and cascades the relation deltas. On a validation
+// error the graph and the relation are unchanged.
+func (m *SimMatcher) Apply(updates []Update) (Delta, error) {
+	if err := ApplyToGraph(m.g, updates); err != nil {
+		return Delta{}, err
+	}
+	return m.ApplyPrecomputed(nil, updates), nil
+}
+
+// ApplyPrecomputed cascades a batch whose structural changes were
+// already applied to the graph (the engine applies one batch and feeds
+// every watcher). The aff argument exists to satisfy the shared
+// Maintainer contract; sim/dual maintenance reads adjacency, not
+// distances, so it is ignored. Delta.Aff1 reports the size of the
+// insertion-affected candidate area.
+func (m *SimMatcher) ApplyPrecomputed(_ []Pair, updates []Update) Delta {
+	var delta Delta
+	ins, dels := netEffectsInto(updates, &m.insBuf, &m.delBuf)
+	if len(ins) == 0 && len(dels) == 0 {
+		return delta
+	}
+	m.work = m.work[:0]
+	m.removed = m.removed[:0]
+
+	// Phase 1: deletion decrements against the pre-batch relation. A
+	// net-deleted edge (a, b) was a counted witness exactly when both
+	// endpoint pairs were members.
+	for _, up := range dels {
+		a, b := up.U, up.V
+		for eid := 0; eid < m.p.EdgeCount(); eid++ {
+			e := m.p.EdgeAt(eid)
+			if !m.sim[e.From][a] || !m.sim[e.To][b] {
+				continue
+			}
+			m.fwd[eid][a]--
+			if m.fwd[eid][a] == 0 {
+				m.work = append(m.work, MatchPair{int32(e.From), int32(a)})
+			}
+			if !m.childOnly {
+				m.back[eid][b]--
+				if m.back[eid][b] == 0 {
+					m.work = append(m.work, MatchPair{int32(e.To), int32(b)})
+				}
+			}
+		}
+	}
+
+	// Phase 2: insertion increments for witnesses both sides of which
+	// are already members. New witnesses involving affected candidates
+	// are counted by the recount/adjacency passes below.
+	for _, up := range ins {
+		a, b := up.U, up.V
+		for eid := 0; eid < m.p.EdgeCount(); eid++ {
+			e := m.p.EdgeAt(eid)
+			if !m.sim[e.From][a] || !m.sim[e.To][b] {
+				continue
+			}
+			m.fwd[eid][a]++
+			if !m.childOnly {
+				m.back[eid][b]++
+			}
+		}
+	}
+
+	// Phase 3: affected-area closure. A pair outside the relation can
+	// only (re)enter if its membership transitively depends on a
+	// net-inserted edge: the seeds are the candidate pairs that could
+	// use a new edge as a direct witness, and the closure follows the
+	// reverse dependencies — (w, z) depends on (u, x) via a pattern edge
+	// (w, u) and data edge (z, x) (child constraint), and in dual mode
+	// via a pattern edge (u, w) and data edge (x, z) (parent
+	// constraint). Anything the closure cannot reach keeps its
+	// membership, so re-seeding only this area is exact.
+	m.apairs = m.apairs[:0]
+	overflow := false
+	seed := func(u int, x int32) {
+		if !overflow && m.predOK[u][x] && !m.sim[u][x] && !m.inA[u][x] {
+			m.inA[u][x] = true
+			m.apairs = append(m.apairs, MatchPair{int32(u), x})
+		}
+	}
+	for _, up := range ins {
+		for eid := 0; eid < m.p.EdgeCount(); eid++ {
+			e := m.p.EdgeAt(eid)
+			seed(e.From, int32(up.U))
+			if !m.childOnly {
+				seed(e.To, int32(up.V))
+			}
+		}
+	}
+	for i := 0; i < len(m.apairs) && !overflow; i++ {
+		pr := m.apairs[i]
+		u, x := int(pr.U), int(pr.X)
+		for _, eid := range m.p.In(u) {
+			e := m.p.EdgeAt(int(eid))
+			for _, z := range m.g.In(x) {
+				seed(e.From, z)
+			}
+		}
+		if !m.childOnly {
+			for _, eid := range m.p.Out(u) {
+				e := m.p.EdgeAt(int(eid))
+				for _, y := range m.g.Out(x) {
+					seed(e.To, y)
+				}
+			}
+		}
+		if len(m.apairs) > m.maxAffected {
+			overflow = true
+		}
+	}
+	if overflow {
+		// The affected area rivals the whole candidate space: rebuilding
+		// is cheaper than bookkeeping. Still bit-identical — the batch
+		// fixpoint and the delta path compute the same unique greatest
+		// fixpoint.
+		return m.recomputeFallback()
+	}
+
+	// Phase 4: admit the affected candidates optimistically and recount
+	// their counters against the admitted set and the current graph.
+	for _, pr := range m.apairs {
+		m.sim[pr.U][pr.X] = true
+		m.size[pr.U]++
+	}
+	for _, pr := range m.apairs {
+		u, x := int(pr.U), int(pr.X)
+		for _, eid := range m.p.Out(u) {
+			e := m.p.EdgeAt(int(eid))
+			c := int32(0)
+			for _, y := range m.g.Out(x) {
+				if m.sim[e.To][y] {
+					c++
+				}
+			}
+			m.fwd[eid][x] = c
+			if c == 0 {
+				m.work = append(m.work, pr)
+			}
+		}
+		if m.childOnly {
+			continue
+		}
+		for _, eid := range m.p.In(u) {
+			e := m.p.EdgeAt(int(eid))
+			c := int32(0)
+			for _, z := range m.g.In(x) {
+				if m.sim[e.From][z] {
+					c++
+				}
+			}
+			m.back[eid][x] = c
+			if c == 0 {
+				m.work = append(m.work, pr)
+			}
+		}
+	}
+
+	// Phase 5: each admitted candidate is a new witness for its
+	// unaffected graph neighbors (affected ones were fully recounted).
+	for _, pr := range m.apairs {
+		u, x := int(pr.U), int(pr.X)
+		for _, eid := range m.p.In(u) {
+			e := m.p.EdgeAt(int(eid))
+			c := m.fwd[eid]
+			for _, z := range m.g.In(x) {
+				if m.sim[e.From][z] && !m.inA[e.From][z] {
+					c[z]++
+				}
+			}
+		}
+		if m.childOnly {
+			continue
+		}
+		for _, eid := range m.p.Out(u) {
+			e := m.p.EdgeAt(int(eid))
+			c := m.back[eid]
+			for _, y := range m.g.Out(x) {
+				if m.sim[e.To][y] && !m.inA[e.To][y] {
+					c[y]++
+				}
+			}
+		}
+	}
+
+	// Phase 6: one cascade prunes both the candidates that do not
+	// survive and the members the deletions killed.
+	m.drain()
+
+	delta.Aff1 = len(m.apairs)
+	for _, pr := range m.removed {
+		if !m.inA[pr.U][pr.X] {
+			delta.Removed = append(delta.Removed, pr)
+		}
+	}
+	for _, pr := range m.apairs {
+		if m.sim[pr.U][pr.X] {
+			delta.Added = append(delta.Added, pr)
+		}
+		m.inA[pr.U][pr.X] = false
+	}
+	delta.Aff2 = len(delta.Added) + len(delta.Removed)
+	return delta
+}
+
+// recomputeFallback rebuilds the relation from scratch and reports the
+// net difference. Phases 1–3 may already have dirtied counters and the
+// worklist; rebuild overwrites all of them. The affected marks must be
+// cleared here because the closure aborted mid-walk.
+func (m *SimMatcher) recomputeFallback() Delta {
+	delta := Delta{Recomputed: true, Aff1: len(m.apairs)}
+	for _, pr := range m.apairs {
+		m.inA[pr.U][pr.X] = false
+	}
+	before := m.Relation()
+	m.rebuild()
+	for u := range before {
+		old := make(map[int32]bool, len(before[u]))
+		for _, x := range before[u] {
+			old[x] = true
+		}
+		for x, in := range m.sim[u] {
+			if in && !old[int32(x)] {
+				delta.Added = append(delta.Added, MatchPair{int32(u), int32(x)})
+			}
+			if !in && old[int32(x)] {
+				delta.Removed = append(delta.Removed, MatchPair{int32(u), int32(x)})
+			}
+		}
+	}
+	delta.Aff2 = len(delta.Added) + len(delta.Removed)
+	return delta
+}
+
+// CheckInvariants verifies internal consistency: membership implies the
+// predicate, counters are exact witness counts over the current graph
+// and relation, and every member has full support. Tests call it after
+// update batches.
+func (m *SimMatcher) CheckInvariants() error {
+	np, n := m.p.N(), m.g.N()
+	for u := 0; u < np; u++ {
+		count := 0
+		for x := 0; x < n; x++ {
+			if m.sim[u][x] {
+				count++
+				if !m.predOK[u][x] {
+					return fmt.Errorf("member (%d,%d) violates its predicate", u, x)
+				}
+				if !m.alive(u, x) {
+					return fmt.Errorf("member (%d,%d) has a zero counter", u, x)
+				}
+			}
+			if m.inA[u][x] {
+				return fmt.Errorf("stale affected mark at (%d,%d)", u, x)
+			}
+		}
+		if count != m.size[u] {
+			return fmt.Errorf("size[%d] = %d, want %d", u, m.size[u], count)
+		}
+	}
+	for eid := 0; eid < m.p.EdgeCount(); eid++ {
+		e := m.p.EdgeAt(eid)
+		for x := 0; x < n; x++ {
+			if m.sim[e.From][x] {
+				want := int32(0)
+				for _, y := range m.g.Out(x) {
+					if m.sim[e.To][y] {
+						want++
+					}
+				}
+				if m.fwd[eid][x] != want {
+					return fmt.Errorf("fwd counter edge %d node %d: got %d want %d", eid, x, m.fwd[eid][x], want)
+				}
+			}
+			if !m.childOnly && m.sim[e.To][x] {
+				want := int32(0)
+				for _, z := range m.g.In(x) {
+					if m.sim[e.From][z] {
+						want++
+					}
+				}
+				if m.back[eid][x] != want {
+					return fmt.Errorf("back counter edge %d node %d: got %d want %d", eid, x, m.back[eid][x], want)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// NetEffects reduces a valid, sequentially applied update batch to its
+// net edge effects. For each edge the first operation in the batch
+// reveals its pre-state and the last its post-state: an edge first
+// inserted and last deleted is a net no-op, an edge first deleted and
+// last inserted is reported in BOTH lists (a decrement/increment pair
+// that cancels for uncolored maintenance, and a conservative "changed"
+// signal for cache invalidation — the re-inserted edge lost any color
+// the original carried). The engine uses an empty result to keep its
+// derived caches across no-op batches.
+func NetEffects(updates []Update) (ins, dels []Update) {
+	return netEffectsInto(updates, &ins, &dels)
+}
+
+// netEffectsInto is NetEffects appending into caller-owned buffers
+// (reset to length zero first), so steady-state callers do not allocate.
+// It scans quadratically over the batch — batches are small, and a map
+// would allocate.
+func netEffectsInto(updates []Update, insBuf, delBuf *[]Update) (ins, dels []Update) {
+	*insBuf, *delBuf = (*insBuf)[:0], (*delBuf)[:0]
+	for i, up := range updates {
+		dup := false
+		for j := 0; j < i; j++ {
+			if updates[j].U == up.U && updates[j].V == up.V {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		last := up
+		for j := i + 1; j < len(updates); j++ {
+			if updates[j].U == up.U && updates[j].V == up.V {
+				last = updates[j]
+			}
+		}
+		switch {
+		case up.Insert && last.Insert:
+			*insBuf = append(*insBuf, Ins(up.U, up.V))
+		case !up.Insert && !last.Insert:
+			*delBuf = append(*delBuf, Del(up.U, up.V))
+		case !up.Insert && last.Insert:
+			*delBuf = append(*delBuf, Del(up.U, up.V))
+			*insBuf = append(*insBuf, Ins(up.U, up.V))
+		}
+	}
+	return *insBuf, *delBuf
+}

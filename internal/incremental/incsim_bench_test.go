@@ -1,0 +1,134 @@
+package incremental
+
+import (
+	"testing"
+
+	"gpm/internal/graph"
+	"gpm/internal/pattern"
+	"gpm/internal/value"
+)
+
+// benchBatches pre-builds toggle pairs (forward batch + inverse batch)
+// so a benchmark can apply updates forever without drifting the graph.
+func benchBatches(g *graph.Graph, size, count int) [][]Update {
+	var out [][]Update
+	edges := g.EdgeList()
+	for i := 0; i < count; i++ {
+		var fwd, inv []Update
+		for j := 0; j < size; j++ {
+			e := edges[(i*size+j)%len(edges)]
+			fwd = append(fwd, Del(int(e[0]), int(e[1])))
+			inv = append(inv, Ins(int(e[0]), int(e[1])))
+		}
+		// Reverse the inverse so the pair is a true undo.
+		for l, r := 0, len(inv)-1; l < r; l, r = l+1, r-1 {
+			inv[l], inv[r] = inv[r], inv[l]
+		}
+		out = append(out, fwd, inv)
+	}
+	return out
+}
+
+// BenchmarkIncDualSim measures the steady-state incremental dual-
+// simulation delta path: single-edge and batch updates against a
+// maintained 400-node relation.
+func BenchmarkIncDualSim(b *testing.B) {
+	for _, size := range []int{1, 16} {
+		name := "single-edge"
+		if size > 1 {
+			name = "batch-16"
+		}
+		b.Run(name, func(b *testing.B) {
+			p, g, _ := randomCase(7, 400, 1200, 4, 5)
+			m, err := NewSimMatcher(p, g, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			batches := benchBatches(g, size, 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Apply(batches[i%len(batches)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIncStrongSim measures incremental strong-simulation
+// maintenance: affected-ball re-evaluation against a maintained
+// 400-node relation.
+func BenchmarkIncStrongSim(b *testing.B) {
+	for _, size := range []int{1, 16} {
+		name := "single-edge"
+		if size > 1 {
+			name = "batch-16"
+		}
+		b.Run(name, func(b *testing.B) {
+			p, g, _ := randomCase(7, 400, 1200, 4, 5)
+			m, err := NewStrongMatcher(p, g, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			batches := benchBatches(g, size, 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Apply(batches[i%len(batches)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// The steady-state sim/dual delta path must not allocate: counters,
+// worklists, closure marks and net-effect buffers are all retained
+// between batches. The fixture keeps every membership stable across the
+// toggle (b2 keeps a second witness), so the deltas are empty and the
+// whole Apply runs on reused scratch.
+func TestIncSimApplyZeroAllocs(t *testing.T) {
+	g := graph.New(4)
+	g.SetAttr(0, graph.Attrs{"label": value.Str("A")}) // a
+	g.SetAttr(1, graph.Attrs{"label": value.Str("B")}) // b1
+	g.SetAttr(2, graph.Attrs{"label": value.Str("B")}) // b2
+	g.SetAttr(3, graph.Attrs{"label": value.Str("A")}) // c
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(3, 2)
+	g.AddEdge(3, 1)
+	p := pattern.New()
+	a := p.AddNode(pattern.Label("A"))
+	bn := p.AddNode(pattern.Label("B"))
+	p.MustAddEdge(a, bn, 1)
+
+	m, err := NewSimMatcher(p, g, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Pairs() != 4 {
+		t.Fatalf("fixture relation has %d pairs, want 4", m.Pairs())
+	}
+	del := []Update{Del(0, 2)}
+	ins := []Update{Ins(0, 2)}
+	// Warm up once so lazily grown scratch reaches steady state.
+	if _, err := m.Apply(del); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Apply(ins); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := m.Apply(del); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Apply(ins); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state SimMatcher.Apply allocates %.1f times per toggle, want 0", allocs)
+	}
+	if m.Pairs() != 4 {
+		t.Fatalf("toggles drifted the relation to %d pairs", m.Pairs())
+	}
+}

@@ -1,0 +1,388 @@
+package incremental
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"gpm/internal/graph"
+	"gpm/internal/pattern"
+	"gpm/internal/topo"
+)
+
+// StrongMatcher maintains the strong-simulation relation of an
+// all-bounds-one pattern over a mutating data graph. Strong simulation
+// is a union over accepted balls (topo.StrongSim), and balls are local:
+// the ball of center w with radius r (the pattern component's undirected
+// diameter) can only change if some node the batch touched — an endpoint
+// of a net-inserted or net-deleted edge, or a data node whose dual-
+// simulation membership changed — lies within undirected distance r of
+// w. Every deleted edge's endpoints are themselves touched, so one
+// bounded multi-source BFS over the post-update graph finds every center
+// whose ball could differ in either the old or the new graph.
+//
+// The matcher keeps, per accepted ball, its contributed (pattern node,
+// data node) pairs, and a per-pair count of contributing balls; the
+// relation is the pairs with positive counts. An update batch drives the
+// embedded dual SimMatcher first (the prefilter and center source), then
+// drops the contributions of every affected ball, re-evaluates the
+// affected balls that are still candidate centers on a worker pool, and
+// merges the new contributions back into the counts. Untouched balls
+// keep their stored contributions, and counting is order-independent, so
+// the maintained relation is bit-identical to a full topo.StrongSim
+// recompute at every worker count.
+type StrongMatcher struct {
+	p       *pattern.Pattern
+	g       *graph.Graph
+	dual    *SimMatcher
+	workers int
+
+	comps []topo.Component
+	maxR  int
+
+	counts  [][]int32             // contributing-ball count per (u, x)
+	size    []int                 // per pattern node: data nodes with count > 0
+	contrib map[uint64][][2]int32 // (comp, center) -> accepted-ball pairs
+
+	dist           []int32 // multi-source BFS scratch; -1-filled between batches
+	queue          []int32
+	insBuf, delBuf []Update
+}
+
+// ballTask is one (component, center) ball to evaluate.
+type ballTask struct {
+	comp   int
+	center int32
+}
+
+func ballKey(comp int, center int32) uint64 {
+	return uint64(uint32(comp))<<32 | uint64(uint32(center))
+}
+
+// NewStrongMatcher computes the initial strong simulation of p over g
+// and retains the per-ball contributions for incremental maintenance.
+// The graph must be mutated only through Apply (or an engine's Update)
+// from then on. workers bounds the ball-evaluation parallelism; values
+// <= 1 evaluate sequentially. The same pattern restrictions as
+// NewSimMatcher apply (all bounds 1, no edge colors).
+func NewStrongMatcher(p *pattern.Pattern, g *graph.Graph, workers int) (*StrongMatcher, error) {
+	dual, err := NewSimMatcher(p, g, false)
+	if err != nil {
+		return nil, err
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	np, n := p.N(), g.N()
+	m := &StrongMatcher{
+		p:       p,
+		g:       g,
+		dual:    dual,
+		workers: workers,
+		comps:   topo.Components(p),
+		counts:  make([][]int32, np),
+		size:    make([]int, np),
+		contrib: make(map[uint64][][2]int32),
+		dist:    make([]int32, n),
+	}
+	for _, c := range m.comps {
+		if c.Radius > m.maxR {
+			m.maxR = c.Radius
+		}
+	}
+	for u := 0; u < np; u++ {
+		m.counts[u] = make([]int32, n)
+	}
+	for i := range m.dist {
+		m.dist[i] = -1
+	}
+	// Initial sweep: every candidate center of every component.
+	f := g.Freeze()
+	var tasks []ballTask
+	for ci := range m.comps {
+		for x := 0; x < n; x++ {
+			if m.isCenter(ci, x) {
+				tasks = append(tasks, ballTask{ci, int32(x)})
+			}
+		}
+	}
+	m.evalTasks(f, tasks, nil)
+	return m, nil
+}
+
+// Pattern returns the maintained pattern.
+func (m *StrongMatcher) Pattern() *pattern.Pattern { return m.p }
+
+// OK reports whether every pattern node currently has a match.
+func (m *StrongMatcher) OK() bool {
+	for _, s := range m.size {
+		if s == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Pairs returns |S|, the current size of the maintained relation.
+func (m *StrongMatcher) Pairs() int {
+	total := 0
+	for _, s := range m.size {
+		total += s
+	}
+	return total
+}
+
+// Mat returns the sorted data nodes currently matching pattern node u.
+func (m *StrongMatcher) Mat(u int) []int32 {
+	var out []int32
+	for x, c := range m.counts[u] {
+		if c > 0 {
+			out = append(out, int32(x))
+		}
+	}
+	return out
+}
+
+// Relation snapshots the whole maintained relation.
+func (m *StrongMatcher) Relation() [][]int32 {
+	out := make([][]int32, m.p.N())
+	for u := range out {
+		out[u] = m.Mat(u)
+	}
+	return out
+}
+
+// isCenter reports whether x is a candidate center for component ci: a
+// member of the dual image of some pattern node of the component.
+func (m *StrongMatcher) isCenter(ci, x int) bool {
+	for _, u := range m.comps[ci].Nodes {
+		if m.dual.sim[u][x] {
+			return true
+		}
+	}
+	return false
+}
+
+// touch records the pre-batch membership of (u, x) the first time the
+// batch touches it, then applies the count delta.
+func (m *StrongMatcher) bump(u, x int32, by int32, oldState map[MatchPair]bool) {
+	if oldState != nil {
+		pr := MatchPair{u, x}
+		if _, seen := oldState[pr]; !seen {
+			oldState[pr] = m.counts[u][x] > 0
+		}
+	}
+	was := m.counts[u][x] > 0
+	m.counts[u][x] += by
+	now := m.counts[u][x] > 0
+	switch {
+	case !was && now:
+		m.size[u]++
+	case was && !now:
+		m.size[u]--
+	}
+}
+
+// evalTasks evaluates the given balls across the worker pool against
+// snapshot f and merges the accepted contributions. Results are stored
+// per task and merged sequentially, so the outcome is independent of the
+// worker count and scheduling.
+func (m *StrongMatcher) evalTasks(f *graph.Frozen, tasks []ballTask, oldState map[MatchPair]bool) {
+	if len(tasks) == 0 {
+		return
+	}
+	workers := m.workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	evs := make([]*topo.BallEvaluator, workers)
+	for w := range evs {
+		evs[w] = topo.NewBallEvaluator(context.Background(), m.p, f, m.dual.sim)
+	}
+	defer func() {
+		for _, ev := range evs {
+			ev.Close()
+		}
+	}()
+	results := make([][][2]int32, len(tasks))
+	err := topo.RunShards(workers, len(tasks), func(w, t int) error {
+		out, err := evs[w].Eval(&m.comps[tasks[t].comp], int(tasks[t].center), nil)
+		results[t] = out
+		return err
+	})
+	if err != nil {
+		// The evaluators only fail on context cancellation, and the
+		// maintenance path runs on context.Background.
+		panic(fmt.Sprintf("incremental: ball evaluation failed: %v", err))
+	}
+	for t, pairs := range results {
+		if len(pairs) == 0 {
+			continue
+		}
+		m.contrib[ballKey(tasks[t].comp, tasks[t].center)] = pairs
+		for _, pr := range pairs {
+			m.bump(pr[0], pr[1], 1, oldState)
+		}
+	}
+}
+
+// Apply performs one batch of edge updates: it applies the structural
+// changes to the graph and cascades the relation deltas. On a validation
+// error the graph and the relation are unchanged.
+func (m *StrongMatcher) Apply(updates []Update) (Delta, error) {
+	if err := ApplyToGraph(m.g, updates); err != nil {
+		return Delta{}, err
+	}
+	return m.ApplyPrecomputed(nil, updates), nil
+}
+
+// ApplyPrecomputed cascades a batch whose structural changes were
+// already applied to the graph. Delta.Aff1 reports the number of balls
+// re-evaluated; Delta.Added/Removed are the net relation changes.
+func (m *StrongMatcher) ApplyPrecomputed(_ []Pair, updates []Update) Delta {
+	var delta Delta
+	ins, dels := netEffectsInto(updates, &m.insBuf, &m.delBuf)
+	if len(ins) == 0 && len(dels) == 0 {
+		return delta
+	}
+	dd := m.dual.ApplyPrecomputed(nil, updates)
+
+	// Touched nodes: net-changed edge endpoints plus every data node
+	// whose dual membership changed. Deleted-edge endpoints are seeds,
+	// so a bounded multi-source BFS over the post-update graph reaches
+	// every node within radius of the touch set in the old graph too
+	// (the prefix of any old path before its first deleted edge survives
+	// and already ends at a seed).
+	m.queue = m.queue[:0]
+	seed := func(x int32) {
+		if m.dist[x] < 0 {
+			m.dist[x] = 0
+			m.queue = append(m.queue, x)
+		}
+	}
+	for _, up := range ins {
+		seed(int32(up.U))
+		seed(int32(up.V))
+	}
+	for _, up := range dels {
+		seed(int32(up.U))
+		seed(int32(up.V))
+	}
+	for _, pr := range dd.Added {
+		seed(pr.X)
+	}
+	for _, pr := range dd.Removed {
+		seed(pr.X)
+	}
+	for head := 0; head < len(m.queue); head++ {
+		x := m.queue[head]
+		dx := m.dist[x]
+		if int(dx) >= m.maxR {
+			continue
+		}
+		for _, y := range m.g.Out(int(x)) {
+			if m.dist[y] < 0 {
+				m.dist[y] = dx + 1
+				m.queue = append(m.queue, y)
+			}
+		}
+		for _, z := range m.g.In(int(x)) {
+			if m.dist[z] < 0 {
+				m.dist[z] = dx + 1
+				m.queue = append(m.queue, z)
+			}
+		}
+	}
+
+	// Drop every affected ball's contribution, then re-evaluate the
+	// affected balls that still have candidate centers. Untouched balls
+	// keep their stored contributions — the merge is a count update, so
+	// it is deterministic at every worker count.
+	oldState := make(map[MatchPair]bool)
+	var tasks []ballTask
+	for ci, c := range m.comps {
+		for _, x := range m.queue {
+			if int(m.dist[x]) > c.Radius {
+				continue
+			}
+			key := ballKey(ci, x)
+			if pairs, ok := m.contrib[key]; ok {
+				for _, pr := range pairs {
+					m.bump(pr[0], pr[1], -1, oldState)
+				}
+				delete(m.contrib, key)
+			}
+			if m.isCenter(ci, int(x)) {
+				tasks = append(tasks, ballTask{ci, x})
+			}
+		}
+	}
+	for _, x := range m.queue {
+		m.dist[x] = -1
+	}
+
+	if len(tasks) > 0 {
+		m.evalTasks(m.g.Freeze(), tasks, oldState)
+	}
+
+	delta.Aff1 = len(tasks)
+	for pr, was := range oldState {
+		now := m.counts[pr.U][pr.X] > 0
+		switch {
+		case !was && now:
+			delta.Added = append(delta.Added, pr)
+		case was && !now:
+			delta.Removed = append(delta.Removed, pr)
+		}
+	}
+	// oldState is a map, so sort the lists: watcher deltas stay
+	// deterministic run to run like every other relation artefact.
+	sortPairs(delta.Added)
+	sortPairs(delta.Removed)
+	delta.Aff2 = len(delta.Added) + len(delta.Removed)
+	return delta
+}
+
+func sortPairs(ps []MatchPair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].U != ps[j].U {
+			return ps[i].U < ps[j].U
+		}
+		return ps[i].X < ps[j].X
+	})
+}
+
+// CheckInvariants verifies that the refcounted union is consistent with
+// the stored per-ball contributions; tests call it after update batches.
+func (m *StrongMatcher) CheckInvariants() error {
+	np, n := m.p.N(), m.g.N()
+	want := make([][]int32, np)
+	for u := range want {
+		want[u] = make([]int32, n)
+	}
+	for _, pairs := range m.contrib {
+		for _, pr := range pairs {
+			want[pr[0]][pr[1]]++
+		}
+	}
+	for u := 0; u < np; u++ {
+		count := 0
+		for x := 0; x < n; x++ {
+			if m.counts[u][x] != want[u][x] {
+				return fmt.Errorf("count (%d,%d): got %d want %d", u, x, m.counts[u][x], want[u][x])
+			}
+			if m.counts[u][x] > 0 {
+				count++
+			}
+		}
+		if count != m.size[u] {
+			return fmt.Errorf("size[%d] = %d, want %d", u, m.size[u], count)
+		}
+	}
+	for i, d := range m.dist {
+		if d != -1 {
+			return fmt.Errorf("stale BFS distance at node %d", i)
+		}
+	}
+	return m.dual.CheckInvariants()
+}

@@ -22,6 +22,25 @@ type Delta struct {
 	Recomputed bool        // true when the cyclic-pattern fallback re-ran the batch algorithm
 }
 
+// Maintainer is the engine-facing contract of every incrementally
+// maintained match: the bounded-simulation Matcher and the sim/dual/
+// strong watch states (SimMatcher, StrongMatcher) all implement it, so
+// one watcher registry and one Update write path drive the whole
+// semantics lattice.
+type Maintainer interface {
+	Pattern() *pattern.Pattern
+	OK() bool
+	Pairs() int
+	Mat(u int) []int32
+	Relation() [][]int32
+	// ApplyPrecomputed absorbs a batch whose structural (and, for
+	// matrix-backed maintainers, distance) effects were already applied
+	// to the shared graph. aff is the AFF1 set DynMatrix.Apply returned,
+	// or nil when no distance matrix is maintained; adjacency-based
+	// maintainers ignore it.
+	ApplyPrecomputed(aff []Pair, updates []Update) Delta
+}
+
 // Matcher maintains the maximum bounded-simulation match of one pattern
 // over a mutating data graph — the paper's IncMatch (Fig. 8). Distance
 // increases flow through the Match⁻ removal cascade (Fig. 5, sound and

@@ -169,6 +169,49 @@ func edgeColorOK(g *graph.Graph, u, v int, want string) bool {
 	return colorOK(graphColor(g), u, v, want)
 }
 
+// IsSimulation verifies that rel is a plain simulation of p in f: every
+// pair satisfies its predicate and every pattern edge leaving its
+// pattern node has a successor witness in rel. It does not check
+// maximality; the incremental watchers' fuzz target and tests use it as
+// an independent oracle, the child-only counterpart of topo.IsDualSim.
+func IsSimulation(p *pattern.Pattern, f *graph.Frozen, rel [][]int32) bool {
+	if len(rel) != p.N() {
+		return false
+	}
+	n := f.N()
+	in := make([][]bool, p.N())
+	for u := range in {
+		in[u] = make([]bool, n)
+		for _, x := range rel[u] {
+			if x < 0 || int(x) >= n {
+				return false
+			}
+			in[u][x] = true
+		}
+	}
+	for u := 0; u < p.N(); u++ {
+		for _, x := range rel[u] {
+			if !p.Pred(u).Match(f.Attr(int(x))) {
+				return false
+			}
+			for _, eid := range p.Out(u) {
+				e := p.EdgeAt(int(eid))
+				found := false
+				for _, y := range f.Out(int(x)) {
+					if in[e.To][y] && colorOK(f.Color, int(x), int(y), e.Color) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
 // RunNaive is the textbook fixpoint: repeatedly delete pairs (u, x) for
 // which some pattern edge has no witness, until stable. Exponentially
 // simpler to audit than Run; tests compare the two.

@@ -77,7 +77,7 @@ func dualFixpoint(ctx context.Context, p *pattern.Pattern, f *graph.Frozen, opts
 			candTasks = append(candTasks, candTask{u, s[0], s[1]})
 		}
 	}
-	err := runShards(workers, len(candTasks), func(w, t int) error {
+	err := RunShards(workers, len(candTasks), func(w, t int) error {
 		task := candTasks[t]
 		pred := p.Pred(task.u)
 		row := sim[task.u]
@@ -125,7 +125,7 @@ func dualFixpoint(ctx context.Context, p *pattern.Pattern, f *graph.Frozen, opts
 		}
 	}
 	seeds := make([][]removal, len(cntTasks))
-	err = runShards(workers, len(cntTasks), func(w, t int) error {
+	err = RunShards(workers, len(cntTasks), func(w, t int) error {
 		task := cntTasks[t]
 		e := p.EdgeAt(task.eid)
 		var local []removal

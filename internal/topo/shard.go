@@ -9,12 +9,12 @@ import (
 // task switch, mirroring the parallel matching core's threshold.
 const minShardWork = 256
 
-// runShards feeds task indexes 0..tasks-1 to a pool of workers goroutines
+// RunShards feeds task indexes 0..tasks-1 to a pool of workers goroutines
 // and hands each invocation its worker id, so tasks can use per-worker
 // scratch without locking. run must only write state disjoint per task
 // (or per worker). The first error stops the pool; remaining tasks are
 // skipped and the error returned.
-func runShards(workers, tasks int, run func(worker, task int) error) error {
+func RunShards(workers, tasks int, run func(worker, task int) error) error {
 	if workers > tasks {
 		workers = tasks
 	}

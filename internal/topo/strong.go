@@ -48,7 +48,7 @@ func StrongSim(ctx context.Context, p *pattern.Pattern, f *graph.Frozen, opts Op
 		return nil, false, err
 	}
 
-	comps := patternComponents(p)
+	comps := Components(p)
 
 	// Candidate centers per component: the sorted union of the dual
 	// matches of the component's pattern nodes.
@@ -59,7 +59,7 @@ func StrongSim(ctx context.Context, p *pattern.Pattern, f *graph.Frozen, opts Op
 	var tasks []ballTask
 	mark := make([]bool, n)
 	for ci, c := range comps {
-		for _, u := range c.nodes {
+		for _, u := range c.Nodes {
 			for x := 0; x < n; x++ {
 				if dual[u][x] {
 					mark[x] = true
@@ -99,7 +99,7 @@ func StrongSim(ctx context.Context, p *pattern.Pattern, f *graph.Frozen, opts Op
 			w.sc.Put()
 		}
 	}()
-	err = runShards(workers, len(tasks), func(w, t int) error {
+	err = RunShards(workers, len(tasks), func(w, t int) error {
 		return ws[w].ball(&comps[tasks[t].comp], int(tasks[t].center))
 	})
 	if err != nil {
@@ -119,18 +119,21 @@ type acceptedPairs struct {
 	bits [][]bool
 }
 
-// component is one weakly-connected component of the pattern: its nodes,
-// its edges and its undirected diameter (the ball radius).
-type component struct {
-	nodes  []int
-	edges  []int
-	radius int
+// Component is one weakly-connected component of a pattern: its nodes,
+// its edge ids and its undirected diameter (the ball radius). It is
+// exported for callers that schedule their own ball sweeps — the
+// incremental strong-simulation watcher re-evaluates only the balls an
+// update batch can have touched.
+type Component struct {
+	Nodes  []int
+	Edges  []int
+	Radius int
 }
 
-// patternComponents decomposes p into weakly-connected components and
-// computes each component's undirected diameter by BFS from every node
-// (patterns are small; this is O(|Vp|·|Ep|)).
-func patternComponents(p *pattern.Pattern) []component {
+// Components decomposes p into weakly-connected components and computes
+// each component's undirected diameter by BFS from every node (patterns
+// are small; this is O(|Vp|·|Ep|)).
+func Components(p *pattern.Pattern) []Component {
 	np := p.N()
 	adj := make([][]int, np) // undirected pattern adjacency
 	for eid := 0; eid < p.EdgeCount(); eid++ {
@@ -144,7 +147,7 @@ func patternComponents(p *pattern.Pattern) []component {
 	for i := range compOf {
 		compOf[i] = -1
 	}
-	var comps []component
+	var comps []Component
 	dist := make([]int, np)
 	var queue []int
 	for start := 0; start < np; start++ {
@@ -152,12 +155,12 @@ func patternComponents(p *pattern.Pattern) []component {
 			continue
 		}
 		ci := len(comps)
-		var c component
+		var c Component
 		queue = append(queue[:0], start)
 		compOf[start] = ci
 		for head := 0; head < len(queue); head++ {
 			v := queue[head]
-			c.nodes = append(c.nodes, v)
+			c.Nodes = append(c.Nodes, v)
 			for _, w := range adj[v] {
 				if compOf[w] < 0 {
 					compOf[w] = ci
@@ -166,8 +169,8 @@ func patternComponents(p *pattern.Pattern) []component {
 			}
 		}
 		// Undirected eccentricities within the component.
-		for _, src := range c.nodes {
-			for _, v := range c.nodes {
+		for _, src := range c.Nodes {
+			for _, v := range c.Nodes {
 				dist[v] = -1
 			}
 			dist[src] = 0
@@ -181,9 +184,9 @@ func patternComponents(p *pattern.Pattern) []component {
 					}
 				}
 			}
-			for _, v := range c.nodes {
-				if dist[v] > c.radius {
-					c.radius = dist[v]
+			for _, v := range c.Nodes {
+				if dist[v] > c.Radius {
+					c.Radius = dist[v]
 				}
 			}
 		}
@@ -191,7 +194,7 @@ func patternComponents(p *pattern.Pattern) []component {
 	}
 	for eid := 0; eid < p.EdgeCount(); eid++ {
 		ci := compOf[p.EdgeAt(eid).From]
-		comps[ci].edges = append(comps[ci].edges, eid)
+		comps[ci].Edges = append(comps[ci].Edges, eid)
 	}
 	return comps
 }
@@ -205,7 +208,7 @@ type strongWorker struct {
 	f    *graph.Frozen
 	dual [][]bool
 	poll cancel.Poller
-	cur  *component // component being evaluated by the current ball
+	cur  *Component // component being evaluated by the current ball
 
 	sc      *graph.Scratch // ball BFS dist + member queue (pooled)
 	lid     []int32        // global node -> local ball id; -1 outside
@@ -215,7 +218,8 @@ type strongWorker struct {
 	work    []removal      // local removal worklist
 	visited []bool         // match-graph BFS marks
 	mq      []int32        // match-graph BFS queue
-	res     *acceptedPairs // shared accepted-pair sink
+	res     *acceptedPairs // shared accepted-pair sink; nil in collect mode
+	out     [][2]int32     // collect-mode output: accepted (u, x) pairs
 }
 
 func newStrongWorker(ctx context.Context, p *pattern.Pattern, f *graph.Frozen, dual [][]bool, res *acceptedPairs) *strongWorker {
@@ -258,10 +262,10 @@ func growI32(s *[]int32, n int) []int32 {
 // simulation inside it, extract the maximum perfect subgraph around the
 // center, and accumulate its pairs into w.res when it covers every
 // pattern node of the component.
-func (w *strongWorker) ball(c *component, center int) error {
+func (w *strongWorker) ball(c *Component, center int) error {
 	pat := w.p
 	w.cur = c
-	r := w.f.BallInto(center, c.radius, w.sc.Dist, &w.sc.Queue)
+	r := w.f.BallInto(center, c.Radius, w.sc.Dist, &w.sc.Queue)
 	members := w.sc.Queue[:r]
 	for i, g := range members {
 		w.lid[g] = int32(i)
@@ -273,13 +277,13 @@ func (w *strongWorker) ball(c *component, center int) error {
 			w.lid[g] = -1
 			w.sc.Dist[g] = -1
 		}
-		for _, u := range c.nodes {
+		for _, u := range c.Nodes {
 			row := w.sim[u]
 			for i := range row {
 				row[i] = false
 			}
 		}
-		for _, eid := range c.edges {
+		for _, eid := range c.Edges {
 			for i := range w.fwd[eid] {
 				w.fwd[eid][i] = 0
 			}
@@ -297,7 +301,7 @@ func (w *strongWorker) ball(c *component, center int) error {
 	// Initial candidates: the whole-graph dual relation restricted to the
 	// ball (it contains every dual simulation inside the ball, so the
 	// greatest fixpoint from here is the ball's maximum dual simulation).
-	for _, u := range c.nodes {
+	for _, u := range c.Nodes {
 		row := growBool(&w.sim[u], r)
 		for i, g := range members {
 			row[i] = w.dual[u][g]
@@ -305,7 +309,7 @@ func (w *strongWorker) ball(c *component, center int) error {
 	}
 
 	// Counter seeding over ball-internal edges.
-	for _, eid := range c.edges {
+	for _, eid := range c.Edges {
 		e := pat.EdgeAt(eid)
 		fr := growI32(&w.fwd[eid], r)
 		bk := growI32(&w.back[eid], r)
@@ -385,7 +389,7 @@ func (w *strongWorker) ball(c *component, center int) error {
 	// The center (local id 0, first out of the BFS) must itself be
 	// matched, or the ball cannot anchor a perfect subgraph.
 	centerMatched := false
-	for _, u := range c.nodes {
+	for _, u := range c.Nodes {
 		if w.sim[u][0] {
 			centerMatched = true
 			break
@@ -424,7 +428,7 @@ func (w *strongWorker) ball(c *component, center int) error {
 	}
 
 	// Perfect = the component covers every pattern node of c.
-	for _, u := range c.nodes {
+	for _, u := range c.Nodes {
 		found := false
 		for i, in := range w.sim[u] {
 			if in && w.visited[i] {
@@ -436,8 +440,20 @@ func (w *strongWorker) ball(c *component, center int) error {
 			return nil
 		}
 	}
+	if w.res == nil {
+		// Collect mode (BallEvaluator): hand the accepted pairs back to
+		// the caller instead of marking the shared bitmap.
+		for _, u := range c.Nodes {
+			for i, in := range w.sim[u] {
+				if in && w.visited[i] {
+					w.out = append(w.out, [2]int32{int32(u), members[i]})
+				}
+			}
+		}
+		return nil
+	}
 	w.res.mu.Lock()
-	for _, u := range c.nodes {
+	for _, u := range c.Nodes {
 		for i, in := range w.sim[u] {
 			if in && w.visited[i] {
 				w.res.bits[u][members[i]] = true
@@ -448,11 +464,46 @@ func (w *strongWorker) ball(c *component, center int) error {
 	return nil
 }
 
+// BallEvaluator evaluates individual strong-simulation balls against a
+// frozen snapshot, for callers that schedule their own center sweep —
+// the incremental strong-simulation watcher re-evaluates only the balls
+// an update batch can have touched and reuses the untouched balls'
+// stored contributions. dual must be the whole-graph dual-simulation
+// membership bitmaps of p in f (per pattern node, indexed by data node);
+// the evaluator reads it but never writes. One evaluator serves one
+// goroutine; create one per worker and Close it to return the pooled
+// scratch.
+type BallEvaluator struct {
+	w *strongWorker
+}
+
+// NewBallEvaluator binds an evaluator to one snapshot and dual relation.
+func NewBallEvaluator(ctx context.Context, p *pattern.Pattern, f *graph.Frozen, dual [][]bool) *BallEvaluator {
+	return &BallEvaluator{w: newStrongWorker(ctx, p, f, dual, nil)}
+}
+
+// Eval evaluates the ball of one candidate center for one pattern
+// component, appending the accepted (pattern node, data node) pairs to
+// out and returning it. A rejected ball (center unmatched, or the match
+// graph's component around it does not cover every pattern node) appends
+// nothing. Results are deterministic in (f, dual, c, center), so any
+// scheduling of Eval calls across evaluators merges to the same union.
+func (b *BallEvaluator) Eval(c *Component, center int, out [][2]int32) ([][2]int32, error) {
+	b.w.out = out
+	err := b.w.ball(c, center)
+	out, b.w.out = b.w.out, nil
+	return out, err
+}
+
+// Close returns the evaluator's pooled scratch. The evaluator must not
+// be used afterwards.
+func (b *BallEvaluator) Close() { b.w.sc.Put() }
+
 // matchEdge reports whether data edge (gx, gy) — both endpoints inside
 // the current ball with local ids lx, ly — realises some pattern edge of
 // the current component, i.e. is an edge of the match graph.
 func (w *strongWorker) matchEdge(lx, ly, gx, gy int) bool {
-	for _, eid := range w.cur.edges {
+	for _, eid := range w.cur.Edges {
 		e := w.p.EdgeAt(eid)
 		if w.sim[e.From][lx] && w.sim[e.To][ly] && colorOK(w.f, gx, gy, e.Color) {
 			return true

@@ -1,4 +1,4 @@
-package topo
+package topo_test
 
 import (
 	"context"
@@ -9,8 +9,18 @@ import (
 	"gpm/internal/graph"
 	"gpm/internal/pattern"
 	"gpm/internal/simulation"
+	"gpm/internal/topo"
 	"gpm/internal/value"
 )
+
+// colorOK mirrors the package-internal color check: data edge (u, v)
+// satisfies a pattern edge's color demand.
+func colorOK(f *graph.Frozen, u, v int, want string) bool {
+	if want == "" {
+		return true
+	}
+	return f.Color(u, v) == want
+}
 
 // --- naive reference implementations -------------------------------------
 //
@@ -103,7 +113,7 @@ func naiveStrong(p *pattern.Pattern, f *graph.Frozen) ([][]int32, bool) {
 	for u := range res {
 		res[u] = make([]bool, n)
 	}
-	for _, c := range patternComponents(p) {
+	for _, c := range topo.Components(p) {
 		for center := 0; center < n; center++ {
 			// Undirected ball by naive BFS.
 			dist := make([]int32, n)
@@ -111,11 +121,11 @@ func naiveStrong(p *pattern.Pattern, f *graph.Frozen) ([][]int32, bool) {
 				dist[i] = -1
 			}
 			var queue []int32
-			f.BallInto(center, c.radius, dist, &queue)
+			f.BallInto(center, c.Radius, dist, &queue)
 			inBall := func(x int) bool { return dist[x] >= 0 }
 
 			sim := make([][]bool, np)
-			for _, u := range c.nodes {
+			for _, u := range c.Nodes {
 				sim[u] = make([]bool, n)
 				for x := 0; x < n; x++ {
 					sim[u][x] = inBall(x) && p.Pred(u).Match(f.Attr(x))
@@ -130,7 +140,7 @@ func naiveStrong(p *pattern.Pattern, f *graph.Frozen) ([][]int32, bool) {
 			naiveDualCompFixpoint(sub, f, sim, inBall, c)
 
 			matched := false
-			for _, u := range c.nodes {
+			for _, u := range c.Nodes {
 				if sim[u][center] {
 					matched = true
 					break
@@ -150,7 +160,7 @@ func naiveStrong(p *pattern.Pattern, f *graph.Frozen) ([][]int32, bool) {
 						continue
 					}
 					link := false
-					for _, eid := range c.edges {
+					for _, eid := range c.Edges {
 						e := p.EdgeAt(eid)
 						if hasEdge(f, x, y) && sim[e.From][x] && sim[e.To][y] && colorOK(f, x, y, e.Color) {
 							link = true
@@ -166,7 +176,7 @@ func naiveStrong(p *pattern.Pattern, f *graph.Frozen) ([][]int32, bool) {
 				}
 			}
 			perfect := true
-			for _, u := range c.nodes {
+			for _, u := range c.Nodes {
 				found := false
 				for _, x := range comp {
 					if sim[u][x] {
@@ -182,7 +192,7 @@ func naiveStrong(p *pattern.Pattern, f *graph.Frozen) ([][]int32, bool) {
 			if !perfect {
 				continue
 			}
-			for _, u := range c.nodes {
+			for _, u := range c.Nodes {
 				for _, x := range comp {
 					if sim[u][x] {
 						res[u][x] = true
@@ -207,11 +217,11 @@ func naiveStrong(p *pattern.Pattern, f *graph.Frozen) ([][]int32, bool) {
 }
 
 // naiveDualCompFixpoint is naiveDualFixpoint restricted to one pattern
-// component's nodes and edges.
-func naiveDualCompFixpoint(p *pattern.Pattern, f *graph.Frozen, sim [][]bool, inBall func(int) bool, c component) {
+// Component's nodes and edges.
+func naiveDualCompFixpoint(p *pattern.Pattern, f *graph.Frozen, sim [][]bool, inBall func(int) bool, c topo.Component) {
 	for changed := true; changed; {
 		changed = false
-		for _, u := range c.nodes {
+		for _, u := range c.Nodes {
 			for x := 0; x < f.N(); x++ {
 				if !sim[u][x] || !inBall(x) {
 					continue
@@ -322,7 +332,7 @@ func TestDualParentConstraint(t *testing.T) {
 		t.Fatalf("plain simulation should keep both B nodes, got %v", sim[1])
 	}
 
-	dual, ok, err := DualSim(context.Background(), p, f, Options{})
+	dual, ok, err := topo.DualSim(context.Background(), p, f, topo.Options{})
 	if err != nil {
 		t.Fatalf("DualSim: %v", err)
 	}
@@ -348,7 +358,7 @@ func TestStrongRejectsUnrolledCycle(t *testing.T) {
 	p := labelPattern(t, []string{"A", "B", "C"}, [][2]int{{0, 1}, {1, 2}, {2, 0}})
 	f := g.Freeze()
 
-	dual, ok, err := DualSim(context.Background(), p, f, Options{})
+	dual, ok, err := topo.DualSim(context.Background(), p, f, topo.Options{})
 	if err != nil || !ok {
 		t.Fatalf("DualSim: ok=%v err=%v (the 6-cycle dual-matches the triangle)", ok, err)
 	}
@@ -358,12 +368,12 @@ func TestStrongRejectsUnrolledCycle(t *testing.T) {
 		}
 	}
 
-	strong, ok, err := StrongSim(context.Background(), p, f, Options{})
+	strong, ok, err := topo.StrongSim(context.Background(), p, f, topo.Options{})
 	if err != nil {
 		t.Fatalf("StrongSim: %v", err)
 	}
 	if ok {
-		t.Errorf("StrongSim accepted the unrolled cycle: %v", strong)
+		t.Errorf("topo.StrongSim accepted the unrolled cycle: %v", strong)
 	}
 	for u, l := range strong {
 		if len(l) != 0 {
@@ -376,7 +386,7 @@ func TestStrongRejectsUnrolledCycle(t *testing.T) {
 func TestStrongAcceptsRealCycle(t *testing.T) {
 	g := labeledGraph(t, []string{"A", "B", "C"}, [][2]int{{0, 1}, {1, 2}, {2, 0}})
 	p := labelPattern(t, []string{"A", "B", "C"}, [][2]int{{0, 1}, {1, 2}, {2, 0}})
-	strong, ok, err := StrongSim(context.Background(), p, g.Freeze(), Options{})
+	strong, ok, err := topo.StrongSim(context.Background(), p, g.Freeze(), topo.Options{})
 	if err != nil || !ok {
 		t.Fatalf("StrongSim: ok=%v err=%v", ok, err)
 	}
@@ -387,19 +397,19 @@ func TestStrongAcceptsRealCycle(t *testing.T) {
 	}
 }
 
-// DualSim must equal the naive rescan fixpoint on random workloads, for
+// topo.DualSim must equal the naive rescan fixpoint on random workloads, for
 // both the full semantics and the child-only collapse.
 func TestDualSimMatchesNaive(t *testing.T) {
 	for seed := int64(1); seed <= 20; seed++ {
 		p, f := randomCase(seed, 60, 180, 4, 5)
 		for _, childOnly := range []bool{false, true} {
-			got, gotOK, err := DualSim(context.Background(), p, f, Options{ChildOnly: childOnly})
+			got, gotOK, err := topo.DualSim(context.Background(), p, f, topo.Options{ChildOnly: childOnly})
 			if err != nil {
 				t.Fatalf("seed %d childOnly=%v: %v", seed, childOnly, err)
 			}
 			want, wantOK := naiveDual(p, f, childOnly)
 			if gotOK != wantOK || !reflect.DeepEqual(got, want) {
-				t.Errorf("seed %d childOnly=%v: DualSim diverges from naive\n got %v ok=%v\nwant %v ok=%v",
+				t.Errorf("seed %d childOnly=%v: topo.DualSim diverges from naive\n got %v ok=%v\nwant %v ok=%v",
 					seed, childOnly, got, gotOK, want, wantOK)
 			}
 		}
@@ -410,7 +420,7 @@ func TestDualSimMatchesNaive(t *testing.T) {
 func TestDualChildOnlyEqualsSimulation(t *testing.T) {
 	for seed := int64(1); seed <= 12; seed++ {
 		p, f := randomCase(seed, 50, 150, 4, 5)
-		got, gotOK, err := DualSim(context.Background(), p, f, Options{ChildOnly: true})
+		got, gotOK, err := topo.DualSim(context.Background(), p, f, topo.Options{ChildOnly: true})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -424,18 +434,18 @@ func TestDualChildOnlyEqualsSimulation(t *testing.T) {
 	}
 }
 
-// StrongSim must equal the naive all-centers reference on random
+// topo.StrongSim must equal the naive all-centers reference on random
 // workloads (which also exercises the dual-prefilter center pruning).
 func TestStrongSimMatchesNaive(t *testing.T) {
 	for seed := int64(1); seed <= 16; seed++ {
 		p, f := randomCase(seed, 40, 110, 4, 5)
-		got, gotOK, err := StrongSim(context.Background(), p, f, Options{})
+		got, gotOK, err := topo.StrongSim(context.Background(), p, f, topo.Options{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 		want, wantOK := naiveStrong(p, f)
 		if gotOK != wantOK || !reflect.DeepEqual(got, want) {
-			t.Errorf("seed %d: StrongSim diverges from naive\n got %v ok=%v\nwant %v ok=%v\npattern:\n%s",
+			t.Errorf("seed %d: topo.StrongSim diverges from naive\n got %v ok=%v\nwant %v ok=%v\npattern:\n%s",
 				seed, got, gotOK, want, wantOK, p)
 		}
 	}
@@ -445,28 +455,28 @@ func TestStrongSimMatchesNaive(t *testing.T) {
 func TestWorkerCountsBitIdentical(t *testing.T) {
 	for seed := int64(1); seed <= 8; seed++ {
 		p, f := randomCase(seed, 70, 210, 4, 5)
-		dualRef, dualOK, err := DualSim(context.Background(), p, f, Options{Workers: 1})
+		dualRef, dualOK, err := topo.DualSim(context.Background(), p, f, topo.Options{Workers: 1})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		strongRef, strongOK, err := StrongSim(context.Background(), p, f, Options{Workers: 1})
+		strongRef, strongOK, err := topo.StrongSim(context.Background(), p, f, topo.Options{Workers: 1})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 		for _, w := range []int{2, 3, 4, 8} {
-			d, dok, err := DualSim(context.Background(), p, f, Options{Workers: w})
+			d, dok, err := topo.DualSim(context.Background(), p, f, topo.Options{Workers: w})
 			if err != nil {
 				t.Fatalf("seed %d workers %d: %v", seed, w, err)
 			}
 			if dok != dualOK || !reflect.DeepEqual(d, dualRef) {
-				t.Errorf("seed %d: DualSim at %d workers diverges", seed, w)
+				t.Errorf("seed %d: topo.DualSim at %d workers diverges", seed, w)
 			}
-			s, sok, err := StrongSim(context.Background(), p, f, Options{Workers: w})
+			s, sok, err := topo.StrongSim(context.Background(), p, f, topo.Options{Workers: w})
 			if err != nil {
 				t.Fatalf("seed %d workers %d: %v", seed, w, err)
 			}
 			if sok != strongOK || !reflect.DeepEqual(s, strongRef) {
-				t.Errorf("seed %d: StrongSim at %d workers diverges", seed, w)
+				t.Errorf("seed %d: topo.StrongSim at %d workers diverges", seed, w)
 			}
 		}
 	}
@@ -481,33 +491,33 @@ func TestValidationAndCancellation(t *testing.T) {
 	a := p.AddNode(pattern.Label("A"))
 	b := p.AddNode(pattern.Label("B"))
 	p.MustAddEdge(a, b, 2)
-	if _, _, err := DualSim(context.Background(), p, f, Options{}); err == nil {
-		t.Errorf("DualSim accepted a bound-2 pattern")
+	if _, _, err := topo.DualSim(context.Background(), p, f, topo.Options{}); err == nil {
+		t.Errorf("topo.DualSim accepted a bound-2 pattern")
 	}
-	if _, _, err := StrongSim(context.Background(), p, f, Options{}); err == nil {
-		t.Errorf("StrongSim accepted a bound-2 pattern")
+	if _, _, err := topo.StrongSim(context.Background(), p, f, topo.Options{}); err == nil {
+		t.Errorf("topo.StrongSim accepted a bound-2 pattern")
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	pBig, fBig := randomCase(3, 80, 240, 4, 5)
-	if _, _, err := DualSim(ctx, pBig, fBig, Options{}); err == nil {
-		t.Errorf("DualSim ignored a cancelled context")
+	if _, _, err := topo.DualSim(ctx, pBig, fBig, topo.Options{}); err == nil {
+		t.Errorf("topo.DualSim ignored a cancelled context")
 	}
-	if _, _, err := StrongSim(ctx, pBig, fBig, Options{}); err == nil {
-		t.Errorf("StrongSim ignored a cancelled context")
+	if _, _, err := topo.StrongSim(ctx, pBig, fBig, topo.Options{}); err == nil {
+		t.Errorf("topo.StrongSim ignored a cancelled context")
 	}
 }
 
-// IsDualSim accepts DualSim's output and rejects corrupted relations.
+// topo.IsDualSim accepts DualSim's output and rejects corrupted relations.
 func TestIsDualSim(t *testing.T) {
 	p, f := randomCase(5, 50, 150, 4, 5)
-	rel, _, err := DualSim(context.Background(), p, f, Options{})
+	rel, _, err := topo.DualSim(context.Background(), p, f, topo.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !IsDualSim(p, f, rel) {
-		t.Fatalf("IsDualSim rejects DualSim output")
+	if !topo.IsDualSim(p, f, rel) {
+		t.Fatalf("topo.IsDualSim rejects topo.DualSim output")
 	}
 	// Corrupt: add every node to sim(0); predicates or constraints must
 	// break somewhere on a nontrivial workload.
@@ -518,7 +528,7 @@ func TestIsDualSim(t *testing.T) {
 		all[i] = int32(i)
 	}
 	bad[0] = all
-	if IsDualSim(p, f, bad) {
+	if topo.IsDualSim(p, f, bad) {
 		t.Skipf("corrupted relation happens to be a dual simulation on this seed")
 	}
 }
