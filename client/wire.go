@@ -1,0 +1,170 @@
+// Package client is the typed Go client for gpmd, the graph pattern
+// matching daemon (cmd/gpmd). It speaks the HTTP/JSON wire schema
+// defined in this file; the server (internal/server) imports the same
+// declarations, so client and daemon cannot drift apart.
+//
+// Patterns travel in the .pattern text format of the command-line tools
+// (see README "Text formats"); relations come back as the same
+// per-pattern-node sorted data-node lists every in-process Engine call
+// returns.
+package client
+
+// QueryRequest is the body of POST /match, /simulate, /dual, /strong
+// and /enumerate.
+type QueryRequest struct {
+	// Graph names a graph bound at daemon startup (see GET /graphs).
+	Graph string `json:"graph"`
+	// Pattern is the pattern in .pattern text format.
+	Pattern string `json:"pattern"`
+	// TimeoutMS bounds this request's matching time; the server maps it
+	// to a context deadline on the fixpoint or enumeration. 0 means the
+	// daemon's default (its -timeout flag).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// Enumerate-only options.
+	Algo          string `json:"algo,omitempty"` // "vf2" (default) | "ullmann"
+	MaxEmbeddings int    `json:"max_embeddings,omitempty"`
+	MaxSteps      int64  `json:"max_steps,omitempty"`
+}
+
+// BatchRequest is the body of POST /batch: one bounded-simulation match
+// per pattern, fanned across the engine's workers server-side.
+type BatchRequest struct {
+	Graph     string   `json:"graph"`
+	Patterns  []string `json:"patterns"` // .pattern text format each
+	TimeoutMS int64    `json:"timeout_ms,omitempty"`
+}
+
+// Stats mirrors gpm.MatchStats on the wire. Durations are nanoseconds.
+type Stats struct {
+	Oracle        string `json:"oracle"`
+	OracleBuildNS int64  `json:"oracle_build_ns"`
+	MatchTimeNS   int64  `json:"match_time_ns"`
+	OracleQueries int64  `json:"oracle_queries"`
+	Removals      int64  `json:"removals"`
+	InitialPairs  int64  `json:"initial_pairs"`
+}
+
+// Relation is the response of the four relation-valued semantics
+// (/match, /simulate, /dual, /strong) and each element of a /batch
+// response.
+type Relation struct {
+	Graph     string    `json:"graph"`
+	Semantics string    `json:"semantics"` // match | sim | dual | strong
+	OK        bool      `json:"ok"`
+	Pairs     int       `json:"pairs"`
+	Matches   [][]int32 `json:"matches"` // per pattern node, sorted data nodes
+	Stats     Stats     `json:"stats"`
+}
+
+// BatchResponse is the response of POST /batch; Results aligns
+// positionally with the request's Patterns.
+type BatchResponse struct {
+	Graph   string     `json:"graph"`
+	Results []Relation `json:"results"`
+}
+
+// Enumeration is the response of POST /enumerate. The partial-
+// enumeration contract survives the wire: when the request deadline
+// expires mid-search the server still returns HTTP 200 with the
+// embeddings found so far, Complete == false and Truncated holding the
+// context error.
+type Enumeration struct {
+	Graph      string    `json:"graph"`
+	Embeddings [][]int32 `json:"embeddings"` // each: pattern node -> data node
+	Steps      int64     `json:"steps"`
+	Complete   bool      `json:"complete"`
+	Truncated  string    `json:"truncated,omitempty"` // context error when deadline hit
+	Stats      Stats     `json:"stats"`
+}
+
+// WatchRequest is the body of POST /watch: start incremental
+// maintenance of one pattern on one graph.
+type WatchRequest struct {
+	Graph     string `json:"graph"`
+	Pattern   string `json:"pattern"`
+	Semantics string `json:"semantics"` // match | sim | dual | strong
+}
+
+// WatchState describes one watch session; returned by POST /watch and
+// GET /watch/{id}.
+type WatchState struct {
+	ID        int64     `json:"id"`
+	Graph     string    `json:"graph"`
+	Semantics string    `json:"semantics"`
+	OK        bool      `json:"ok"`
+	Pairs     int       `json:"pairs"`
+	Matches   [][]int32 `json:"matches"`
+}
+
+// UpdateOp is one edge insertion ("+") or deletion ("-").
+type UpdateOp struct {
+	Op string `json:"op"` // "+" | "-"
+	U  int    `json:"u"`
+	V  int    `json:"v"`
+}
+
+// UpdateRequest is the body of POST /update: apply a batch of edge
+// updates to a named graph and cascade every watch session on it.
+type UpdateRequest struct {
+	Graph   string     `json:"graph"`
+	Updates []UpdateOp `json:"updates"`
+}
+
+// UpdateHeader is the first line of the POST /update NDJSON response:
+// the batch was applied, and Watchers delta lines follow.
+type UpdateHeader struct {
+	Graph    string `json:"graph"`
+	Applied  int    `json:"applied"`
+	Watchers int    `json:"watchers"`
+}
+
+// MatchPair is one (pattern node, data node) element of a delta.
+type MatchPair struct {
+	U int32 `json:"u"`
+	X int32 `json:"x"`
+}
+
+// WatchDelta is one per-watcher line of the POST /update NDJSON
+// response: the effect the batch had on that session's maintained match.
+type WatchDelta struct {
+	WatchID    int64       `json:"watch_id"`
+	Semantics  string      `json:"semantics"`
+	OK         bool        `json:"ok"`
+	Pairs      int         `json:"pairs"`
+	Added      []MatchPair `json:"added,omitempty"`
+	Removed    []MatchPair `json:"removed,omitempty"`
+	Recomputed bool        `json:"recomputed,omitempty"`
+}
+
+// GraphInfo describes one bound graph; GET /graphs returns the list
+// sorted by name.
+type GraphInfo struct {
+	Name    string `json:"name"`
+	Nodes   int    `json:"nodes"`
+	Edges   int    `json:"edges"`
+	Oracle  string `json:"oracle"`
+	Workers int    `json:"workers"`
+	Watches int    `json:"watches"`
+}
+
+// ServerStats is the GET /stats response: aggregate MatchStats across
+// every query the daemon served, per semantics, plus request counters.
+type ServerStats struct {
+	Queries       map[string]int64 `json:"queries"` // semantics -> served count
+	Errors        int64            `json:"errors"`  // 4xx/5xx responses
+	InFlight      int64            `json:"in_flight"`
+	Updates       int64            `json:"updates"`        // update batches applied
+	UpdateEdges   int64            `json:"update_edges"`   // edge updates applied
+	WatchesOpened int64            `json:"watches_opened"` // sessions ever opened
+	MatchTimeNS   int64            `json:"match_time_ns"`  // summed across queries
+	OracleBuildNS int64            `json:"oracle_build_ns"`
+	OracleQueries int64            `json:"oracle_queries"`
+	Removals      int64            `json:"removals"`
+	InitialPairs  int64            `json:"initial_pairs"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

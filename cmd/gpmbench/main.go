@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	gpmbench [-exp all|datasets|6a|6b|6c|6d|6e|6f|6g|6h|6i|6j|6k|fig9|gr|aff|2hop|ablation|engine|parallel]
+//	gpmbench [-exp all|datasets|6a|6b|6c|6d|6e|6f|6g|6h|6i|6j|6k|fig9|gr|aff|2hop|ablation|engine|parallel|topo|incsim|serve]
 //	         [-scale 0.15] [-seed N] [-patterns 5] [-nodes N] [-json] [-v]
 //
 // -scale 1.0 reproduces the paper's exact dataset sizes; the default keeps

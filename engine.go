@@ -216,6 +216,15 @@ func NewEngine(g *Graph, opts ...EngineOption) *Engine {
 // through [Engine.Update].
 func (e *Engine) Graph() *Graph { return e.g }
 
+// Size reports the bound graph's current node and edge counts, ordered
+// against concurrent [Engine.Update] calls (reading Graph().M() directly
+// would race with an in-flight update batch).
+func (e *Engine) Size() (nodes, edges int) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.g.N(), e.g.M()
+}
+
 // OracleKind reports the resolved oracle strategy (never OracleAuto:
 // WithAutoOracle resolves against the graph at bind time).
 func (e *Engine) OracleKind() OracleKind { return e.kind }

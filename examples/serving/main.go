@@ -1,0 +1,131 @@
+// Serving demonstrates the gpmd service layer end to end without
+// leaving one process: it binds the YouTube stand-in into an
+// internal/server instance on a loopback listener, then drives it
+// through the typed gpm/client — a query per semantics, a watch
+// session maintained through edge updates with streamed deltas, and
+// the daemon's aggregate stats. Everything the example does over HTTP,
+// a remote caller can do against a real `gpmd -dataset
+// tube=youtube:0.05` daemon.
+//
+// Run with: go run ./examples/serving [-scale 0.05]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"gpm"
+	"gpm/client"
+	"gpm/internal/server"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.05, "dataset scale factor")
+	flag.Parse()
+	ctx := context.Background()
+
+	g, err := gpm.Dataset("youtube", 7, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The daemon side: bind the graph, listen on a loopback port.
+	srv := server.New(server.Config{DefaultTimeout: 30 * time.Second})
+	if err := srv.Bind("tube", g); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+
+	// The remote side: a typed client over the wire.
+	c := client.New("http://" + ln.Addr().String())
+	infos, err := c.Graphs(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, info := range infos {
+		fmt.Printf("serving %q: %d nodes, %d edges, oracle %s\n",
+			info.Name, info.Nodes, info.Edges, info.Oracle)
+	}
+
+	// Music videos recommending Comedy within 2 hops.
+	pred := func(s string) gpm.Predicate {
+		p, perr := gpm.ParsePredicate(s)
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		return p
+	}
+	p := gpm.NewPattern()
+	music := p.AddNode(pred("category = Music && views > 1000"))
+	comedy := p.AddNode(pred("category = Comedy"))
+	p.MustAddEdge(music, comedy, 2)
+
+	rel, err := c.Match(ctx, "tube", p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bounded simulation over the wire: ok=%v, %d pairs, %v matching Music nodes\n",
+		rel.OK, rel.Pairs, len(rel.Matches[music]))
+
+	// The same pattern with all bounds 1 serves the whole lattice.
+	p1 := gpm.NewPattern()
+	m1 := p1.AddNode(pred("category = Music"))
+	c1 := p1.AddNode(pred("category = Comedy"))
+	p1.MustAddEdge(m1, c1, 1)
+	for _, sem := range []string{"sim", "dual", "strong"} {
+		var r *client.Relation
+		switch sem {
+		case "sim":
+			r, err = c.Simulate(ctx, "tube", p1)
+		case "dual":
+			r, err = c.DualSimulate(ctx, "tube", p1)
+		case "strong":
+			r, err = c.StrongSimulate(ctx, "tube", p1)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s over the wire: ok=%v, %d pairs\n", sem, r.OK, r.Pairs)
+	}
+
+	// A watch session: incremental maintenance reachable over HTTP.
+	st, err := c.Watch(ctx, "tube", p1, "dual")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("watch %d (%s): ok=%v, %d pairs\n", st.ID, st.Semantics, st.OK, st.Pairs)
+
+	ups := gpm.GenerateUpdates(gpm.UpdateGenConfig{Insertions: 5, Deletions: 5, Seed: 42}, g)
+	header, err := c.UpdateStream(ctx, "tube", ups, func(d client.WatchDelta) error {
+		fmt.Printf("  delta for watch %d: ok=%v, %d pairs (+%d/-%d pairs changed)\n",
+			d.WatchID, d.OK, d.Pairs, len(d.Added), len(d.Removed))
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("applied %d updates, %d watcher(s) cascaded\n", header.Applied, header.Watchers)
+	if err := c.CloseWatch(ctx, st.ID); err != nil {
+		log.Fatal(err)
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("daemon served %d match, %d sim, %d dual, %d strong queries; %d update batch(es)\n",
+		stats.Queries["match"], stats.Queries["sim"], stats.Queries["dual"],
+		stats.Queries["strong"], stats.Updates)
+}

@@ -72,6 +72,7 @@ func All(cfg Config) []*Table {
 		ParallelSpeedup(cfg),
 		TopoSpeedup(cfg),
 		IncSimSpeedup(cfg),
+		ServeThroughput(cfg),
 	}
 }
 
@@ -128,7 +129,9 @@ func ByID(id string, cfg Config) ([]*Table, error) {
 		return []*Table{TopoSpeedup(cfg)}, nil
 	case "incsim":
 		return []*Table{IncSimSpeedup(cfg)}, nil
+	case "serve":
+		return []*Table{ServeThroughput(cfg)}, nil
 	default:
-		return nil, fmt.Errorf("bench: unknown experiment %q (want all, datasets, 6a, 6b, 6c, 6d, 6e, 6f, 6g, 6h, 6i, 6j, 6k, fig9, gr, aff, 2hop, ablation, engine, parallel, topo, incsim)", id)
+		return nil, fmt.Errorf("bench: unknown experiment %q (want all, datasets, 6a, 6b, 6c, 6d, 6e, 6f, 6g, 6h, 6i, 6j, 6k, fig9, gr, aff, 2hop, ablation, engine, parallel, topo, incsim, serve)", id)
 	}
 }

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"gpm"
+	"gpm/client"
+	"gpm/internal/difftest"
+	"gpm/internal/server"
+)
+
+// ServeThroughput measures gpmd end-to-end: one daemon binds the
+// YouTube stand-in, then 1/2/4/8 concurrent HTTP clients replay the
+// same Match query stream through the typed client. The per-query
+// checksum XOR (order-independent) is asserted identical across rows —
+// concurrency cannot change a single response byte that matters — and
+// the column reports it. The delta against the in-process engine
+// experiment (exp `engine`) is the HTTP/JSON wire tax.
+func ServeThroughput(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	g := youtube(cfg)
+	ps := patternBatch(cfg, g, cfg.Patterns*4, 4, 4, 3)
+
+	// WithWorkers(1): each query runs its fixpoint sequentially, so the
+	// table isolates request-level concurrency — the serving axis — from
+	// the per-query sharding exp `parallel` already measures.
+	srv := server.New(server.Config{DefaultTimeout: 5 * time.Minute})
+	if err := srv.Bind("youtube", g, gpm.WithWorkers(1)); err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+
+	ctx := context.Background()
+	c := client.New("http://" + ln.Addr().String())
+	// Pay the lazy oracle build before timing.
+	warm, err := c.Match(ctx, "youtube", ps[0])
+	if err != nil {
+		panic(err)
+	}
+
+	t := &Table{
+		ID: "serve",
+		Title: fmt.Sprintf("gpmd serve throughput on YouTube stand-in (|V|=%d, |E|=%d, oracle %s, build %v)",
+			g.N(), g.M(), warm.Stats.Oracle, time.Duration(warm.Stats.OracleBuildNS).Round(time.Millisecond)),
+		Columns: []string{"clients", "queries", "elapsed (ms)", "requests/s", "speedup", "response checksum"},
+	}
+	var baseline time.Duration
+	var wantSum uint64
+	for _, clients := range []int{1, 2, 4, 8} {
+		queries := clients * len(ps)
+		sums := make([]uint64, clients)
+		errs := make(chan error, clients)
+		start := time.Now()
+		for w := 0; w < clients; w++ {
+			go func(w int) {
+				var sum uint64
+				for _, p := range ps {
+					rel, err := c.Match(ctx, "youtube", p)
+					if err != nil {
+						errs <- err
+						return
+					}
+					// The same FNV-1a fold the in-process experiments use,
+					// XOR-combined so the aggregate is order-independent.
+					sum ^= difftest.Checksum(rel.Matches)
+				}
+				sums[w] = sum
+				errs <- nil
+			}(w)
+		}
+		for w := 0; w < clients; w++ {
+			if err := <-errs; err != nil {
+				panic(fmt.Sprintf("bench: serve-throughput client failed: %v", err))
+			}
+		}
+		elapsed := time.Since(start)
+		for w := 1; w < clients; w++ {
+			if sums[w] != sums[0] {
+				panic(fmt.Sprintf("bench: serve-throughput checksum diverged between clients at concurrency %d", clients))
+			}
+		}
+		if clients == 1 {
+			baseline = elapsed
+			wantSum = sums[0]
+		} else if sums[0] != wantSum {
+			panic(fmt.Sprintf("bench: serve-throughput checksum diverged at %d clients: %x vs %x", clients, sums[0], wantSum))
+		}
+		qps := float64(queries) / elapsed.Seconds()
+		baselineQPS := float64(len(ps)) / baseline.Seconds()
+		t.AddRow(fmt.Sprintf("%d", clients), fmt.Sprintf("%d", queries), ms(elapsed),
+			f2(qps), f2(qps/baselineQPS), fmt.Sprintf("%016x", sums[0]))
+		cfg.logf("serve: %d clients done", clients)
+	}
+	t.Note("identical checksums across rows: concurrent serving is response-equivalent to one client")
+	t.Note("speedup is throughput relative to the single-client row; compare requests/s with exp `engine` for the HTTP/JSON wire tax")
+	return t
+}

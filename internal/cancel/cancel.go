@@ -18,7 +18,13 @@ type Poller struct {
 }
 
 // Every returns a Poller over ctx checking once per interval calls.
+// interval <= 0 is clamped to 1 (check on every call): a non-positive
+// interval would otherwise divide by zero on the first Err call of any
+// cancellable context.
 func Every(ctx context.Context, interval int) Poller {
+	if interval < 1 {
+		interval = 1
+	}
 	return Poller{ctx: ctx, done: ctx.Done(), interval: interval}
 }
 

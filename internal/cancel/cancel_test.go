@@ -1,0 +1,69 @@
+package cancel
+
+import (
+	"context"
+	"testing"
+)
+
+// A non-positive interval must clamp to 1 instead of panicking with an
+// integer divide-by-zero on the first Err call (the poller computes
+// tick % interval only when the context is cancellable, which is why the
+// bug needed a cancellable ctx to fire).
+func TestEveryNonPositiveInterval(t *testing.T) {
+	for _, interval := range []int{0, -1, -1000} {
+		ctx, cancel := context.WithCancel(context.Background())
+		p := Every(ctx, interval)
+		if err := p.Err(); err != nil {
+			t.Fatalf("Every(ctx, %d).Err() = %v before cancellation", interval, err)
+		}
+		cancel()
+		// Clamped to 1, the very next call must observe the cancellation.
+		if err := p.Err(); err != context.Canceled {
+			t.Fatalf("Every(ctx, %d).Err() = %v after cancellation, want context.Canceled", interval, err)
+		}
+	}
+}
+
+// A context that can never be cancelled takes the nil-done fast path:
+// Err reports nil forever, even on the zero Poller.
+func TestEveryNilDoneFastPath(t *testing.T) {
+	p := Every(context.Background(), 4)
+	for i := 0; i < 10; i++ {
+		if err := p.Err(); err != nil {
+			t.Fatalf("call %d: Err() = %v on non-cancellable ctx", i, err)
+		}
+	}
+	var zero Poller
+	for i := 0; i < 10; i++ {
+		if err := zero.Err(); err != nil {
+			t.Fatalf("call %d: zero Poller Err() = %v", i, err)
+		}
+	}
+}
+
+// The poller checks ctx exactly once per interval calls: after
+// cancellation, Err keeps returning nil until the tick counter reaches
+// the next multiple of the interval.
+func TestEveryPollingCadence(t *testing.T) {
+	const interval = 5
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Every(ctx, interval)
+	cancel()
+	for i := 1; i < interval; i++ {
+		if err := p.Err(); err != nil {
+			t.Fatalf("call %d: Err() = %v, want nil (polls only every %d calls)", i, err, interval)
+		}
+	}
+	if err := p.Err(); err != context.Canceled {
+		t.Fatalf("call %d: Err() = %v, want context.Canceled", interval, err)
+	}
+	// The next window polls again at the following multiple.
+	for i := 1; i < interval; i++ {
+		if err := p.Err(); err != nil {
+			t.Fatalf("second window call %d: Err() = %v, want nil", i, err)
+		}
+	}
+	if err := p.Err(); err != context.Canceled {
+		t.Fatalf("second window poll: Err() = %v, want context.Canceled", err)
+	}
+}

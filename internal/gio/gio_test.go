@@ -2,6 +2,7 @@ package gio
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -222,4 +223,77 @@ func TestRangedPatternRoundTrip(t *testing.T) {
 	if _, err := ReadPattern(strings.NewReader("pattern 2\nedge 0 1 1..5")); err == nil {
 		t.Error("lo=1 range accepted")
 	}
+}
+
+// A node line larger than bufio.Scanner's default 64 KiB token limit
+// must round-trip: the readers grow the scanner buffer (newScanner), so
+// graphs whose nodes carry many attributes — exactly what a server
+// accepting uploads will see — don't fail with bufio.ErrTooLong.
+func TestLongLineRoundTrip(t *testing.T) {
+	g := graph.New(2)
+	attrs := graph.Attrs{}
+	for i := 0; i < 1500; i++ {
+		attrs[fmt.Sprintf("attr%04d", i)] = value.Str(strings.Repeat("v", 40))
+	}
+	g.SetAttr(0, attrs)
+	g.AddEdge(0, 1)
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if longest := longestLine(buf.Bytes()); longest <= 64*1024 {
+		t.Fatalf("fixture too small to exercise the bug: longest line %d bytes, need > %d", longest, 64*1024)
+	}
+	got, err := ReadGraph(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadGraph on >64KiB line: %v", err)
+	}
+	if got.N() != 2 || got.M() != 1 {
+		t.Fatalf("size %d/%d after long-line round trip", got.N(), got.M())
+	}
+	if len(got.Attr(0)) != len(attrs) {
+		t.Fatalf("attribute count %d, want %d", len(got.Attr(0)), len(attrs))
+	}
+	var second bytes.Buffer
+	if err := WriteGraph(&second, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), second.Bytes()) {
+		t.Fatal("long-line round trip is not byte-stable")
+	}
+}
+
+// A long pattern node line (one predicate with many conjuncts) must
+// round-trip the same way.
+func TestLongPatternLineRoundTrip(t *testing.T) {
+	p := pattern.New()
+	var pred pattern.Predicate
+	for i := 0; i < 4000; i++ {
+		pred = append(pred, pattern.Atom{Attr: fmt.Sprintf("attr%04d", i), Op: value.OpEQ, Val: value.Str(strings.Repeat("v", 10))})
+	}
+	p.AddNode(pred)
+	var buf bytes.Buffer
+	if err := WritePattern(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	if longest := longestLine(buf.Bytes()); longest <= 64*1024 {
+		t.Fatalf("fixture too small: longest line %d bytes", longest)
+	}
+	got, err := ReadPattern(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadPattern on >64KiB line: %v", err)
+	}
+	if got.N() != 1 || len(got.Pred(0)) != len(pred) {
+		t.Fatalf("pattern %d nodes / %d atoms after round trip", got.N(), len(got.Pred(0)))
+	}
+}
+
+func longestLine(b []byte) int {
+	longest := 0
+	for _, l := range bytes.Split(b, []byte("\n")) {
+		if len(l) > longest {
+			longest = len(l)
+		}
+	}
+	return longest
 }

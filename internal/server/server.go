@@ -1,0 +1,686 @@
+// Package server implements gpmd's HTTP/JSON service layer: named data
+// graphs bound into concurrency-safe gpm.Engines, every matching
+// semantics the module implements served to remote callers, and
+// stateful watch sessions exposing incremental maintenance over the
+// wire.
+//
+// Endpoints (wire schema in package gpm/client, shared with the typed
+// Go client so the two cannot drift):
+//
+//	POST   /match       bounded simulation (the paper's cubic Match)
+//	POST   /simulate    plain graph simulation
+//	POST   /dual        dual simulation (Ma et al. VLDB 2012)
+//	POST   /strong      strong simulation
+//	POST   /enumerate   subgraph-isomorphism embeddings (VF2/Ullmann)
+//	POST   /batch       bounded simulation over a pattern batch
+//	POST   /watch       open an incremental watch session
+//	GET    /watch/{id}  snapshot a session's maintained relation
+//	DELETE /watch/{id}  close a session
+//	POST   /update      apply edge updates, stream per-watcher deltas
+//	GET    /graphs      list bound graphs
+//	GET    /stats       aggregate MatchStats across served queries
+//	GET    /healthz     liveness
+//
+// Concurrency discipline: queries ride the engine's RWMutex read side,
+// so any number of requests match concurrently against one graph;
+// /update and watch open/close take the write side and exclude them.
+// Every request derives its context from the client connection, the
+// per-request deadline (timeout_ms, else the server default) and the
+// server's base context — Close cancels the base context, so graceful
+// shutdown drains in-flight fixpoints via their own cancellation
+// polling instead of abandoning goroutines.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gpm"
+	"gpm/client"
+)
+
+// Config parameterises New.
+type Config struct {
+	// DefaultTimeout bounds requests that carry no timeout_ms of their
+	// own. Zero means no default deadline.
+	DefaultTimeout time.Duration
+	// MaxBodyBytes caps request bodies (patterns and update batches from
+	// untrusted callers). Zero means the built-in 64 MiB.
+	MaxBodyBytes int64
+}
+
+const defaultMaxBody = 64 << 20
+
+// Server serves bound graphs over HTTP. Create with New, add graphs
+// with Bind, then use it as an http.Handler.
+type Server struct {
+	cfg  Config
+	mux  *http.ServeMux
+	base context.Context
+	stop context.CancelFunc
+
+	mu       sync.RWMutex // guards bindings and sessions
+	bindings map[string]*binding
+	sessions map[int64]*session
+	nextID   int64
+
+	stats stats
+}
+
+// binding is one named graph served by its engine.
+type binding struct {
+	name string
+	eng  *gpm.Engine
+	// byWatcher resolves the engine's update deltas back to sessions;
+	// guarded by Server.mu.
+	byWatcher map[*gpm.Watcher]*session
+}
+
+// session is one open watch: an incrementally maintained match reachable
+// over the wire by ID.
+type session struct {
+	id        int64
+	b         *binding
+	semantics string
+	w         *gpm.Watcher
+}
+
+// New returns an empty server; Bind graphs before serving.
+func New(cfg Config) *Server {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = defaultMaxBody
+	}
+	base, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		base:     base,
+		stop:     stop,
+		bindings: make(map[string]*binding),
+		sessions: make(map[int64]*session),
+	}
+	s.routes()
+	return s
+}
+
+// Bind names a graph and binds it into an engine. The graph must not be
+// mutated afterwards except through /update. Bind is not safe to call
+// concurrently with serving; bind every graph before the listener opens.
+func (s *Server) Bind(name string, g *gpm.Graph, opts ...gpm.EngineOption) error {
+	if name == "" {
+		return fmt.Errorf("server: empty graph name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.bindings[name]; dup {
+		return fmt.Errorf("server: graph %q already bound", name)
+	}
+	s.bindings[name] = &binding{
+		name:      name,
+		eng:       gpm.NewEngine(g, opts...),
+		byWatcher: make(map[*gpm.Watcher]*session),
+	}
+	return nil
+}
+
+// GraphNames lists the bound graphs sorted by name.
+func (s *Server) GraphNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.bindings))
+	for name := range s.bindings {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Close cancels the server's base context: every in-flight query
+// fixpoint and enumeration observes the cancellation at its next poll
+// and unwinds, and new watch opens and update batches are refused with
+// 503, so an http.Server.Shutdown that follows drains quickly instead
+// of waiting out a cubic fixpoint. (Watch initialisation and update
+// cascades already in flight run to completion — those engine paths
+// are not cancellable — but they are bounded by the batch, not by
+// request lifetime.) Close does not close watch sessions; their state
+// stays readable until the process exits.
+func (s *Server) Close() { s.stop() }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /match", s.relationHandler("match"))
+	s.mux.HandleFunc("POST /simulate", s.relationHandler("sim"))
+	s.mux.HandleFunc("POST /dual", s.relationHandler("dual"))
+	s.mux.HandleFunc("POST /strong", s.relationHandler("strong"))
+	s.mux.HandleFunc("POST /enumerate", s.handleEnumerate)
+	s.mux.HandleFunc("POST /batch", s.handleBatch)
+	s.mux.HandleFunc("POST /watch", s.handleWatchOpen)
+	s.mux.HandleFunc("GET /watch/{id}", s.handleWatchGet)
+	s.mux.HandleFunc("DELETE /watch/{id}", s.handleWatchClose)
+	s.mux.HandleFunc("POST /update", s.handleUpdate)
+	s.mux.HandleFunc("GET /graphs", s.handleGraphs)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok":true}`)
+	})
+}
+
+// httpError is an error with a status code chosen by the handler.
+type httpError struct {
+	code int
+	err  error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+
+func badRequest(format string, args ...interface{}) *httpError {
+	return &httpError{code: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
+}
+
+// writeError maps an error to a JSON error response. Context errors
+// become 504: the request's deadline (or the shutting-down server)
+// cancelled the fixpoint.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		code = he.code
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		code = http.StatusGatewayTimeout
+	}
+	s.stats.errors.Add(1)
+	writeJSON(w, code, client.ErrorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// decodeBody strictly decodes one JSON document into v.
+func decodeBody(r *http.Request, v interface{}) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("bad request body: %v", err)
+	}
+	if dec.More() {
+		return badRequest("bad request body: trailing data")
+	}
+	return nil
+}
+
+// bindingOf resolves a graph name.
+func (s *Server) bindingOf(name string) (*binding, error) {
+	if name == "" {
+		return nil, badRequest("missing graph name")
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.bindings[name]
+	if !ok {
+		return nil, &httpError{code: http.StatusNotFound, err: fmt.Errorf("unknown graph %q", name)}
+	}
+	return b, nil
+}
+
+// parsePattern parses the .pattern text format from a request.
+func parsePattern(text string) (*gpm.Pattern, error) {
+	if strings.TrimSpace(text) == "" {
+		return nil, badRequest("missing pattern")
+	}
+	p, err := gpm.ReadPattern(strings.NewReader(text))
+	if err != nil {
+		return nil, badRequest("bad pattern: %v", err)
+	}
+	return p, nil
+}
+
+// requestCtx derives the context one query runs under: the client
+// connection (gone when the caller hangs up), the per-request deadline,
+// and the server's base context (cancelled by Close). The returned stop
+// must be called when the request finishes.
+func (s *Server) requestCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(r.Context())
+	unhook := context.AfterFunc(s.base, cancel)
+	timeout := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		timeout = time.Duration(timeoutMS) * time.Millisecond
+	}
+	var cancelT context.CancelFunc = func() {}
+	if timeout > 0 {
+		ctx, cancelT = context.WithTimeout(ctx, timeout)
+	}
+	return ctx, func() {
+		unhook()
+		cancelT()
+		cancel()
+	}
+}
+
+// wireStats converts engine stats to the wire schema.
+func wireStats(st gpm.MatchStats) client.Stats {
+	return client.Stats{
+		Oracle:        st.Oracle.String(),
+		OracleBuildNS: st.OracleBuild.Nanoseconds(),
+		MatchTimeNS:   st.MatchTime.Nanoseconds(),
+		OracleQueries: st.OracleQueries,
+		Removals:      st.Removals,
+		InitialPairs:  st.InitialPairs,
+	}
+}
+
+// relationHandler serves the four relation-valued semantics; they share
+// request decoding, deadline mapping and response shape.
+func (s *Server) relationHandler(semantics string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.stats.inFlight.Add(1)
+		defer s.stats.inFlight.Add(-1)
+		var req client.QueryRequest
+		if err := decodeBody(r, &req); err != nil {
+			s.writeError(w, err)
+			return
+		}
+		rel, err := s.relationQuery(r, semantics, req)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rel)
+	}
+}
+
+// relationQuery runs one relation-valued query end to end.
+func (s *Server) relationQuery(r *http.Request, semantics string, req client.QueryRequest) (*client.Relation, error) {
+	b, err := s.bindingOf(req.Graph)
+	if err != nil {
+		return nil, err
+	}
+	p, err := parsePattern(req.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	ctx, stop := s.requestCtx(r, req.TimeoutMS)
+	defer stop()
+
+	var rel *client.Relation
+	switch semantics {
+	case "match":
+		res, err := b.eng.Match(ctx, p)
+		if err != nil {
+			return nil, err
+		}
+		rel = relationOf(b.name, semantics, res.OK(), res.Pairs(), res.Relation(), res.Stats)
+	case "sim":
+		res, err := b.eng.Simulate(ctx, p)
+		if err != nil {
+			return nil, err
+		}
+		pairs := 0
+		for _, row := range res.Relation {
+			pairs += len(row)
+		}
+		rel = relationOf(b.name, semantics, res.OK, pairs, res.Relation, res.Stats)
+	case "dual":
+		res, err := b.eng.DualSimulate(ctx, p)
+		if err != nil {
+			return nil, err
+		}
+		rel = relationOf(b.name, semantics, res.OK(), res.Pairs(), res.Relation(), res.Stats)
+	case "strong":
+		res, err := b.eng.StrongSimulate(ctx, p)
+		if err != nil {
+			return nil, err
+		}
+		rel = relationOf(b.name, semantics, res.OK(), res.Pairs(), res.Relation(), res.Stats)
+	default:
+		return nil, badRequest("unknown semantics %q", semantics)
+	}
+	s.stats.record(semantics, rel.Stats)
+	return rel, nil
+}
+
+func relationOf(graph, semantics string, ok bool, pairs int, matches [][]int32, st gpm.MatchStats) *client.Relation {
+	return &client.Relation{
+		Graph:     graph,
+		Semantics: semantics,
+		OK:        ok,
+		Pairs:     pairs,
+		Matches:   matches,
+		Stats:     wireStats(st),
+	}
+}
+
+func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
+	s.stats.inFlight.Add(1)
+	defer s.stats.inFlight.Add(-1)
+	var req client.QueryRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	b, err := s.bindingOf(req.Graph)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	p, err := parsePattern(req.Pattern)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	opts := gpm.IsoOptions{MaxEmbeddings: req.MaxEmbeddings, MaxSteps: req.MaxSteps}
+	switch req.Algo {
+	case "", "vf2":
+	case "ullmann":
+		opts.Algo = gpm.AlgoUllmann
+	default:
+		s.writeError(w, badRequest("unknown algo %q (want vf2 or ullmann)", req.Algo))
+		return
+	}
+	ctx, stop := s.requestCtx(r, req.TimeoutMS)
+	defer stop()
+	res, err := b.eng.Enumerate(ctx, p, opts)
+	if res == nil {
+		// Not even a partial enumeration: validation failure or a context
+		// cancelled before the search started.
+		if err == nil {
+			err = fmt.Errorf("enumeration produced no result")
+		}
+		s.writeError(w, err)
+		return
+	}
+	// The partial-enumeration contract: a deadline that expires
+	// mid-search still yields the embeddings found so far.
+	resp := client.Enumeration{
+		Graph:      b.name,
+		Embeddings: res.Embeddings,
+		Steps:      res.Steps,
+		Complete:   res.Complete,
+		Stats:      wireStats(res.Stats),
+	}
+	if err != nil {
+		resp.Truncated = err.Error()
+	}
+	s.stats.record("enumerate", resp.Stats)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.stats.inFlight.Add(1)
+	defer s.stats.inFlight.Add(-1)
+	var req client.BatchRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	b, err := s.bindingOf(req.Graph)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if len(req.Patterns) == 0 {
+		s.writeError(w, badRequest("empty pattern batch"))
+		return
+	}
+	ps := make([]*gpm.Pattern, len(req.Patterns))
+	for i, text := range req.Patterns {
+		p, err := parsePattern(text)
+		if err != nil {
+			s.writeError(w, badRequest("pattern %d: %v", i, err))
+			return
+		}
+		ps[i] = p
+	}
+	ctx, stop := s.requestCtx(r, req.TimeoutMS)
+	defer stop()
+	results, err := b.eng.MatchBatch(ctx, ps)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp := client.BatchResponse{Graph: b.name, Results: make([]client.Relation, len(results))}
+	for i, res := range results {
+		resp.Results[i] = *relationOf(b.name, "match", res.OK(), res.Pairs(), res.Relation(), res.Stats)
+		s.stats.record("batch", resp.Results[i].Stats)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// checkAccepting rejects new watch/update work once Close was called:
+// the engine's Watch and Update paths run uncancellable write-side
+// fixpoints, so the shutdown guarantee for them is "none started after
+// Close" rather than mid-flight cancellation.
+func (s *Server) checkAccepting() error {
+	if err := s.base.Err(); err != nil {
+		return &httpError{code: http.StatusServiceUnavailable, err: fmt.Errorf("server shutting down")}
+	}
+	return nil
+}
+
+func (s *Server) handleWatchOpen(w http.ResponseWriter, r *http.Request) {
+	var req client.WatchRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if err := s.checkAccepting(); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	b, err := s.bindingOf(req.Graph)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	p, err := parsePattern(req.Pattern)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	var watcher *gpm.Watcher
+	var werr error
+	switch req.Semantics {
+	case "match":
+		watcher, werr = b.eng.Watch(p)
+	case "sim":
+		watcher, werr = b.eng.WatchSim(p)
+	case "dual":
+		watcher, werr = b.eng.WatchDual(p)
+	case "strong":
+		watcher, werr = b.eng.WatchStrong(p)
+	default:
+		s.writeError(w, badRequest("unknown watch semantics %q (want match, sim, dual or strong)", req.Semantics))
+		return
+	}
+	if werr != nil {
+		s.writeError(w, badRequest("%v", werr))
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	sess := &session{id: s.nextID, b: b, semantics: req.Semantics, w: watcher}
+	s.sessions[sess.id] = sess
+	b.byWatcher[watcher] = sess
+	s.mu.Unlock()
+	s.stats.watchesOpened.Add(1)
+	writeJSON(w, http.StatusOK, s.watchState(sess))
+}
+
+func (s *Server) watchState(sess *session) client.WatchState {
+	return client.WatchState{
+		ID:        sess.id,
+		Graph:     sess.b.name,
+		Semantics: sess.semantics,
+		OK:        sess.w.OK(),
+		Pairs:     sess.w.Pairs(),
+		Matches:   sess.w.Relation(),
+	}
+}
+
+// sessionOf resolves a watch session from the {id} path value.
+func (s *Server) sessionOf(r *http.Request) (*session, error) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		return nil, badRequest("bad watch id %q", r.PathValue("id"))
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, &httpError{code: http.StatusNotFound, err: fmt.Errorf("unknown watch %d", id)}
+	}
+	return sess, nil
+}
+
+func (s *Server) handleWatchGet(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sessionOf(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.watchState(sess))
+}
+
+func (s *Server) handleWatchClose(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sessionOf(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.mu.Lock()
+	delete(s.sessions, sess.id)
+	delete(sess.b.byWatcher, sess.w)
+	s.mu.Unlock()
+	sess.w.Close()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req client.UpdateRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if err := s.checkAccepting(); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	b, err := s.bindingOf(req.Graph)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ups := make([]gpm.Update, len(req.Updates))
+	for i, op := range req.Updates {
+		switch op.Op {
+		case "+":
+			ups[i] = gpm.InsertEdge(op.U, op.V)
+		case "-":
+			ups[i] = gpm.DeleteEdge(op.U, op.V)
+		default:
+			s.writeError(w, badRequest("update %d: unknown op %q (want + or -)", i, op.Op))
+			return
+		}
+	}
+	deltas, err := b.eng.Update(ups...)
+	if err != nil {
+		s.writeError(w, badRequest("%v", err))
+		return
+	}
+	s.stats.updates.Add(1)
+	s.stats.updateEdges.Add(int64(len(ups)))
+
+	// Materialise the delta lines under the registry lock, then stream
+	// with the lock released: a slow or stalled reader must not hold
+	// s.mu (a blocked writer behind it would stall every other request
+	// on every graph).
+	s.mu.RLock()
+	watchers := len(b.byWatcher)
+	lines := make([]client.WatchDelta, 0, len(deltas))
+	for _, d := range deltas {
+		sess, ok := b.byWatcher[d.Watcher]
+		if !ok {
+			continue // closed between Update and here
+		}
+		lines = append(lines, client.WatchDelta{
+			WatchID:    sess.id,
+			Semantics:  sess.semantics,
+			OK:         d.Watcher.OK(),
+			Pairs:      d.Watcher.Pairs(),
+			Added:      wirePairs(d.Delta.Added),
+			Removed:    wirePairs(d.Delta.Removed),
+			Recomputed: d.Delta.Recomputed,
+		})
+	}
+	s.mu.RUnlock()
+
+	// Stream as NDJSON: header first, then one line per open session on
+	// this graph, flushed as encoded so a caller maintaining many
+	// sessions processes deltas as they arrive.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	enc.Encode(client.UpdateHeader{Graph: b.name, Applied: len(ups), Watchers: watchers})
+	for _, line := range lines {
+		enc.Encode(line)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func wirePairs(ps []gpm.MatchPair) []client.MatchPair {
+	if len(ps) == 0 {
+		return nil
+	}
+	out := make([]client.MatchPair, len(ps))
+	for i, p := range ps {
+		out[i] = client.MatchPair{U: p.U, X: p.X}
+	}
+	return out
+}
+
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	infos := make([]client.GraphInfo, 0, len(s.bindings))
+	for _, b := range s.bindings {
+		n, m := b.eng.Size()
+		infos = append(infos, client.GraphInfo{
+			Name:    b.name,
+			Nodes:   n,
+			Edges:   m,
+			Oracle:  b.eng.OracleKind().String(),
+			Workers: b.eng.Workers(),
+			Watches: len(b.byWatcher),
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.stats.snapshot())
+}
+
+// StatsSnapshot returns the aggregate counters (also served at /stats);
+// cmd/gpmd publishes it through expvar.
+func (s *Server) StatsSnapshot() client.ServerStats { return s.stats.snapshot() }

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"sync/atomic"
+
+	"gpm/client"
+)
+
+// statSemantics are the query kinds the counters break down by.
+var statSemantics = []string{"match", "sim", "dual", "strong", "enumerate", "batch"}
+
+// stats aggregates MatchStats across every query the server serves.
+// All fields are atomics: queries record concurrently from the engine's
+// read path.
+type stats struct {
+	queries       [6]atomic.Int64 // indexed by statSemantics order
+	errors        atomic.Int64
+	inFlight      atomic.Int64
+	updates       atomic.Int64
+	updateEdges   atomic.Int64
+	watchesOpened atomic.Int64
+	matchTimeNS   atomic.Int64
+	oracleBuildNS atomic.Int64
+	oracleQueries atomic.Int64
+	removals      atomic.Int64
+	initialPairs  atomic.Int64
+}
+
+func semIndex(semantics string) int {
+	for i, s := range statSemantics {
+		if s == semantics {
+			return i
+		}
+	}
+	return 0
+}
+
+// record accumulates one served query's stats.
+func (st *stats) record(semantics string, ws client.Stats) {
+	st.queries[semIndex(semantics)].Add(1)
+	st.matchTimeNS.Add(ws.MatchTimeNS)
+	st.oracleBuildNS.Add(ws.OracleBuildNS)
+	st.oracleQueries.Add(ws.OracleQueries)
+	st.removals.Add(ws.Removals)
+	st.initialPairs.Add(ws.InitialPairs)
+}
+
+// snapshot materialises the counters as the wire schema.
+func (st *stats) snapshot() client.ServerStats {
+	out := client.ServerStats{
+		Queries:       make(map[string]int64, len(statSemantics)),
+		Errors:        st.errors.Load(),
+		InFlight:      st.inFlight.Load(),
+		Updates:       st.updates.Load(),
+		UpdateEdges:   st.updateEdges.Load(),
+		WatchesOpened: st.watchesOpened.Load(),
+		MatchTimeNS:   st.matchTimeNS.Load(),
+		OracleBuildNS: st.oracleBuildNS.Load(),
+		OracleQueries: st.oracleQueries.Load(),
+		Removals:      st.removals.Load(),
+		InitialPairs:  st.initialPairs.Load(),
+	}
+	for i, s := range statSemantics {
+		out.Queries[s] = st.queries[i].Load()
+	}
+	return out
+}

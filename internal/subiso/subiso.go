@@ -78,6 +78,11 @@ func (e *Enumeration) PairsPerNode(np int) [][]int32 {
 // feasibility pruning and connectivity-aware candidate ordering.
 func VF2(p *pattern.Pattern, g *graph.Graph, opts Options) *Enumeration {
 	enum, _ := VF2Context(context.Background(), p, g, opts)
+	if enum == nil {
+		// Validation failure in the error-dropping legacy wrapper: an
+		// empty incomplete enumeration, never nil.
+		enum = &Enumeration{}
+	}
 	return enum
 }
 
@@ -85,6 +90,9 @@ func VF2(p *pattern.Pattern, g *graph.Graph, opts Options) *Enumeration {
 // grows, and a cancelled context aborts with ctx.Err() (the partial
 // enumeration is returned alongside, with Complete == false).
 func VF2Context(ctx context.Context, p *pattern.Pattern, g *graph.Graph, opts Options) (*Enumeration, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
 	s := &searcher{p: p, g: g, opts: opts, enum: &Enumeration{Complete: true}, poll: cancel.Every(ctx, 1024)}
 	if !s.prepare() {
 		return s.enum, nil
@@ -98,11 +106,17 @@ func VF2Context(ctx context.Context, p *pattern.Pattern, g *graph.Graph, opts Op
 // refinement at each level — the paper's "SubIso".
 func Ullmann(p *pattern.Pattern, g *graph.Graph, opts Options) *Enumeration {
 	enum, _ := UllmannContext(context.Background(), p, g, opts)
+	if enum == nil {
+		enum = &Enumeration{}
+	}
 	return enum
 }
 
 // UllmannContext is Ullmann with cancellation, mirroring VF2Context.
 func UllmannContext(ctx context.Context, p *pattern.Pattern, g *graph.Graph, opts Options) (*Enumeration, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
 	s := &searcher{p: p, g: g, opts: opts, enum: &Enumeration{Complete: true}, refine: true, poll: cancel.Every(ctx, 1024)}
 	if !s.prepare() {
 		return s.enum, nil
