@@ -3,11 +3,11 @@
 // Usage:
 //
 //	gpmatch -graph g.graph -pattern p.pattern
-//	        [-semantics match|bfs|2hop|auto|sim|dual|strong|vf2|ullmann]
+//	        [-semantics match|bfs|2hop|pll|auto|sim|dual|strong|vf2|ullmann]
 //	        [-result] [-limit 100] [-time]
 //
 // The default semantics is the paper's cubic-time Match (bounded
-// simulation over a distance matrix); bfs/2hop/auto select the oracle
+// simulation over a distance matrix); bfs/2hop/pll/auto select the oracle
 // (auto lets the engine pick from the graph's size and density). sim is
 // plain graph simulation; dual and strong are the topology-preserving
 // semantics of Ma et al. (VLDB 2012), requiring all edge bounds to be 1;
@@ -33,7 +33,7 @@ func main() {
 		graphPath   = flag.String("graph", "", "data graph file (required)")
 		patternPath = flag.String("pattern", "", "pattern file (required)")
 		algo        = flag.String("algo", "", "deprecated alias for -semantics")
-		semantics   = flag.String("semantics", "", "match | bfs | 2hop | auto | sim | dual | strong | vf2 | ullmann")
+		semantics   = flag.String("semantics", "", "match | bfs | 2hop | pll | auto | sim | dual | strong | vf2 | ullmann")
 		showResult  = flag.Bool("result", false, "print the result graph (bounded/dual/strong simulation)")
 		limit       = flag.Int("limit", 100, "embedding cap for vf2/ullmann")
 		showTime    = flag.Bool("time", false, "print oracle-build and match time separately")
@@ -70,11 +70,12 @@ func run(w io.Writer, graphPath, patternPath, semantics string, showResult bool,
 	ctx := context.Background()
 
 	switch semantics {
-	case "match", "bfs", "2hop", "auto":
+	case "match", "bfs", "2hop", "pll", "auto":
 		kind := map[string]gpm.OracleKind{
 			"match": gpm.OracleMatrix,
 			"bfs":   gpm.OracleBFS,
 			"2hop":  gpm.OracleTwoHop,
+			"pll":   gpm.OraclePLL,
 			"auto":  gpm.OracleAuto,
 		}[semantics]
 		eng := gpm.NewEngine(g, gpm.WithOracle(kind))

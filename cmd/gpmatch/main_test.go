@@ -24,6 +24,7 @@ func TestGoldenSemantics(t *testing.T) {
 		{"match", "match", true},
 		{"bfs", "bfs", false},
 		{"2hop", "2hop", false},
+		{"pll", "pll", false},
 		{"auto", "auto", false},
 		{"sim", "sim", false},
 		{"dual", "dual", true},

@@ -3,14 +3,19 @@
 //
 // Usage:
 //
-//	gpmbench [-exp all|datasets|6a|6b|6c|6d|6e|6f|6g|6h|6i|6j|6k|fig9|gr|aff|2hop|ablation|engine|parallel|topo|incsim|serve]
+//	gpmbench [-exp all|datasets|6a|6b|6c|6d|6e|6f|6g|6h|6i|6j|6k|fig9|gr|aff|2hop|oracle|million|ablation|engine|parallel|topo|incsim|serve]
 //	         [-scale 0.15] [-seed N] [-patterns 5] [-nodes N] [-json] [-v]
 //
-// -scale 1.0 reproduces the paper's exact dataset sizes; the default keeps
-// the distance matrices laptop-sized. -json emits one machine-readable
-// document instead of aligned tables, so successive runs can accumulate
-// a perf trajectory (BENCH_*.json). EXPERIMENTS.md records reference
-// output.
+// -scale 1.0 reproduces the paper's exact dataset sizes; distance
+// matrices over the memory budget are transparently replaced by the PLL
+// labelling (tables note the substitution), so full scale stays under
+// 1 GB. -exp million generates a 1M-node/10M-edge Barabási–Albert graph
+// at -scale 1.0 and matches it on the PLL oracle against a BFS-reference
+// checksum; -exp oracle compares build time and memory across all
+// oracles (CI stores its -json form as bench_oracle.json). -json emits
+// one machine-readable document instead of aligned tables, so successive
+// runs can accumulate a perf trajectory (BENCH_*.json). EXPERIMENTS.md
+// records reference output.
 package main
 
 import (

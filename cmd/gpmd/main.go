@@ -11,7 +11,7 @@
 //	gpmd -listen :8474
 //	     -graph social=social.graph -graph cites=cites.graph
 //	     -dataset tube=youtube:0.1:7
-//	     [-oracle auto|matrix|bfs|2hop] [-workers N] [-timeout 30s] [-v]
+//	     [-oracle auto|matrix|bfs|2hop|pll] [-workers N] [-timeout 30s] [-v]
 //
 // -graph binds a graph file in the .graph text format under a name;
 // -dataset binds a synthetic dataset stand-in ("matter", "pblog" or
@@ -79,7 +79,7 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.StringVar(&opts.listen, "listen", ":8474", "listen address")
 	fs.Var(&opts.graphs, "graph", "bind a graph file: name=path (repeatable)")
 	fs.Var(&opts.datasets, "dataset", "bind a dataset stand-in: name=matter|pblog|youtube[:scale[:seed]] (repeatable)")
-	fs.StringVar(&opts.oracle, "oracle", "auto", "distance oracle: auto | matrix | bfs | 2hop")
+	fs.StringVar(&opts.oracle, "oracle", "auto", "distance oracle: auto | matrix | bfs | 2hop | pll")
 	fs.IntVar(&opts.workers, "workers", 0, "matching parallelism per engine (0 = GOMAXPROCS)")
 	fs.DurationVar(&opts.timeout, "timeout", 30*time.Second, "default per-request deadline (0 = none)")
 	fs.BoolVar(&opts.verbose, "v", false, "log requests and lifecycle to stderr")
@@ -103,8 +103,10 @@ func oracleKind(name string) (gpm.OracleKind, error) {
 		return gpm.OracleBFS, nil
 	case "2hop":
 		return gpm.OracleTwoHop, nil
+	case "pll":
+		return gpm.OraclePLL, nil
 	default:
-		return 0, fmt.Errorf("unknown oracle %q (want auto, matrix, bfs or 2hop)", name)
+		return 0, fmt.Errorf("unknown oracle %q (want auto, matrix, bfs, 2hop or pll)", name)
 	}
 }
 

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	gpmgen graph   -nodes 1000 -edges 4000 [-attrs 100] [-model er|powerlaw|communities] [-seed 1] [-o out.graph]
+//	gpmgen graph   -nodes 1000 -edges 4000 [-attrs 100] [-model er|powerlaw|communities|ba] [-powerlaw m] [-seed 1] [-o out.graph]
 //	gpmgen dataset -name youtube [-scale 0.15] [-seed 1] [-o out.graph]
 //	gpmgen pattern -graph g.graph -nodes 4 -edges 4 -k 3 [-star 0.1] [-seed 1] [-check] [-o out.pattern]
 //	gpmgen updates -graph g.graph -ins 100 -del 100 [-seed 1] [-o out.updates]
@@ -65,13 +65,22 @@ func genGraph(args []string) error {
 	nodes := fs.Int("nodes", 1000, "node count")
 	edges := fs.Int("edges", 4000, "edge count")
 	attrs := fs.Int("attrs", 100, "attribute alphabet size")
-	model := fs.String("model", "er", "er | powerlaw | communities")
+	model := fs.String("model", "er", "er | powerlaw | communities | ba")
+	powerlaw := fs.Int("powerlaw", 0, "Barabási–Albert growth with this out-degree per node (overrides -model and -edges)")
 	seed := fs.Int64("seed", 1, "rng seed")
 	out := fs.String("o", "", "output file (default stdout)")
 	fs.Parse(args)
 
-	m := map[string]gpm.GraphModel{"er": gpm.ModelER, "powerlaw": gpm.ModelPowerLaw, "communities": gpm.ModelCommunities}[*model]
-	g := gpm.GenerateGraph(gpm.GraphGenConfig{Nodes: *nodes, Edges: *edges, Attrs: *attrs, Model: m, Seed: *seed})
+	m := map[string]gpm.GraphModel{
+		"er": gpm.ModelER, "powerlaw": gpm.ModelPowerLaw,
+		"communities": gpm.ModelCommunities, "ba": gpm.ModelBarabasiAlbert,
+	}[*model]
+	cfg := gpm.GraphGenConfig{Nodes: *nodes, Edges: *edges, Attrs: *attrs, Model: m, Seed: *seed}
+	if *powerlaw > 0 {
+		cfg.Model = gpm.ModelBarabasiAlbert
+		cfg.MOut = *powerlaw
+	}
+	g := gpm.GenerateGraph(cfg)
 	w, err := outWriter(*out)
 	if err != nil {
 		return err

@@ -11,6 +11,7 @@ import (
 	"gpm/internal/core"
 	"gpm/internal/graph"
 	"gpm/internal/incremental"
+	"gpm/internal/pll"
 	"gpm/internal/simulation"
 	"gpm/internal/subiso"
 	"gpm/internal/topo"
@@ -34,6 +35,11 @@ const (
 	OracleBFS
 	// OracleTwoHop filters BFS through a 2-hop reachability labelling.
 	OracleTwoHop
+	// OraclePLL answers from a pruned-landmark distance labelling
+	// (Akiba–Iwata–Yoshida): exact distances in label-merge time with
+	// memory that scales with the graph's hub structure instead of
+	// |V|² — the auto choice for graphs past the matrix threshold.
+	OraclePLL
 	// OracleNone marks queries that use no distance oracle (plain
 	// simulation, subgraph-isomorphism enumeration).
 	OracleNone
@@ -50,21 +56,20 @@ func (k OracleKind) String() string {
 		return "bfs"
 	case OracleTwoHop:
 		return "2hop"
+	case OraclePLL:
+		return "pll"
 	case OracleNone:
 		return "none"
 	}
 	return fmt.Sprintf("OracleKind(%d)", int(k))
 }
 
-// Thresholds for OracleAuto. A distance matrix costs 4·|V|² bytes, so it
-// is reserved for graphs where that is at most ~64 MB; past that, sparse
-// graphs get the 2-hop labelling (cheap to build, effective filter) and
-// dense ones plain BFS (a labelling over a dense graph grows too large
-// to pay for itself).
-const (
-	autoMatrixMaxNodes   = 4096
-	autoSparseEdgeFactor = 2
-)
+// Threshold for OracleAuto. A distance matrix costs 4·|V|² bytes, so it
+// is reserved for graphs where that is at most ~64 MB; past that, the
+// pruned-landmark labelling takes over — exact distances like the
+// matrix, memory that follows the graph's hub structure. Only graphs
+// too large for the labelling's 24-bit hub ids fall back to plain BFS.
+const autoMatrixMaxNodes = 4096
 
 func resolveOracleKind(k OracleKind, g *Graph) OracleKind {
 	if k != OracleAuto {
@@ -73,8 +78,8 @@ func resolveOracleKind(k OracleKind, g *Graph) OracleKind {
 	switch {
 	case g.N() <= autoMatrixMaxNodes:
 		return OracleMatrix
-	case g.M() <= autoSparseEdgeFactor*g.N():
-		return OracleTwoHop
+	case g.N() <= pll.MaxNodes:
+		return OraclePLL
 	default:
 		return OracleBFS
 	}
@@ -90,9 +95,9 @@ type engineConfig struct {
 
 // WithOracle fixes the engine's distance-oracle strategy. The default is
 // OracleMatrix, the paper's main configuration. Valid kinds are
-// OracleAuto, OracleMatrix, OracleBFS and OracleTwoHop; NewEngine panics
-// on anything else (OracleNone marks oracle-less queries in MatchStats,
-// it is not a strategy).
+// OracleAuto, OracleMatrix, OracleBFS, OracleTwoHop and OraclePLL;
+// NewEngine panics on anything else (OracleNone marks oracle-less
+// queries in MatchStats, it is not a strategy).
 func WithOracle(k OracleKind) EngineOption {
 	return func(c *engineConfig) { c.kind = k }
 }
@@ -188,6 +193,7 @@ type Engine struct {
 
 	mo       atomic.Pointer[core.MatrixOracle]     // kind == OracleMatrix
 	idx      atomic.Pointer[twohop.Index]          // kind == OracleTwoHop
+	po       atomic.Pointer[core.PLLOracle]        // kind == OraclePLL; root oracle, cloned per query
 	dm       atomic.Pointer[incremental.DynMatrix] // shared matrix maintenance
 	fz       atomic.Pointer[graph.Frozen]          // CSR snapshot; dropped on Update
 	watchers []*Watcher                            // guarded by mu (write side)
@@ -202,6 +208,10 @@ func NewEngine(g *Graph, opts ...EngineOption) *Engine {
 	}
 	switch cfg.kind {
 	case OracleAuto, OracleMatrix, OracleBFS, OracleTwoHop:
+	case OraclePLL:
+		if g.N() > pll.MaxNodes {
+			panic(fmt.Sprintf("gpm: WithOracle(OraclePLL) on a %d-node graph; PLL labels address at most %d nodes", g.N(), pll.MaxNodes))
+		}
 	default:
 		panic(fmt.Sprintf("gpm: WithOracle(%v) is not a valid engine oracle strategy", cfg.kind))
 	}
@@ -292,6 +302,30 @@ func (e *Engine) queryOracle() (DistOracle, time.Duration) {
 			e.idx.Store(idx)
 		}
 		return core.NewTwoHopOracleFrozen(e.frozenLocked(), idx), built
+	case OraclePLL:
+		// The root oracle (shared labelling + color sub-labelings) is
+		// cached; every query takes a clone with fresh probe caches,
+		// since those are single-goroutine state.
+		if po := e.po.Load(); po != nil {
+			return po.CloneForWorker(), 0
+		}
+		e.buildMu.Lock()
+		defer e.buildMu.Unlock()
+		po := e.po.Load()
+		var built time.Duration
+		if po == nil {
+			start := time.Now()
+			f := e.frozenLocked()
+			idx, err := pll.Build(f, pll.AutoOptions(f))
+			if err != nil {
+				// NewEngine bounds the node count, so Build cannot fail.
+				panic(err)
+			}
+			po = core.NewPLLOracleFrozen(f, idx)
+			built = time.Since(start)
+			e.po.Store(po)
+		}
+		return po.CloneForWorker(), built
 	default: // OracleMatrix
 		if mo := e.mo.Load(); mo != nil {
 			return mo, 0
@@ -626,8 +660,8 @@ func (e *Engine) register(m incremental.Maintainer, needsMatrix bool) *Watcher {
 //
 // A batch with no net structural effect (empty, or every touched edge
 // inserted-then-deleted within the batch) keeps the cached frozen
-// snapshot, 2-hop labelling and color submatrices: they still describe
-// the graph, so later queries skip the rebuild.
+// snapshot, 2-hop labelling, PLL labelling and color submatrices: they
+// still describe the graph, so later queries skip the rebuild.
 func (e *Engine) Update(updates ...Update) ([]WatchDelta, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -654,12 +688,13 @@ func (e *Engine) Update(updates ...Update) ([]WatchDelta, error) {
 		return deltas, nil
 	}
 	// The main matrix was maintained in place; color submatrices, the
-	// 2-hop labelling and the frozen CSR snapshot were not, so drop them
-	// for lazy rebuild.
+	// 2-hop labelling, the PLL labelling and the frozen CSR snapshot
+	// were not, so drop them for lazy rebuild.
 	if mo := e.mo.Load(); mo != nil {
 		mo.InvalidateColors()
 	}
 	e.idx.Store(nil)
+	e.po.Store(nil)
 	e.fz.Store(nil)
 	return deltas, nil
 }

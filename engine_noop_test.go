@@ -86,6 +86,105 @@ func TestUpdateNoopKeepsTwoHopIndex(t *testing.T) {
 	}
 }
 
+// The same retention must hold for the PLL labelling — the most
+// expensive cache the engine keeps.
+func TestUpdateNoopKeepsPLLIndex(t *testing.T) {
+	e, p := noopTestEngine(t, WithOracle(OraclePLL))
+	if _, err := e.Match(context.Background(), p); err != nil {
+		t.Fatal(err)
+	}
+	po := e.po.Load()
+	if po == nil {
+		t.Fatal("Match did not populate the PLL oracle")
+	}
+	if _, err := e.Update(InsertEdge(0, 2), DeleteEdge(0, 2), InsertEdge(3, 0), DeleteEdge(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if e.po.Load() != po {
+		t.Error("no-op Update batch dropped the PLL labelling")
+	}
+	if _, err := e.Update(InsertEdge(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if e.po.Load() != nil {
+		t.Error("net-effective Update batch kept a stale PLL labelling")
+	}
+}
+
+// TestUpdateInvalidationUniform audits every cached oracle kind the same
+// way: after a net-effective Update, queries (plain and colored) must
+// agree with a fresh engine over the mutated graph — no oracle may serve
+// stale distances. This pins the invalidation sweep in Engine.Update
+// against the cache set growing out of sync with it.
+func TestUpdateInvalidationUniform(t *testing.T) {
+	kinds := []OracleKind{OracleMatrix, OracleBFS, OracleTwoHop, OraclePLL}
+	build := func() *Graph {
+		g := NewGraph(6)
+		for i := 0; i < 6; i++ {
+			g.SetAttr(i, Attrs{"label": Str("A")})
+		}
+		g.AddColoredEdge(0, 1, "c")
+		g.AddColoredEdge(1, 2, "c")
+		g.AddEdge(2, 3)
+		g.AddEdge(3, 4)
+		return g
+	}
+	plain := NewPattern()
+	pa := plain.AddNode(Label("A"))
+	pb := plain.AddNode(Label("A"))
+	plain.MustAddEdge(pa, pb, 3)
+	colored := NewPattern()
+	ca := colored.AddNode(Label("A"))
+	cb := colored.AddNode(Label("A"))
+	if _, err := colored.AddColoredEdge(ca, cb, 2, "c"); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range kinds {
+		e := NewEngine(build(), WithOracle(kind))
+		// Populate every lazy cache this kind owns, color sublabels
+		// included.
+		for _, p := range []*Pattern{plain, colored} {
+			if _, err := e.Match(context.Background(), p); err != nil {
+				t.Fatalf("%v: %v", kind, err)
+			}
+		}
+		if _, err := e.Update(InsertEdge(4, 5), InsertEdge(5, 0), DeleteEdge(1, 2)); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		fresh := NewEngine(build(), WithOracle(kind))
+		if _, err := fresh.Update(InsertEdge(4, 5), InsertEdge(5, 0), DeleteEdge(1, 2)); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		for name, p := range map[string]*Pattern{"plain": plain, "colored": colored} {
+			got, err := e.Match(context.Background(), p)
+			if err != nil {
+				t.Fatalf("%v/%s: %v", kind, name, err)
+			}
+			want, err := fresh.Match(context.Background(), p)
+			if err != nil {
+				t.Fatalf("%v/%s: %v", kind, name, err)
+			}
+			if got.OK() != want.OK() {
+				t.Errorf("%v/%s: stale OK %v, fresh %v", kind, name, got.OK(), want.OK())
+				continue
+			}
+			for u := 0; u < p.N(); u++ {
+				gm, wm := got.Mat(u), want.Mat(u)
+				if len(gm) != len(wm) {
+					t.Errorf("%v/%s: node %d relation diverged after Update", kind, name, u)
+					break
+				}
+				for i := range gm {
+					if gm[i] != wm[i] {
+						t.Errorf("%v/%s: node %d relation diverged after Update", kind, name, u)
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
 // A delete-then-reinsert of the same edge is conservatively treated as a
 // change: the original edge may have carried a color the re-inserted one
 // lost, so the frozen snapshot (which copies colors) must be rebuilt.

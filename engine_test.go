@@ -35,7 +35,7 @@ func engineTestPatterns(tb testing.TB, g *gpm.Graph, n int) []*gpm.Pattern {
 func TestEngineMatchEquivalence(t *testing.T) {
 	g := engineTestGraph(t, 300, 1200, 11)
 	patterns := engineTestPatterns(t, g, 6)
-	kinds := []gpm.OracleKind{gpm.OracleMatrix, gpm.OracleBFS, gpm.OracleTwoHop, gpm.OracleAuto}
+	kinds := []gpm.OracleKind{gpm.OracleMatrix, gpm.OracleBFS, gpm.OracleTwoHop, gpm.OraclePLL, gpm.OracleAuto}
 	for _, kind := range kinds {
 		eng := gpm.NewEngine(g, gpm.WithOracle(kind))
 		for i, p := range patterns {
@@ -83,7 +83,7 @@ func TestEngineConcurrentMatch(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	for _, kind := range []gpm.OracleKind{gpm.OracleMatrix, gpm.OracleBFS, gpm.OracleTwoHop} {
+	for _, kind := range []gpm.OracleKind{gpm.OracleMatrix, gpm.OracleBFS, gpm.OracleTwoHop, gpm.OraclePLL} {
 		eng := gpm.NewEngine(g, gpm.WithOracle(kind))
 		wantPlain, err := eng.Match(context.Background(), plain)
 		if err != nil {
@@ -152,8 +152,8 @@ func TestEngineAutoOracle(t *testing.T) {
 	for i := 0; i < 4999; i++ {
 		largeSparse.AddEdge(i, i+1)
 	}
-	if k := gpm.NewEngine(largeSparse, gpm.WithAutoOracle()).OracleKind(); k != gpm.OracleTwoHop {
-		t.Errorf("large sparse: auto picked %v, want 2hop", k)
+	if k := gpm.NewEngine(largeSparse, gpm.WithAutoOracle()).OracleKind(); k != gpm.OraclePLL {
+		t.Errorf("large sparse: auto picked %v, want pll", k)
 	}
 
 	largeDense := gpm.NewGraph(5000)
@@ -162,8 +162,8 @@ func TestEngineAutoOracle(t *testing.T) {
 			largeDense.AddEdge(i, (i+off)%5000)
 		}
 	}
-	if k := gpm.NewEngine(largeDense, gpm.WithAutoOracle()).OracleKind(); k != gpm.OracleBFS {
-		t.Errorf("large dense: auto picked %v, want bfs", k)
+	if k := gpm.NewEngine(largeDense, gpm.WithAutoOracle()).OracleKind(); k != gpm.OraclePLL {
+		t.Errorf("large dense: auto picked %v, want pll", k)
 	}
 
 	// The default (no options) is the paper's matrix configuration.

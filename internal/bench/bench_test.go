@@ -46,6 +46,28 @@ func TestAffStatsTable(t *testing.T) { checkTable(t, AffStats(tiny()), 1) }
 func TestTwoHopTable(t *testing.T)   { checkTable(t, TwoHopStats(tiny()), 3) }
 func TestAblationTable(t *testing.T) { checkTable(t, Ablation(tiny()), 2) }
 func TestServeTable(t *testing.T)    { checkTable(t, ServeThroughput(tiny()), 4) }
+func TestOracleTable(t *testing.T)   { checkTable(t, OracleStats(tiny()), 12) }
+
+// The million experiment's PLL == BFS gate must hold and be visible in
+// the table even at smoke scale (floor 2K nodes).
+func TestMillionTable(t *testing.T) {
+	cfg := tiny()
+	cfg.Scale = 0.002
+	tbl := Million(cfg)
+	checkTable(t, tbl, 13)
+	found := false
+	for _, row := range tbl.Rows {
+		if row[0] == "PLL == BFS checksums" {
+			found = true
+			if row[1] != "true" {
+				t.Errorf("PLL relations diverged from the BFS reference: %v", tbl.Notes)
+			}
+		}
+	}
+	if !found {
+		t.Error("million table missing the checksum gate row")
+	}
+}
 
 func TestFig6bc(t *testing.T) {
 	b, c := Fig6bc(tiny())

@@ -20,7 +20,7 @@ func EngineThroughput(cfg Config) *Table {
 	cfg = cfg.withDefaults()
 	g := youtube(cfg)
 	ps := patternBatch(cfg, g, cfg.Patterns*4, 4, 4, 3)
-	eng := gpm.NewEngine(g)
+	eng := gpm.NewEngine(g, gpm.WithAutoOracle())
 
 	// Pay the lazy oracle build before timing queries.
 	warm, err := eng.Match(context.Background(), ps[0])

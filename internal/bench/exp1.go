@@ -101,7 +101,7 @@ func dagPatternBatch(cfg Config, g *graph.Graph, n, vp, ep, k int) []*pattern.Pa
 func Fig6a(cfg Config) *Table {
 	cfg = cfg.withDefaults()
 	g := youtube(cfg)
-	oracle := core.BuildMatrixOracle(g)
+	oracle, _, okind := budgetOracle(g)
 	patterns := isoPatternBatch(cfg, g, cfg.Patterns*4, 4, 4, 3)
 
 	t := &Table{
@@ -155,6 +155,7 @@ func Fig6a(cfg Config) *Table {
 			name, res.OK(), res.Pairs(), nodes, edges)
 	}
 	t.Note("paper: SubIso failed on 2/20 patterns; Match found ~5-9 matches per node vs 1 for SubIso")
+	noteOracle(t, okind)
 	return t
 }
 
@@ -164,8 +165,7 @@ func Fig6a(cfg Config) *Table {
 func Fig6bc(cfg Config) (*Table, *Table) {
 	cfg = cfg.withDefaults()
 	g := youtube(cfg)
-	var oracle *core.MatrixOracle
-	matrixTime := timed(func() { oracle = core.BuildMatrixOracle(g) })
+	oracle, matrixTime, okind := budgetOracle(g)
 
 	tb := &Table{
 		ID:      "6b",
@@ -177,7 +177,8 @@ func Fig6bc(cfg Config) (*Table, *Table) {
 		Title:   "Fig 6(c): number of matches, Match (|S| pairs) vs VF2 (embeddings)",
 		Columns: []string{"pattern", "Match", "VF2", "VF2 complete"},
 	}
-	tb.Note("distance matrix: %s ms, computed once and shared by all patterns (as in the paper)", ms(matrixTime))
+	tb.Note("%s oracle: %s ms, computed once and shared by all patterns (as in the paper)", okind, ms(matrixTime))
+	noteOracle(tb, okind)
 
 	for size := 3; size <= 8; size++ {
 		patterns := isoPatternBatch(cfg, g, cfg.Patterns, size, size, 3)
@@ -219,10 +220,11 @@ func Fig6d(cfg Config) *Table {
 		Nodes: cfg.SynthNodes, Edges: 2 * cfg.SynthNodes,
 		Attrs: cfg.SynthNodes / 10, Model: generator.ER, Seed: cfg.Seed,
 	})
-	oracle := core.BuildMatrixOracle(g)
+	oracle, _, okind := budgetOracle(g)
 	sizes := []int{4, 6, 8, 10, 12}
 
 	t := &Table{ID: "6d", Title: "Fig 6(d): matches per pattern node vs #extra pattern edges (k=9)"}
+	noteOracle(t, okind)
 	t.Columns = append(t.Columns, "edges added")
 	for _, vp := range sizes {
 		t.Columns = append(t.Columns, fmt.Sprintf("P(%d,E,9)", vp))
@@ -264,10 +266,11 @@ func Fig9(cfg Config) *Table {
 		Nodes: cfg.SynthNodes, Edges: 2 * cfg.SynthNodes,
 		Attrs: cfg.SynthNodes / 10, Model: generator.ER, Seed: cfg.Seed,
 	})
-	oracle := core.BuildMatrixOracle(g)
+	oracle, _, okind := budgetOracle(g)
 	shapes := [][2]int{{4, 3}, {6, 5}, {8, 7}, {10, 9}, {12, 11}}
 
 	t := &Table{ID: "fig9", Title: "Appendix Fig 9: average #matches (|S|) for growing bound k"}
+	noteOracle(t, okind)
 	t.Columns = append(t.Columns, "pattern")
 	for k := 4; k <= 13; k++ {
 		t.Columns = append(t.Columns, fmt.Sprintf("k=%d", k))

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"gpm/internal/core"
@@ -55,6 +56,18 @@ func incRun(cfg Config, g *graph.Graph, p *pattern.Pattern, ins, del int, seedSh
 	pt.aff = dlt.Aff1 + dlt.Aff2
 	pt.recomputed = dlt.Recomputed
 
+	// Capture the incremental relation's shape, then release the matcher
+	// and its dynamic matrix before building the batch side's matrix: at
+	// -scale 1.0 the two n x n matrices together would double peak RSS.
+	incLens := make([]int, 0, 8)
+	for _, row := range m.Relation() {
+		incLens = append(incLens, len(row))
+	}
+	m, dm, gInc = nil, nil, nil
+	_ = dm
+	_ = gInc
+	runtime.GC()
+
 	// Batch competitor: apply the same updates to a second copy, then run
 	// Match from scratch including the matrix rebuild. The rebuild is
 	// single-threaded so the comparison matches the paper's one-core
@@ -75,10 +88,9 @@ func incRun(cfg Config, g *graph.Graph, p *pattern.Pattern, ins, del int, seedSh
 
 	// Cross-check: both must agree (cheap insurance inside the harness).
 	if batchRes != nil {
-		inc := m.Relation()
 		bat := batchRes.Relation()
-		for u := range inc {
-			if len(inc[u]) != len(bat[u]) {
+		for u := range incLens {
+			if incLens[u] != len(bat[u]) {
 				return incPoint{}, fmt.Errorf("bench: incremental/batch divergence at pattern node %d", u)
 			}
 		}

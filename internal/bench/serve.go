@@ -29,7 +29,7 @@ func ServeThroughput(cfg Config) *Table {
 	// table isolates request-level concurrency — the serving axis — from
 	// the per-query sharding exp `parallel` already measures.
 	srv := server.New(server.Config{DefaultTimeout: 5 * time.Minute})
-	if err := srv.Bind("youtube", g, gpm.WithWorkers(1)); err != nil {
+	if err := srv.Bind("youtube", g, gpm.WithWorkers(1), gpm.WithAutoOracle()); err != nil {
 		panic(err)
 	}
 	defer srv.Close()

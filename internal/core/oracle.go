@@ -11,6 +11,7 @@ import (
 
 	"gpm/internal/graph"
 	"gpm/internal/matrix"
+	"gpm/internal/pll"
 	"gpm/internal/twohop"
 )
 
@@ -358,6 +359,259 @@ func (o *TwoHopOracle) NonemptyDistWithin(u, v, bound int, color string) int {
 		return -1
 	}
 	return o.bfs.NonemptyDistWithin(u, v, bound, color)
+}
+
+// PLLOracle answers queries from a pruned-landmark labelling (package
+// pll): exact distances in label-merge time with memory that scales
+// with the graph's hub structure instead of |V|² — the oracle that
+// takes bounded simulation to million-node graphs, and the engine's
+// auto choice past the matrix threshold. Per-color sub-labelings are
+// built lazily the way MatrixOracle builds color submatrices.
+//
+// A PLLOracle is single-goroutine state: its probe caches expand one
+// endpoint's label into a hub-indexed distance array, so Match's
+// endpoint-major sweeps cost one array lookup per label entry of the
+// swept endpoint. For parallel matching each worker takes a
+// CloneForWorker, which shares the labelling, the frozen snapshot and
+// the color sub-labelings but owns its probe caches.
+type PLLOracle struct {
+	sh       *pllShared
+	fwd, bwd pllProbe
+	lastU    int
+	lastV    int
+}
+
+// pllShared is the immutable-after-build state every worker clone of a
+// PLLOracle shares.
+type pllShared struct {
+	f       *graph.Frozen
+	idx     *pll.Index
+	colorMu sync.Mutex
+	colors  map[string]*pllColorEntry // labellings of color subgraphs
+}
+
+// pllColorEntry coalesces concurrent builds of one color sub-labelling.
+type pllColorEntry struct {
+	once sync.Once
+	idx  *pll.Index
+}
+
+// NewPLLOracleFrozen wraps a prebuilt labelling over the snapshot it
+// was built from.
+func NewPLLOracleFrozen(f *graph.Frozen, idx *pll.Index) *PLLOracle {
+	return &PLLOracle{sh: &pllShared{f: f, idx: idx}, lastU: -1, lastV: -1}
+}
+
+// BuildPLLOracle freezes g and constructs its pruned-landmark
+// labelling. It errors only when g exceeds pll.MaxNodes.
+func BuildPLLOracle(g *graph.Graph) (*PLLOracle, error) {
+	f := g.Freeze()
+	idx, err := pll.Build(f, pll.AutoOptions(f))
+	if err != nil {
+		return nil, err
+	}
+	return NewPLLOracleFrozen(f, idx), nil
+}
+
+// Index exposes the underlying labelling.
+func (o *PLLOracle) Index() *pll.Index { return o.sh.idx }
+
+// CloneForWorker implements WorkerCloner: the clone shares the
+// labelling and the color sub-labelings but owns its probe caches.
+func (o *PLLOracle) CloneForWorker() DistOracle {
+	return &PLLOracle{sh: o.sh, lastU: -1, lastV: -1}
+}
+
+// NonemptyDistWithin implements DistOracle.
+func (o *PLLOracle) NonemptyDistWithin(u, v, bound int, color string) int {
+	if bound == 0 {
+		return -1 // nonempty paths have length >= 1
+	}
+	idx := o.sh.idx
+	if color != "" {
+		idx = o.sh.colorIndex(color)
+	}
+	if u == v {
+		return clampToBound(o.cycleLen(u, bound, color, idx), bound)
+	}
+	return clampToBound(o.pairDist(u, v, bound, color, idx), bound)
+}
+
+func (o *PLLOracle) pairDist(u, v, bound int, color string, idx *pll.Index) int {
+	if o.bwd.valid && o.bwd.node == v && o.bwd.color == color {
+		o.lastU, o.lastV = u, v
+		return o.scanOut(u, bound, idx)
+	}
+	if o.fwd.valid && o.fwd.node == u && o.fwd.color == color {
+		o.lastU, o.lastV = u, v
+		return o.scanIn(v, bound, idx)
+	}
+	// Miss: expand the endpoint that repeated, guessing forward when
+	// neither did (the same heuristic as BFSOracle — Match's loops fix
+	// one endpoint and sweep the other).
+	if v == o.lastV && u != o.lastU {
+		o.loadBackward(v, color, idx)
+		o.lastU, o.lastV = u, v
+		return o.scanOut(u, bound, idx)
+	}
+	o.loadForward(u, color, idx)
+	o.lastU, o.lastV = u, v
+	return o.scanIn(v, bound, idx)
+}
+
+// cycleLen returns the shortest nonempty cycle through u: the backward
+// probe caches distances to u, then every color-compatible successor w
+// contributes 1 + d(w, u).
+func (o *PLLOracle) cycleLen(u, bound int, color string, idx *pll.Index) int {
+	if !(o.bwd.valid && o.bwd.node == u && o.bwd.color == color) {
+		o.loadBackward(u, color, idx)
+	}
+	inner := -1
+	if bound > 0 {
+		inner = bound - 1
+	}
+	f := o.sh.f
+	best := -1
+	for _, w := range f.Out(u) {
+		if color != "" && f.Color(u, int(w)) != color {
+			continue
+		}
+		if dw := o.scanOut(int(w), inner, idx); dw >= 0 && (best < 0 || dw+1 < best) {
+			best = dw + 1
+			if best == 1 {
+				break
+			}
+		}
+	}
+	return best
+}
+
+// scanOut resolves d(u, bwd.node) by scanning u's out-label against the
+// cached backward expansion. The bounded fast path skips entries whose
+// raw distance field alone exceeds the bound (saturated fields
+// under-report, so the skip is safe) and stops once the running best
+// hits 1, the minimum nonempty distance.
+func (o *PLLOracle) scanOut(u, bound int, idx *pll.Index) int {
+	best := -1
+	bb := int32(bound)
+	for _, w := range idx.OutLabel(u) {
+		if bound >= 0 && pll.DistField(w) > bb {
+			continue
+		}
+		td := o.bwd.dist[pll.Hub(w)]
+		if td < 0 {
+			continue
+		}
+		if c := int(idx.OutDist(u, w)) + int(td); best < 0 || c < best {
+			best = c
+			if best <= 1 {
+				break
+			}
+		}
+	}
+	return best
+}
+
+// scanIn is scanOut mirrored: d(fwd.node, v) via v's in-label.
+func (o *PLLOracle) scanIn(v, bound int, idx *pll.Index) int {
+	best := -1
+	bb := int32(bound)
+	for _, w := range idx.InLabel(v) {
+		if bound >= 0 && pll.DistField(w) > bb {
+			continue
+		}
+		sd := o.fwd.dist[pll.Hub(w)]
+		if sd < 0 {
+			continue
+		}
+		if c := int(sd) + int(idx.InDist(v, w)); best < 0 || c < best {
+			best = c
+			if best <= 1 {
+				break
+			}
+		}
+	}
+	return best
+}
+
+func (o *PLLOracle) loadForward(u int, color string, idx *pll.Index) {
+	o.fwd.reset(o.sh.idx.N())
+	for _, w := range idx.OutLabel(u) {
+		h := pll.Hub(w)
+		o.fwd.dist[h] = idx.OutDist(u, w)
+		o.fwd.touched = append(o.fwd.touched, h)
+	}
+	o.fwd.node, o.fwd.color, o.fwd.valid = u, color, true
+}
+
+func (o *PLLOracle) loadBackward(v int, color string, idx *pll.Index) {
+	o.bwd.reset(o.sh.idx.N())
+	for _, w := range idx.InLabel(v) {
+		h := pll.Hub(w)
+		o.bwd.dist[h] = idx.InDist(v, w)
+		o.bwd.touched = append(o.bwd.touched, h)
+	}
+	o.bwd.node, o.bwd.color, o.bwd.valid = v, color, true
+}
+
+// pllProbe caches one endpoint's label expanded into a hub-indexed
+// exact-distance array, reset through a touched list so switching
+// endpoints costs O(label), not O(|V|). The labels' self entries make
+// the direct cases (v a hub of u, u a hub of v) fall out of the same
+// array lookups with no special-casing.
+type pllProbe struct {
+	node    int
+	color   string
+	valid   bool
+	dist    []int32
+	touched []int32
+}
+
+func (c *pllProbe) reset(n int) {
+	if c.dist == nil {
+		c.dist = make([]int32, n)
+		for i := range c.dist {
+			c.dist[i] = -1
+		}
+		return
+	}
+	for _, h := range c.touched {
+		c.dist[h] = -1
+	}
+	c.touched = c.touched[:0]
+}
+
+// colorIndex returns the labelling of the color-induced subgraph,
+// building it on first use; same-color builders coalesce, distinct
+// colors build concurrently.
+func (s *pllShared) colorIndex(color string) *pll.Index {
+	s.colorMu.Lock()
+	if s.colors == nil {
+		s.colors = make(map[string]*pllColorEntry)
+	}
+	e, ok := s.colors[color]
+	if !ok {
+		e = &pllColorEntry{}
+		s.colors[color] = e
+	}
+	s.colorMu.Unlock()
+	e.once.Do(func() {
+		sub := graph.New(s.f.N())
+		s.f.Edges(func(u, v int) {
+			if s.f.Color(u, v) == color {
+				sub.AddEdge(u, v)
+			}
+		})
+		fz := sub.Freeze()
+		idx, err := pll.Build(fz, pll.AutoOptions(fz))
+		if err != nil {
+			// The subgraph has the node count of the main graph, whose
+			// build already succeeded — unreachable.
+			panic(err)
+		}
+		e.idx = idx
+	})
+	return e.idx
 }
 
 // EdgeOracle answers distance queries by direct adjacency scan over a

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -49,6 +50,7 @@ func TestOracleSelfCycle(t *testing.T) {
 		"matrix": BuildMatrixOracle(g),
 		"bfs":    NewBFSOracle(g),
 		"2hop":   BuildTwoHopOracle(g),
+		"pll":    mustBuildPLL(t, g),
 	} {
 		if got := o.NonemptyDistWithin(0, 0, -1, ""); got != 2 {
 			t.Errorf("%s: self-cycle dist = %d, want 2", name, got)
@@ -129,7 +131,7 @@ func TestOraclesAgree(t *testing.T) {
 			g.AddEdge(r.Intn(n), r.Intn(n))
 		}
 		m := matrix.New(g)
-		oracles := []DistOracle{BuildMatrixOracle(g), NewBFSOracle(g), BuildTwoHopOracle(g)}
+		oracles := []DistOracle{BuildMatrixOracle(g), NewBFSOracle(g), BuildTwoHopOracle(g), mustBuildPLL(t, g)}
 		for i := 0; i < 200; i++ {
 			u, v := r.Intn(n), r.Intn(n)
 			bound := r.Intn(6) - 1
@@ -177,7 +179,7 @@ func TestColoredOraclesAgree(t *testing.T) {
 			}
 		})
 		m := matrix.New(sub)
-		oracles := []DistOracle{BuildMatrixOracle(g), NewBFSOracle(g), BuildTwoHopOracle(g)}
+		oracles := []DistOracle{BuildMatrixOracle(g), NewBFSOracle(g), BuildTwoHopOracle(g), mustBuildPLL(t, g)}
 		for i := 0; i < 100; i++ {
 			u, v := r.Intn(n), r.Intn(n)
 			bound := r.Intn(5) - 1
@@ -217,6 +219,108 @@ func TestMatrixOracleColorCache(t *testing.T) {
 	// Uncolored edges are invisible to the color subgraph.
 	if d := o.NonemptyDistWithin(1, 2, -1, "x"); d != -1 {
 		t.Errorf("uncolored edge leaked into color query: %d", d)
+	}
+}
+
+func mustBuildPLL(t testing.TB, g *graph.Graph) *PLLOracle {
+	t.Helper()
+	o, err := BuildPLLOracle(g)
+	if err != nil {
+		t.Fatalf("BuildPLLOracle: %v", err)
+	}
+	return o
+}
+
+// TestPLLOracleCachePatterns drives the PLL probe caches through the
+// access patterns Match generates: source-major sweeps, target-major
+// sweeps, then random access — the PLL analog of the BFS cache test.
+func TestPLLOracleCachePatterns(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	g := graph.New(20)
+	for g.M() < 60 {
+		g.AddEdge(r.Intn(20), r.Intn(20))
+	}
+	m := matrix.New(g)
+	o := mustBuildPLL(t, g)
+	for u := 0; u < 20; u++ {
+		for v := 0; v < 20; v++ {
+			want := m.NonemptyDist(u, v)
+			if got := o.NonemptyDistWithin(u, v, -1, ""); got != want {
+				t.Fatalf("src-major (%d,%d): %d want %d", u, v, got, want)
+			}
+		}
+	}
+	for v := 0; v < 20; v++ {
+		for u := 0; u < 20; u++ {
+			want := m.NonemptyDist(u, v)
+			if got := o.NonemptyDistWithin(u, v, -1, ""); got != want {
+				t.Fatalf("dst-major (%d,%d): %d want %d", u, v, got, want)
+			}
+		}
+	}
+	for i := 0; i < 500; i++ {
+		u, v := r.Intn(20), r.Intn(20)
+		bound := r.Intn(5) - 1
+		want := clampToBound(m.NonemptyDist(u, v), bound)
+		if got := o.NonemptyDistWithin(u, v, bound, ""); got != want {
+			t.Fatalf("random (%d,%d,b=%d): %d want %d", u, v, bound, got, want)
+		}
+	}
+}
+
+// TestPLLOracleWorkerClones checks that concurrent clones sharing one
+// labelling answer independently and correctly — the contract the
+// parallel fixpoint relies on.
+func TestPLLOracleWorkerClones(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	g := graph.New(30)
+	for g.M() < 90 {
+		g.AddColoredEdge(r.Intn(30), r.Intn(30), []string{"", "red"}[r.Intn(2)])
+	}
+	m := matrix.New(g)
+	root := mustBuildPLL(t, g)
+	done := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		o := root.CloneForWorker()
+		seed := int64(100 + w)
+		go func() {
+			rr := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				u, v := rr.Intn(30), rr.Intn(30)
+				want := clampToBound(m.NonemptyDist(u, v), -1)
+				if got := o.NonemptyDistWithin(u, v, -1, ""); got != want {
+					done <- fmt.Errorf("clone (%d,%d): %d want %d", u, v, got, want)
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPLLOracleColorCache(t *testing.T) {
+	g := graph.New(3)
+	g.AddColoredEdge(0, 1, "x")
+	g.AddEdge(1, 2)
+	o := mustBuildPLL(t, g)
+	// First query builds the color sub-labelling; second hits the cache.
+	if d := o.NonemptyDistWithin(0, 1, -1, "x"); d != 1 {
+		t.Errorf("colored dist = %d", d)
+	}
+	if d := o.NonemptyDistWithin(0, 1, -1, "x"); d != 1 {
+		t.Errorf("cached colored dist = %d", d)
+	}
+	// Uncolored edges are invisible to the color subgraph.
+	if d := o.NonemptyDistWithin(1, 2, -1, "x"); d != -1 {
+		t.Errorf("uncolored edge leaked into color query: %d", d)
+	}
+	if o.Index() == nil {
+		t.Error("Index() nil")
 	}
 }
 

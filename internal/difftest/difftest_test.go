@@ -2,10 +2,12 @@ package difftest
 
 import (
 	"context"
+	"math/rand"
 	"sync"
 	"testing"
 
 	"gpm"
+	"gpm/internal/core"
 	"gpm/internal/generator"
 )
 
@@ -81,7 +83,7 @@ func TestIsoEmbeddingsContainedInMatch(t *testing.T) {
 // distance queries, so Match through any of them must produce identical
 // results.
 func TestOraclesProduceIdenticalMatches(t *testing.T) {
-	kinds := []gpm.OracleKind{gpm.OracleMatrix, gpm.OracleBFS, gpm.OracleTwoHop}
+	kinds := []gpm.OracleKind{gpm.OracleMatrix, gpm.OracleBFS, gpm.OracleTwoHop, gpm.OraclePLL}
 	for seed := int64(1); seed <= workloads; seed++ {
 		w := NewWorkload(seed, Config{StarProb: 0.2})
 		engines := make([]*gpm.Engine, len(kinds))
@@ -107,6 +109,58 @@ func TestOraclesProduceIdenticalMatches(t *testing.T) {
 	}
 }
 
+// Property (c'): below Match, the oracles must agree on the raw
+// distance queries themselves — every (u, v, bound, color) triple on
+// random colored graphs, bounded and unbounded. This pins the PLL
+// labelling (including its lazily built per-color sub-labelings and its
+// saturated-distance overflow path) against the exact matrix, BFS and
+// 2-hop answers directly, with no fixpoint in between to mask an
+// off-by-one.
+func TestOracleDistancesAgree(t *testing.T) {
+	for seed := int64(1); seed <= workloads; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 10 + r.Intn(30)
+		g := gpm.NewGraph(n)
+		colors := []string{"", "", "c", "d"}
+		for i := 0; i < 3*n; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u == v {
+				continue
+			}
+			if c := colors[r.Intn(len(colors))]; c == "" {
+				g.AddEdge(u, v)
+			} else {
+				g.AddColoredEdge(u, v, c)
+			}
+		}
+		ref := core.BuildMatrixOracle(g)
+		pllO, err := core.BuildPLLOracle(g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		others := map[string]core.DistOracle{
+			"bfs":  core.NewBFSOracle(g),
+			"2hop": core.BuildTwoHopOracle(g),
+			"pll":  pllO,
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				for _, bound := range []int{-1, 0, 1, 2, 3, 7} {
+					for _, color := range []string{"", "c", "d"} {
+						want := ref.NonemptyDistWithin(u, v, bound, color)
+						for name, o := range others {
+							if got := o.NonemptyDistWithin(u, v, bound, color); got != want {
+								t.Fatalf("seed %d: %s(%d,%d,bound=%d,color=%q) = %d, matrix says %d",
+									seed, name, u, v, bound, color, got, want)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
 // Property (d): the greatest fixpoint is unique, and the parallel
 // initialisation computes the same candidates and counters, so
 // WithWorkers(N) must be bit-identical to WithWorkers(1) on every seed —
@@ -114,9 +168,9 @@ func TestOraclesProduceIdenticalMatches(t *testing.T) {
 func TestParallelEqualsSequential(t *testing.T) {
 	for seed := int64(1); seed <= workloads; seed++ {
 		w := NewWorkload(seed, Config{StarProb: 0.1})
-		for _, kind := range []gpm.OracleKind{gpm.OracleMatrix, gpm.OracleBFS, gpm.OracleTwoHop} {
+		for _, kind := range []gpm.OracleKind{gpm.OracleMatrix, gpm.OracleBFS, gpm.OracleTwoHop, gpm.OraclePLL} {
 			seq := gpm.NewEngine(w.G, gpm.WithOracle(kind), gpm.WithWorkers(1))
-			for _, workers := range []int{2, 8} {
+			for _, workers := range []int{2, 4, 8} {
 				par := gpm.NewEngine(w.G, gpm.WithOracle(kind), gpm.WithWorkers(workers))
 				for pi, p := range w.Patterns {
 					want, err := seq.Match(context.Background(), p)
@@ -130,6 +184,10 @@ func TestParallelEqualsSequential(t *testing.T) {
 					if got.OK() != want.OK() || !RelationsEqual(got.Relation(), want.Relation()) {
 						t.Errorf("seed %d pattern %d oracle %v: %d workers diverge: %s",
 							seed, pi, kind, workers, DiffRelations(got.Relation(), want.Relation()))
+					}
+					if Checksum(got.Relation()) != Checksum(want.Relation()) {
+						t.Errorf("seed %d pattern %d oracle %v: %d-worker checksum diverges",
+							seed, pi, kind, workers)
 					}
 				}
 			}

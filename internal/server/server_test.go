@@ -507,6 +507,57 @@ func TestGraphsAndStats(t *testing.T) {
 	}
 }
 
+// TestPLLOracleBinding pins the wire surface of the PLL oracle: a graph
+// bound with WithOracle(OraclePLL) reports "pll" in its info document,
+// serves stats stamped "pll", and returns the same relation as the
+// default matrix engine.
+func TestPLLOracleBinding(t *testing.T) {
+	g := testGraph()
+	ref := gpm.NewEngine(g.Clone())
+	srv := server.New(server.Config{})
+	if err := srv.Bind("g", g, gpm.WithOracle(gpm.OraclePLL)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	t.Cleanup(srv.Close)
+	c := client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+	ctx := context.Background()
+
+	infos, err := c.Graphs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Oracle != "pll" {
+		t.Fatalf("graphs = %+v, want one entry with oracle pll", infos)
+	}
+	p := testPattern(ref.Graph(), 3)
+	got, err := c.Match(ctx, "g", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.Oracle != "pll" {
+		t.Errorf("match stats oracle = %q, want pll", got.Stats.Oracle)
+	}
+	want, err := ref.Match(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OK != want.OK() || len(got.Matches) != len(want.Relation()) {
+		t.Fatalf("pll relation shape differs from matrix reference")
+	}
+	for u, row := range want.Relation() {
+		if len(got.Matches[u]) != len(row) {
+			t.Fatalf("node %d: pll relation differs from matrix reference", u)
+		}
+		for i := range row {
+			if got.Matches[u][i] != row[i] {
+				t.Fatalf("node %d: pll relation differs from matrix reference", u)
+			}
+		}
+	}
+}
+
 // TestConcurrentQueriesAndUpdates exercises the locking discipline
 // under -race: parallel queries across semantics ride the engine's read
 // side while update batches and session churn take the write side.

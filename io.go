@@ -50,9 +50,10 @@ type GraphModel = generator.Model
 
 // Synthetic graph topologies.
 const (
-	ModelER          = generator.ER
-	ModelPowerLaw    = generator.PowerLaw
-	ModelCommunities = generator.Communities
+	ModelER             = generator.ER
+	ModelPowerLaw       = generator.PowerLaw
+	ModelCommunities    = generator.Communities
+	ModelBarabasiAlbert = generator.BarabasiAlbert
 )
 
 // GraphGenConfig parameterises GenerateGraph.
