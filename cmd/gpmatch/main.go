@@ -4,7 +4,7 @@
 //
 //	gpmatch -graph g.graph -pattern p.pattern
 //	        [-semantics match|bfs|2hop|pll|auto|sim|dual|strong|vf2|ullmann]
-//	        [-result] [-limit 100] [-time]
+//	        [-workers N] [-result] [-limit 100] [-time]
 //
 // The default semantics is the paper's cubic-time Match (bounded
 // simulation over a distance matrix); bfs/2hop/pll/auto select the oracle
@@ -14,8 +14,10 @@
 // vf2/ullmann print embeddings under the traditional subgraph-
 // isomorphism semantics (-limit caps them). -result additionally prints
 // the result graph (bounded, dual and strong simulation). -time reports
-// the oracle preprocessing and the matching time separately. -algo is
-// the deprecated spelling of -semantics.
+// the oracle preprocessing and the matching time separately. -workers
+// sets the matching parallelism and the PLL oracle's batched-parallel
+// build width (0 = GOMAXPROCS); every worker count returns identical
+// output. -algo is the deprecated spelling of -semantics.
 package main
 
 import (
@@ -37,6 +39,7 @@ func main() {
 		showResult  = flag.Bool("result", false, "print the result graph (bounded/dual/strong simulation)")
 		limit       = flag.Int("limit", 100, "embedding cap for vf2/ullmann")
 		showTime    = flag.Bool("time", false, "print oracle-build and match time separately")
+		workers     = flag.Int("workers", 0, "matching and oracle-build parallelism (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *graphPath == "" || *patternPath == "" {
@@ -50,13 +53,13 @@ func main() {
 	if sem == "" {
 		sem = "match"
 	}
-	if err := run(os.Stdout, *graphPath, *patternPath, sem, *showResult, *limit, *showTime); err != nil {
+	if err := run(os.Stdout, *graphPath, *patternPath, sem, *showResult, *limit, *showTime, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "gpmatch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, graphPath, patternPath, semantics string, showResult bool, limit int, showTime bool) error {
+func run(w io.Writer, graphPath, patternPath, semantics string, showResult bool, limit int, showTime bool, workers int) error {
 	g, err := gpm.LoadGraphFile(graphPath)
 	if err != nil {
 		return err
@@ -68,6 +71,10 @@ func run(w io.Writer, graphPath, patternPath, semantics string, showResult bool,
 	fmt.Fprintf(w, "graph: %d nodes, %d edges; pattern: %d nodes, %d edges\n",
 		g.N(), g.M(), p.N(), p.EdgeCount())
 	ctx := context.Background()
+	var engOpts []gpm.EngineOption
+	if workers > 0 {
+		engOpts = append(engOpts, gpm.WithWorkers(workers))
+	}
 
 	switch semantics {
 	case "match", "bfs", "2hop", "pll", "auto":
@@ -78,7 +85,7 @@ func run(w io.Writer, graphPath, patternPath, semantics string, showResult bool,
 			"pll":   gpm.OraclePLL,
 			"auto":  gpm.OracleAuto,
 		}[semantics]
-		eng := gpm.NewEngine(g, gpm.WithOracle(kind))
+		eng := gpm.NewEngine(g, append(engOpts, gpm.WithOracle(kind))...)
 		res, err := eng.Match(ctx, p)
 		if err != nil {
 			return err
@@ -91,7 +98,7 @@ func run(w io.Writer, graphPath, patternPath, semantics string, showResult bool,
 			fmt.Fprint(w, eng.ResultGraph(res).String())
 		}
 	case "sim":
-		eng := gpm.NewEngine(g)
+		eng := gpm.NewEngine(g, engOpts...)
 		sim, err := eng.Simulate(ctx, p)
 		if err != nil {
 			return err
@@ -104,7 +111,7 @@ func run(w io.Writer, graphPath, patternPath, semantics string, showResult bool,
 			printTime(w, sim.Stats)
 		}
 	case "dual", "strong":
-		eng := gpm.NewEngine(g)
+		eng := gpm.NewEngine(g, engOpts...)
 		var res *gpm.TopoResult
 		var err error
 		if semantics == "dual" {
@@ -127,7 +134,7 @@ func run(w io.Writer, graphPath, patternPath, semantics string, showResult bool,
 		if semantics == "ullmann" {
 			opts.Algo = gpm.AlgoUllmann
 		}
-		eng := gpm.NewEngine(g)
+		eng := gpm.NewEngine(g, engOpts...)
 		enum, err := eng.Enumerate(ctx, p, opts)
 		if err != nil {
 			return err

@@ -36,7 +36,7 @@ func TestGoldenSemantics(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			var buf bytes.Buffer
 			err := run(&buf, filepath.Join("testdata", "tiny.graph"), filepath.Join("testdata", "tiny.pattern"),
-				tc.semantics, tc.showResult, 100, false)
+				tc.semantics, tc.showResult, 100, false, 0)
 			if err != nil {
 				t.Fatalf("run(%s): %v", tc.semantics, err)
 			}
@@ -62,7 +62,7 @@ func TestGoldenSemantics(t *testing.T) {
 func TestUnknownSemantics(t *testing.T) {
 	var buf bytes.Buffer
 	err := run(&buf, filepath.Join("testdata", "tiny.graph"), filepath.Join("testdata", "tiny.pattern"),
-		"nonsense", false, 100, false)
+		"nonsense", false, 100, false, 0)
 	if err == nil {
 		t.Fatal("run accepted unknown semantics")
 	}

@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	gpmbench [-exp all|datasets|6a|6b|6c|6d|6e|6f|6g|6h|6i|6j|6k|fig9|gr|aff|2hop|oracle|million|ablation|engine|parallel|topo|incsim|serve]
-//	         [-scale 0.15] [-seed N] [-patterns 5] [-nodes N] [-json] [-v]
+//	gpmbench [-exp all|datasets|6a|6b|6c|6d|6e|6f|6g|6h|6i|6j|6k|fig9|gr|aff|2hop|oracle|oracle-parallel|million|ablation|engine|parallel|topo|incsim|serve]
+//	         [-scale 0.15] [-seed N] [-patterns 5] [-nodes N] [-workers N] [-json] [-v]
 //
 // -scale 1.0 reproduces the paper's exact dataset sizes; distance
 // matrices over the memory budget are transparently replaced by the PLL
@@ -12,10 +12,12 @@
 // 1 GB. -exp million generates a 1M-node/10M-edge Barabási–Albert graph
 // at -scale 1.0 and matches it on the PLL oracle against a BFS-reference
 // checksum; -exp oracle compares build time and memory across all
-// oracles (CI stores its -json form as bench_oracle.json). -json emits
-// one machine-readable document instead of aligned tables, so successive
-// runs can accumulate a perf trajectory (BENCH_*.json). EXPERIMENTS.md
-// records reference output.
+// oracles and measures the batched-parallel PLL build per worker count
+// (CI stores its -json form as bench_oracle.json). -workers sets the
+// parallel-build concurrency for experiments that build indexes
+// (0 = GOMAXPROCS). -json emits one machine-readable document instead
+// of aligned tables, so successive runs can accumulate a perf
+// trajectory (BENCH_*.json). EXPERIMENTS.md records reference output.
 package main
 
 import (
@@ -38,6 +40,7 @@ type jsonReport struct {
 	Seed      int64          `json:"seed"`
 	Patterns  int            `json:"patterns"`
 	Nodes     int            `json:"nodes"`
+	Workers   int            `json:"workers"`
 	GoVersion string         `json:"go_version"`
 	GOOS      string         `json:"goos"`
 	GOARCH    string         `json:"goarch"`
@@ -54,6 +57,7 @@ func main() {
 		seed     = flag.Int64("seed", 0, "base RNG seed (0 = built-in default)")
 		patterns = flag.Int("patterns", 0, "patterns averaged per data point (0 = default 5; paper used 20)")
 		nodes    = flag.Int("nodes", 0, "synthetic graph node count (0 = 20000*scale; paper used 20000)")
+		workers  = flag.Int("workers", 0, "parallel-build worker count (0 = GOMAXPROCS)")
 		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of aligned tables")
 		verbose  = flag.Bool("v", false, "log progress to stderr")
 	)
@@ -64,6 +68,7 @@ func main() {
 		Seed:       *seed,
 		Patterns:   *patterns,
 		SynthNodes: *nodes,
+		Workers:    *workers,
 	}
 	if *verbose {
 		cfg.Progress = os.Stderr
@@ -96,6 +101,7 @@ func makeReport(exp string, cfg bench.Config, start time.Time, elapsed time.Dura
 		Seed:      resolved.Seed,
 		Patterns:  resolved.Patterns,
 		Nodes:     resolved.SynthNodes,
+		Workers:   resolved.Workers,
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,

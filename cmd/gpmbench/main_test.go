@@ -33,6 +33,7 @@ func scrub(r *jsonReport) {
 	r.GOOS = "linux"
 	r.GOARCH = "any"
 	r.CPUs = 0
+	r.Workers = 0 // defaults to GOMAXPROCS, so it varies by machine
 	r.Timestamp = "TIMESTAMP"
 	r.Elapsed = "ELAPSED"
 	for _, t := range r.Tables {

@@ -80,7 +80,7 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.Var(&opts.graphs, "graph", "bind a graph file: name=path (repeatable)")
 	fs.Var(&opts.datasets, "dataset", "bind a dataset stand-in: name=matter|pblog|youtube[:scale[:seed]] (repeatable)")
 	fs.StringVar(&opts.oracle, "oracle", "auto", "distance oracle: auto | matrix | bfs | 2hop | pll")
-	fs.IntVar(&opts.workers, "workers", 0, "matching parallelism per engine (0 = GOMAXPROCS)")
+	fs.IntVar(&opts.workers, "workers", 0, "matching and oracle-build parallelism per engine (0 = GOMAXPROCS)")
 	fs.DurationVar(&opts.timeout, "timeout", 30*time.Second, "default per-request deadline (0 = none)")
 	fs.BoolVar(&opts.verbose, "v", false, "log requests and lifecycle to stderr")
 	if err := fs.Parse(args); err != nil {

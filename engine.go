@@ -2,6 +2,7 @@ package gpm
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -85,6 +86,13 @@ func resolveOracleKind(k OracleKind, g *Graph) OracleKind {
 	}
 }
 
+// ErrGraphTooLarge reports that the bound graph's node count exceeds
+// the configured oracle strategy's addressing limit (PLL labels hold
+// hub ids in 24 bits). Queries against such an engine fail with an
+// error wrapping this sentinel instead of panicking, so a daemon
+// serving many graphs survives one oversized binding.
+var ErrGraphTooLarge = errors.New("graph too large for the configured distance oracle")
+
 // EngineOption configures NewEngine.
 type EngineOption func(*engineConfig)
 
@@ -97,7 +105,10 @@ type engineConfig struct {
 // OracleMatrix, the paper's main configuration. Valid kinds are
 // OracleAuto, OracleMatrix, OracleBFS, OracleTwoHop and OraclePLL;
 // NewEngine panics on anything else (OracleNone marks oracle-less
-// queries in MatchStats, it is not a strategy).
+// queries in MatchStats, it is not a strategy). Forcing OraclePLL on a
+// graph with more nodes than PLL labels can address does not panic:
+// the engine binds, and oracle-backed queries fail with an error
+// wrapping [ErrGraphTooLarge] (OracleAuto instead falls back to BFS).
 func WithOracle(k OracleKind) EngineOption {
 	return func(c *engineConfig) { c.kind = k }
 }
@@ -184,6 +195,7 @@ type Engine struct {
 	g       *Graph
 	kind    OracleKind // resolved; never OracleAuto
 	workers int        // resolved; >= 1
+	confErr error      // deferred bind-time config error; fails oracle queries
 
 	// mu orders queries (read side) against Update/Watch (write side).
 	// buildMu serialises lazy index construction, which runs under the
@@ -206,11 +218,16 @@ func NewEngine(g *Graph, opts ...EngineOption) *Engine {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	var confErr error
 	switch cfg.kind {
 	case OracleAuto, OracleMatrix, OracleBFS, OracleTwoHop:
 	case OraclePLL:
 		if g.N() > pll.MaxNodes {
-			panic(fmt.Sprintf("gpm: WithOracle(OraclePLL) on a %d-node graph; PLL labels address at most %d nodes", g.N(), pll.MaxNodes))
+			// Deferred, not panicked: a daemon binding graphs on behalf
+			// of clients must survive an oversized one. The first query
+			// that needs the oracle surfaces this error.
+			confErr = fmt.Errorf("gpm: WithOracle(OraclePLL) on a %d-node graph; PLL labels address at most %d nodes: %w",
+				g.N(), pll.MaxNodes, ErrGraphTooLarge)
 		}
 	default:
 		panic(fmt.Sprintf("gpm: WithOracle(%v) is not a valid engine oracle strategy", cfg.kind))
@@ -219,7 +236,7 @@ func NewEngine(g *Graph, opts ...EngineOption) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{g: g, kind: resolveOracleKind(cfg.kind, g), workers: workers}
+	return &Engine{g: g, kind: resolveOracleKind(cfg.kind, g), workers: workers, confErr: confErr}
 }
 
 // Graph returns the bound data graph. Treat it as read-only; mutate only
@@ -276,20 +293,30 @@ func (e *Engine) ensureDM() *incremental.DynMatrix {
 	return dm
 }
 
+// testHookPLLBuild, when non-nil, runs at the start of every PLL index
+// construction the engine performs. Tests use it to count builds and
+// prove the lazy path is single-flight under concurrent first queries.
+var testHookPLLBuild func()
+
 // queryOracle returns a DistOracle ready for one query, building the
 // shared index if this is the first query to need it. Must be called
 // with mu read-held. The returned duration is the index build time this
-// call paid (zero on a cache hit).
-func (e *Engine) queryOracle() (DistOracle, time.Duration) {
+// call paid (zero on a cache hit). Cancelling ctx aborts an in-flight
+// index build with ctx.Err(); a deferred bind-time configuration error
+// (see WithOracle) also surfaces here.
+func (e *Engine) queryOracle(ctx context.Context) (DistOracle, time.Duration, error) {
+	if e.confErr != nil {
+		return nil, 0, e.confErr
+	}
 	switch e.kind {
 	case OracleBFS:
 		// No shared index: a BFS oracle is its own per-query cache. It
 		// does share the engine's frozen snapshot, so repeated queries
 		// skip the O(|V|+|E|) freeze.
-		return core.NewBFSOracleFrozen(e.frozen()), 0
+		return core.NewBFSOracleFrozen(e.frozen()), 0, nil
 	case OracleTwoHop:
 		if idx := e.idx.Load(); idx != nil {
-			return core.NewTwoHopOracleFrozen(e.frozen(), idx), 0
+			return core.NewTwoHopOracleFrozen(e.frozen(), idx), 0, nil
 		}
 		e.buildMu.Lock()
 		defer e.buildMu.Unlock()
@@ -301,34 +328,39 @@ func (e *Engine) queryOracle() (DistOracle, time.Duration) {
 			built = time.Since(start)
 			e.idx.Store(idx)
 		}
-		return core.NewTwoHopOracleFrozen(e.frozenLocked(), idx), built
+		return core.NewTwoHopOracleFrozen(e.frozenLocked(), idx), built, nil
 	case OraclePLL:
 		// The root oracle (shared labelling + color sub-labelings) is
 		// cached; every query takes a clone with fresh probe caches,
 		// since those are single-goroutine state.
 		if po := e.po.Load(); po != nil {
-			return po.CloneForWorker(), 0
+			return po.CloneForWorker(), 0, nil
 		}
 		e.buildMu.Lock()
 		defer e.buildMu.Unlock()
 		po := e.po.Load()
 		var built time.Duration
 		if po == nil {
+			if testHookPLLBuild != nil {
+				testHookPLLBuild()
+			}
 			start := time.Now()
 			f := e.frozenLocked()
-			idx, err := pll.Build(f, pll.AutoOptions(f))
+			opts := pll.AutoOptions(f)
+			opts.Workers = e.workers
+			idx, err := pll.Build(ctx, f, opts)
 			if err != nil {
-				// NewEngine bounds the node count, so Build cannot fail.
-				panic(err)
+				// Cancellation: the next query retries the build.
+				return nil, 0, err
 			}
 			po = core.NewPLLOracleFrozen(f, idx)
 			built = time.Since(start)
 			e.po.Store(po)
 		}
-		return po.CloneForWorker(), built
+		return po.CloneForWorker(), built, nil
 	default: // OracleMatrix
 		if mo := e.mo.Load(); mo != nil {
-			return mo, 0
+			return mo, 0, nil
 		}
 		e.buildMu.Lock()
 		defer e.buildMu.Unlock()
@@ -342,7 +374,7 @@ func (e *Engine) queryOracle() (DistOracle, time.Duration) {
 			built = time.Since(start)
 			e.mo.Store(mo)
 		}
-		return mo, built
+		return mo, built, nil
 	}
 }
 
@@ -355,7 +387,10 @@ func (e *Engine) Match(ctx context.Context, p *Pattern) (*MatchResult, error) {
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	o, built := e.queryOracle()
+	o, built, err := e.queryOracle(ctx)
+	if err != nil {
+		return nil, err
+	}
 	var cs core.Stats
 	start := time.Now()
 	res, err := core.MatchOpts(ctx, p, e.g, o, &cs, core.MatchOptions{
@@ -395,7 +430,10 @@ func (e *Engine) MatchBatch(ctx context.Context, ps []*Pattern) ([]*MatchResult,
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	o, built := e.queryOracle()
+	o, built, err := e.queryOracle(ctx)
+	if err != nil {
+		return nil, err
+	}
 	f := e.frozen()
 	fanout := e.workers
 	if fanout > len(ps) {
@@ -582,7 +620,13 @@ func (e *Engine) ResultGraphOf(res *Result) *ResultGraph {
 		f := e.frozen()
 		return core.BuildResultGraphFrozen(res, core.NewEdgeOracle(f), f)
 	}
-	o, _ := e.queryOracle()
+	// A bounded res implies a query already built (and cached) the
+	// oracle, so this cannot block on construction or fail in practice;
+	// the panic guards the API against results from a different engine.
+	o, _, err := e.queryOracle(context.Background())
+	if err != nil {
+		panic(fmt.Sprintf("gpm: ResultGraphOf on an engine whose oracle cannot be built: %v", err))
+	}
 	return core.BuildResultGraphFrozen(res, o, e.frozen())
 }
 

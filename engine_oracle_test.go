@@ -1,0 +1,148 @@
+package gpm_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"gpm"
+	"gpm/internal/pll"
+)
+
+// TestEnginePLLSingleFlight: many goroutines issue the FIRST query
+// against a PLL engine concurrently; the lazy oracle build must run
+// exactly once (the others wait on buildMu and reuse the cached index).
+// Under -race this also proves the build/publish handoff is clean.
+// Not parallel: it installs the global build hook.
+func TestEnginePLLSingleFlight(t *testing.T) {
+	g := engineTestGraph(t, 600, 2400, 21)
+	p := gpm.GeneratePattern(gpm.PatternGenConfig{Nodes: 4, Edges: 4, K: 3, Seed: 7}, g)
+
+	var builds atomic.Int64
+	gpm.SetTestHookPLLBuild(func() { builds.Add(1) })
+	defer gpm.SetTestHookPLLBuild(nil)
+
+	eng := gpm.NewEngine(g, gpm.WithOracle(gpm.OraclePLL))
+	want, err := gpm.Match(p, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := eng.Match(context.Background(), p)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !reflect.DeepEqual(res.Relation(), want.Relation()) {
+				errs <- errors.New("concurrent first query: relation mismatch")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("concurrent first queries ran %d PLL builds, want 1", n)
+	}
+}
+
+// TestEnginePLLBuildCancellation: cancelling the query context while the
+// lazy PLL build is in flight aborts the build with the context's error
+// — and the NEXT query retries the build and succeeds, so one caller's
+// deadline cannot wedge the engine forever. The hook cancels at the
+// exact moment the build starts, which makes the mid-build timing
+// deterministic (a plain short deadline could also trip Match's
+// entry-point check and never reach the build).
+// Not parallel: it installs the global build hook.
+func TestEnginePLLBuildCancellation(t *testing.T) {
+	g := engineTestGraph(t, 1500, 6000, 22)
+	p := gpm.GeneratePattern(gpm.PatternGenConfig{Nodes: 4, Edges: 4, K: 3, Seed: 9}, g)
+
+	eng := gpm.NewEngine(g, gpm.WithOracle(gpm.OraclePLL))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var builds atomic.Int64
+	gpm.SetTestHookPLLBuild(func() {
+		builds.Add(1)
+		cancel()
+	})
+	defer gpm.SetTestHookPLLBuild(nil)
+
+	if _, err := eng.Match(ctx, p); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled mid-build: err = %v, want context.Canceled", err)
+	}
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("build hook ran %d times, want 1", n)
+	}
+
+	// The aborted build must not be cached: a fresh context retries it.
+	gpm.SetTestHookPLLBuild(func() { builds.Add(1) })
+	res, err := eng.Match(context.Background(), p)
+	if err != nil {
+		t.Fatalf("retry after cancelled build: %v", err)
+	}
+	if n := builds.Load(); n != 2 {
+		t.Fatalf("retry did not rebuild (hook ran %d times, want 2)", n)
+	}
+	want, err := gpm.Match(p, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Relation(), want.Relation()) {
+		t.Fatal("retry after cancelled build: relation mismatch")
+	}
+}
+
+// TestEngineOraclePLLTooLarge: forcing OraclePLL onto a graph past the
+// labelling's 24-bit addressing limit must not panic at bind time (the
+// old behavior) — the engine binds, and oracle-backed queries fail with
+// ErrGraphTooLarge. OracleAuto on the same graph falls back to BFS and
+// keeps working. MaxNodes is a variable precisely so this test does not
+// need a 16M-node graph.
+func TestEngineOraclePLLTooLarge(t *testing.T) {
+	saved := pll.MaxNodes
+	pll.MaxNodes = 64
+	defer func() { pll.MaxNodes = saved }()
+
+	g := engineTestGraph(t, 100, 300, 23)
+	p := gpm.GeneratePattern(gpm.PatternGenConfig{Nodes: 3, Edges: 3, K: 2, Seed: 3}, g)
+
+	eng := gpm.NewEngine(g, gpm.WithOracle(gpm.OraclePLL)) // must not panic
+	if _, err := eng.Match(context.Background(), p); !errors.Is(err, gpm.ErrGraphTooLarge) {
+		t.Fatalf("Match on oversized PLL engine: err = %v, want ErrGraphTooLarge", err)
+	}
+	if _, err := eng.MatchBatch(context.Background(), []*gpm.Pattern{p, p}); !errors.Is(err, gpm.ErrGraphTooLarge) {
+		t.Fatalf("MatchBatch on oversized PLL engine: err = %v, want ErrGraphTooLarge", err)
+	}
+	// Oracle-less semantics stay usable on the same engine.
+	if _, err := eng.Simulate(context.Background(), boundOnePattern()); err != nil {
+		t.Fatalf("Simulate on oversized PLL engine: %v", err)
+	}
+
+	// Auto on the same oversized graph falls back to BFS instead of
+	// erroring. The graph must also clear the auto matrix threshold, or
+	// auto would resolve to OracleMatrix before PLL is even considered.
+	big := gpm.NewGraph(4200)
+	for i := 0; i < 4199; i++ {
+		big.AddEdge(i, i+1)
+	}
+	auto := gpm.NewEngine(big, gpm.WithAutoOracle())
+	if k := auto.OracleKind(); k != gpm.OracleBFS {
+		t.Fatalf("auto on an over-MaxNodes graph resolved %v, want bfs fallback", k)
+	}
+	if _, err := auto.Match(context.Background(), p); err != nil {
+		t.Fatalf("auto fallback Match: %v", err)
+	}
+}

@@ -1,0 +1,9 @@
+package gpm
+
+// SetTestHookPLLBuild installs fn as the hook run at the start of every
+// lazy PLL index construction the engine performs (nil uninstalls).
+// Tests count builds through it to prove the lazy oracle path is
+// single-flight, and cancel build contexts through it to pin the
+// retry-after-cancellation contract. Tests that install it must not run
+// in parallel.
+func SetTestHookPLLBuild(fn func()) { testHookPLLBuild = fn }

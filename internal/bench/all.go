@@ -78,6 +78,7 @@ func All(cfg Config) []*Table {
 		AffStats(cfg),
 		TwoHopStats(cfg),
 		OracleStats(cfg),
+		OracleParallel(cfg),
 		Ablation(cfg),
 		EngineThroughput(cfg),
 		ParallelSpeedup(cfg),
@@ -131,7 +132,9 @@ func ByID(id string, cfg Config) ([]*Table, error) {
 	case "2hop":
 		return []*Table{TwoHopStats(cfg)}, nil
 	case "oracle":
-		return []*Table{OracleStats(cfg)}, nil
+		return []*Table{OracleStats(cfg), OracleParallel(cfg)}, nil
+	case "oracle-parallel":
+		return []*Table{OracleParallel(cfg)}, nil
 	case "million":
 		// Deliberately not part of "all": it generates its own large graph
 		// and is gated by -scale (1.0 = the full 1M-node/10M-edge run).
@@ -149,6 +152,6 @@ func ByID(id string, cfg Config) ([]*Table, error) {
 	case "serve":
 		return []*Table{ServeThroughput(cfg)}, nil
 	default:
-		return nil, fmt.Errorf("bench: unknown experiment %q (want all, datasets, 6a, 6b, 6c, 6d, 6e, 6f, 6g, 6h, 6i, 6j, 6k, fig9, gr, aff, 2hop, oracle, million, ablation, engine, parallel, topo, incsim, serve)", id)
+		return nil, fmt.Errorf("bench: unknown experiment %q (want all, datasets, 6a, 6b, 6c, 6d, 6e, 6f, 6g, 6h, 6i, 6j, 6k, fig9, gr, aff, 2hop, oracle, oracle-parallel, million, ablation, engine, parallel, topo, incsim, serve)", id)
 	}
 }

@@ -13,6 +13,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"time"
 )
@@ -27,6 +28,7 @@ type Config struct {
 	SynthNodes int       // node count for synthetic-graph experiments (paper: 20000)
 	VF2MaxEmb  int       // embedding budget for VF2/SubIso
 	VF2MaxStep int64     // search-step budget for VF2/SubIso
+	Workers    int       // parallel-build worker count (0 = GOMAXPROCS)
 	Progress   io.Writer // optional progress log
 }
 
@@ -57,6 +59,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.VF2MaxStep <= 0 {
 		c.VF2MaxStep = 5_000_000
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	return c
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -35,12 +36,13 @@ func Million(cfg Config) *Table {
 	cfg.logf("million: graph generated (%d nodes, %d edges)", g.N(), g.M())
 	f := g.Freeze()
 	opts := pll.AutoOptions(f)
+	opts.Workers = cfg.Workers
 	var idx *pll.Index
 	var buildT time.Duration
 	heap := heapDelta(func() {
 		buildT = timed(func() {
 			var err error
-			idx, err = pll.Build(f, opts)
+			idx, err = pll.Build(context.Background(), f, opts)
 			if err != nil {
 				panic(err) // n is far below pll.MaxNodes
 			}
@@ -57,6 +59,8 @@ func Million(cfg Config) *Table {
 	}
 	t.AddRow("generate (ms)", ms(genT))
 	t.AddRow("pll build (ms)", ms(buildT))
+	t.AddRow("pll build workers", fmt.Sprintf("%d", opts.Workers))
+	t.AddRow("pll bit-parallel roots", fmt.Sprintf("%d", idx.BitParallelRoots()))
 	t.AddRow("pll arena mode", fmt.Sprintf("%v", opts.Arena))
 	t.AddRow("pll label entries", fmt.Sprintf("%d", idx.LabelEntries()))
 	t.AddRow("pll label (MB)", mb(idx.MemoryBytes()))

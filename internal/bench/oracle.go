@@ -1,11 +1,14 @@
 package bench
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"time"
 
 	"gpm/internal/core"
+	"gpm/internal/generator"
 	"gpm/internal/graph"
 	"gpm/internal/pll"
 )
@@ -32,7 +35,7 @@ func budgetOracle(g *graph.Graph) (core.DistOracle, time.Duration, string) {
 	}
 	var o *core.PLLOracle
 	var err error
-	d := timed(func() { o, err = core.BuildPLLOracle(g) })
+	d := timed(func() { o, err = core.BuildPLLOracle(context.Background(), g) })
 	if err != nil {
 		panic(err) // graphs here are far below pll.MaxNodes
 	}
@@ -103,7 +106,7 @@ func OracleStats(cfg Config) *Table {
 		ph := heapDelta(func() {
 			pd = timed(func() {
 				var err error
-				idx, err = pll.Build(f, pll.AutoOptions(f))
+				idx, err = pll.Build(context.Background(), f, pll.AutoOptions(f))
 				if err != nil {
 					panic(err) // datasets are far below pll.MaxNodes
 				}
@@ -118,4 +121,118 @@ func OracleStats(cfg Config) *Table {
 	t.Note("matrix over the %d MB budget is estimated analytically, not built", matrixBudgetBytes>>20)
 	t.Note("heap delta = live-heap growth across the build (GC-fenced), an RSS estimate including escaped scratch")
 	return t
+}
+
+// oracleParallelSamples is how many random pairs OracleParallel checks
+// between the sequential and batched indexes — a smoke-level agreement
+// gate on top of the exhaustive distance-level tests in internal/pll
+// and internal/difftest.
+const oracleParallelSamples = 2000
+
+// OracleParallel (id "oracle-parallel", also emitted by "oracle")
+// measures the batched + bit-parallel PLL build against the classic
+// sequential one on the dense BA graph that made PR 6's build the
+// bottleneck (53 s at 50K nodes). One sequential baseline, then batched
+// builds across worker counts; every batched index is verified
+// byte-identical to the 1-worker one and distance-checked against the
+// sequential baseline on sampled pairs.
+func OracleParallel(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	n := int(50_000 * cfg.Scale)
+	if n < 5_000 {
+		n = 5_000
+	}
+	g := generator.Graph(generator.GraphConfig{
+		Nodes: n, Attrs: n / 10, Model: generator.BarabasiAlbert, MOut: 10, Seed: cfg.Seed,
+	})
+	f := g.Freeze()
+	arena := pll.AutoOptions(f).Arena
+
+	t := &Table{
+		ID: "oracle-parallel",
+		Title: fmt.Sprintf("Parallel PLL construction: BA graph |V|=%d |E|=%d (scale %.2f, %d CPUs)",
+			g.N(), g.M(), cfg.Scale, runtime.GOMAXPROCS(0)),
+		Columns: []string{"build", "workers", "build (ms)", "speedup", "entries/node", "bp roots"},
+	}
+
+	var seq *pll.Index
+	seqT := timed(func() {
+		var err error
+		seq, err = pll.Build(context.Background(), f, pll.Options{Arena: arena})
+		if err != nil {
+			panic(err) // n is far below pll.MaxNodes
+		}
+	})
+	t.AddRow("sequential", "-", ms(seqT), "1.00",
+		f2(float64(seq.LabelEntries())/float64(n)), "0")
+	cfg.logf("oracle-parallel: sequential baseline done (%v)", seqT)
+
+	var ref *pll.Index // 1-worker batched index: the determinism reference
+	for _, w := range []int{1, 2, 4, 8} {
+		var idx *pll.Index
+		bt := timed(func() {
+			var err error
+			idx, err = pll.Build(context.Background(), f, pll.Options{
+				Arena: arena, Workers: w, BitParallel: 1,
+			})
+			if err != nil {
+				panic(err)
+			}
+		})
+		if ref == nil {
+			ref = idx
+			checkSampledDistances(f, seq, idx)
+		} else if !sameIndexBytes(ref, idx) {
+			panic(fmt.Sprintf("oracle-parallel: index at %d workers differs from 1 worker", w))
+		}
+		t.AddRow("batched+bp", fmt.Sprintf("%d", w), ms(bt),
+			f2(float64(seqT)/float64(bt)),
+			f2(float64(idx.LabelEntries())/float64(n)),
+			fmt.Sprintf("%d", idx.BitParallelRoots()))
+		cfg.logf("oracle-parallel: %d workers done (%v)", w, bt)
+	}
+	t.Note("speedup = sequential build time / this row's build time (same process, same graph)")
+	t.Note("%d sampled pair distances verified equal between the sequential and batched indexes; batched indexes byte-identical across worker counts", oracleParallelSamples)
+	return t
+}
+
+// checkSampledDistances panics when the two indexes disagree on any
+// sampled pair — the bench-level exactness gate.
+func checkSampledDistances(f *graph.Frozen, a, b *pll.Index) {
+	rng := rand.New(rand.NewSource(4229))
+	n := f.N()
+	for i := 0; i < oracleParallelSamples; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if da, db := a.Dist(u, v), b.Dist(u, v); da != db {
+			panic(fmt.Sprintf("oracle-parallel: Dist(%d,%d) = %d sequential vs %d batched", u, v, da, db))
+		}
+	}
+}
+
+// sameIndexBytes compares the label CSRs and entry counts of two
+// indexes — the cheap byte-determinism check the full reflect-based one
+// in internal/pll's tests backs up at small scale.
+func sameIndexBytes(a, b *pll.Index) bool {
+	if a.N() != b.N() || a.LabelEntries() != b.LabelEntries() ||
+		a.BitParallelRoots() != b.BitParallelRoots() {
+		return false
+	}
+	for v := 0; v < a.N(); v++ {
+		if !equalWords(a.InLabel(v), b.InLabel(v)) || !equalWords(a.OutLabel(v), b.OutLabel(v)) {
+			return false
+		}
+	}
+	return true
+}
+
+func equalWords(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

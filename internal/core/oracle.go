@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"gpm/internal/graph"
@@ -403,10 +404,11 @@ func NewPLLOracleFrozen(f *graph.Frozen, idx *pll.Index) *PLLOracle {
 }
 
 // BuildPLLOracle freezes g and constructs its pruned-landmark
-// labelling. It errors only when g exceeds pll.MaxNodes.
-func BuildPLLOracle(g *graph.Graph) (*PLLOracle, error) {
+// labelling. It errors when g exceeds pll.MaxNodes or when ctx is
+// cancelled mid-build.
+func BuildPLLOracle(ctx context.Context, g *graph.Graph) (*PLLOracle, error) {
 	f := g.Freeze()
-	idx, err := pll.Build(f, pll.AutoOptions(f))
+	idx, err := pll.Build(ctx, f, pll.AutoOptions(f))
 	if err != nil {
 		return nil, err
 	}
@@ -487,12 +489,17 @@ func (o *PLLOracle) cycleLen(u, bound int, color string, idx *pll.Index) int {
 }
 
 // scanOut resolves d(u, bwd.node) by scanning u's out-label against the
-// cached backward expansion. The bounded fast path skips entries whose
-// raw distance field alone exceeds the bound (saturated fields
-// under-report, so the skip is safe) and stops once the running best
-// hits 1, the minimum nonempty distance.
+// cached backward expansion, seeded with the bit-parallel root
+// candidates (roots of complete blocks have no label entries, so the
+// label merge alone would miss paths through them). The bounded fast
+// path skips entries whose raw distance field alone exceeds the bound
+// (saturated fields under-report, so the skip is safe) and stops once
+// the running best hits 1, the minimum nonempty distance.
 func (o *PLLOracle) scanOut(u, bound int, idx *pll.Index) int {
-	best := -1
+	best := idx.BPDistWithin(u, o.bwd.node, bound)
+	if best >= 0 && best <= 1 {
+		return best
+	}
 	bb := int32(bound)
 	for _, w := range idx.OutLabel(u) {
 		if bound >= 0 && pll.DistField(w) > bb {
@@ -514,7 +521,10 @@ func (o *PLLOracle) scanOut(u, bound int, idx *pll.Index) int {
 
 // scanIn is scanOut mirrored: d(fwd.node, v) via v's in-label.
 func (o *PLLOracle) scanIn(v, bound int, idx *pll.Index) int {
-	best := -1
+	best := idx.BPDistWithin(o.fwd.node, v, bound)
+	if best >= 0 && best <= 1 {
+		return best
+	}
 	bb := int32(bound)
 	for _, w := range idx.InLabel(v) {
 		if bound >= 0 && pll.DistField(w) > bb {
@@ -603,7 +613,10 @@ func (s *pllShared) colorIndex(color string) *pll.Index {
 			}
 		})
 		fz := sub.Freeze()
-		idx, err := pll.Build(fz, pll.AutoOptions(fz))
+		// Background context: the sub-labelling is a shared cache that
+		// outlives the query that happens to build it first, so one
+		// caller's deadline must not poison it for everyone else.
+		idx, err := pll.Build(context.Background(), fz, pll.AutoOptions(fz))
 		if err != nil {
 			// The subgraph has the node count of the main graph, whose
 			// build already succeeded — unreachable.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -224,7 +225,7 @@ func TestMatrixOracleColorCache(t *testing.T) {
 
 func mustBuildPLL(t testing.TB, g *graph.Graph) *PLLOracle {
 	t.Helper()
-	o, err := BuildPLLOracle(g)
+	o, err := BuildPLLOracle(context.Background(), g)
 	if err != nil {
 		t.Fatalf("BuildPLLOracle: %v", err)
 	}

@@ -9,6 +9,7 @@ import (
 	"gpm"
 	"gpm/internal/core"
 	"gpm/internal/generator"
+	"gpm/internal/pll"
 )
 
 const workloads = 12 // random workloads per differential property
@@ -134,14 +135,29 @@ func TestOracleDistancesAgree(t *testing.T) {
 			}
 		}
 		ref := core.BuildMatrixOracle(g)
-		pllO, err := core.BuildPLLOracle(g)
+		pllO, err := core.BuildPLLOracle(context.Background(), g)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
+		// The parallel and bit-parallel build flavors must serve the
+		// exact same distances through the oracle layer — including the
+		// bit-parallel root candidates the probe scans fold in, and the
+		// lazily built per-color sub-labelings.
+		fz := g.Freeze()
+		parIdx, err := pll.Build(context.Background(), fz, pll.Options{Workers: 4})
+		if err != nil {
+			t.Fatalf("seed %d: parallel build: %v", seed, err)
+		}
+		bpIdx, err := pll.Build(context.Background(), fz, pll.Options{Workers: 2, BitParallel: 1})
+		if err != nil {
+			t.Fatalf("seed %d: bit-parallel build: %v", seed, err)
+		}
 		others := map[string]core.DistOracle{
-			"bfs":  core.NewBFSOracle(g),
-			"2hop": core.BuildTwoHopOracle(g),
-			"pll":  pllO,
+			"bfs":          core.NewBFSOracle(g),
+			"2hop":         core.BuildTwoHopOracle(g),
+			"pll":          pllO,
+			"pll-parallel": core.NewPLLOracleFrozen(fz, parIdx),
+			"pll-bp":       core.NewPLLOracleFrozen(fz, bpIdx),
 		}
 		for u := 0; u < n; u++ {
 			for v := 0; v < n; v++ {

@@ -1,0 +1,352 @@
+package pll
+
+import (
+	"context"
+	"encoding/binary"
+	"math/bits"
+
+	"gpm/internal/graph"
+)
+
+// Bit-parallel root distances (Akiba–Iwata–Yoshida §4.2, adapted to
+// directed graphs). The undirected AIY trick — encode a root's
+// neighborhood in two 64-bit masks and correct distances by ±1 — does
+// not survive asymmetry, so the directed adaptation keeps the part that
+// does: fold 64 roots into ONE level-synchronised mask BFS per
+// direction. Every node carries a 64-bit "reached" mask; a frontier
+// step moves whole masks across edges, so an edge is traversed once per
+// distinct arrival level instead of once per root, and the 128 most
+// expensive pruned BFSes of the build (the top hubs reach almost
+// everything, so nothing prunes them) collapse into about two
+// traversals each way.
+//
+// The result is an exact distance table d(root_i → v) / d(v → root_i)
+// stored as one byte per (node, root) pair. It serves three consumers:
+// pruning during the batched build (a pair (h, w) is covered when some
+// root certifies d(h, r) + d(r, w) <= depth), Index distance queries
+// (roots are one more candidate set beside the label merge), and the
+// oracle layer's probe scans.
+
+// bpRootsPerBlock is the mask width: one block folds 64 roots.
+const bpRootsPerBlock = 64
+
+// bpNone marks a (node, root) pair with no stored distance: the node is
+// unreachable from the root, or lies beyond bpMaxDist. Consumers must
+// skip it — it is "no information", not "infinity", because a distance
+// beyond bpMaxDist may still exist.
+const bpNone = 255
+
+// bpMaxDist is the largest distance one byte stores exactly. A block
+// whose BFS still has a frontier past it is incomplete: its roots keep
+// their ordinary pruned BFSes so label coverage stays exact, and the
+// stored prefix still accelerates pruning and queries.
+const bpMaxDist = 254
+
+// bpIndex is the bit-parallel half of an Index: exact distances between
+// every node and the top blocks×64 hubs, one byte each, 255 = bpNone.
+type bpIndex struct {
+	n      int
+	blocks int
+	roots  []int32 // blocks×64 root ids in hub-rank order; -1 pads short blocks
+	fwd    []uint8 // d(root_i → v) at [b×n×64 + v×64 + i]
+	bwd    []uint8 // d(v → root_i), same layout
+	skip   []bool  // per block: both directions complete, roots need no pruned BFS
+}
+
+// fwdRow returns the d(root → v) byte row of v in block b.
+func (bp *bpIndex) fwdRow(b int, v int32) []uint8 {
+	off := b*bp.n*bpRootsPerBlock + int(v)*bpRootsPerBlock
+	return bp.fwd[off : off+bpRootsPerBlock]
+}
+
+// bwdRow returns the d(v → root) byte row of v in block b.
+func (bp *bpIndex) bwdRow(b int, v int32) []uint8 {
+	off := b*bp.n*bpRootsPerBlock + int(v)*bpRootsPerBlock
+	return bp.bwd[off : off+bpRootsPerBlock]
+}
+
+func (bp *bpIndex) rootCount() int {
+	if bp == nil {
+		return 0
+	}
+	c := 0
+	for _, r := range bp.roots {
+		if r >= 0 {
+			c++
+		}
+	}
+	return c
+}
+
+func (bp *bpIndex) memoryBytes() int64 {
+	if bp == nil {
+		return 0
+	}
+	return int64(len(bp.fwd)) + int64(len(bp.bwd)) + int64(len(bp.roots))*4
+}
+
+// distWithin returns the best root-certified distance u → v within
+// bound (bound < 0 unbounded), or -1 when no root certifies one. Nil
+// receivers (index built without a bit-parallel phase) report -1.
+func (bp *bpIndex) distWithin(u, v int, bound int32) int32 {
+	if bp == nil {
+		return -1
+	}
+	best := int32(-1)
+	for b := 0; b < bp.blocks; b++ {
+		ur := bp.bwdRow(b, int32(u))
+		vr := bp.fwdRow(b, int32(v))
+		for i := 0; i < bpRootsPerBlock; i++ {
+			du, dv := ur[i], vr[i]
+			if du == bpNone || dv == bpNone {
+				continue
+			}
+			c := int32(du) + int32(dv)
+			if bound >= 0 && c > bound {
+				continue
+			}
+			if best < 0 || c < best {
+				best = c
+				if best == 0 {
+					return 0
+				}
+			}
+		}
+	}
+	return best
+}
+
+// bpWordsPerRow is one row's 64 bytes viewed as 8 uint64 words — the
+// unit of the SWAR coverage test.
+const bpWordsPerRow = bpRootsPerBlock / 8
+
+const (
+	bpHiBits  = 0x8080808080808080 // bit 7 of every byte
+	bpLowByte = 0x0101010101010101 // 1 in every byte
+)
+
+// loadCoverWords packs one node's 64-byte root-distance row into 8
+// uint64 words for bpCovers. Byte order within a word is irrelevant —
+// the SWAR test treats lanes independently — so this is a plain
+// little-endian reinterpretation.
+func loadCoverWords(row []uint8, out *[bpWordsPerRow]uint64) {
+	for k := 0; k < bpWordsPerRow; k++ {
+		out[k] = binary.LittleEndian.Uint64(row[k*8:])
+	}
+}
+
+// bpCovers reports whether some root i certifies hRow[i] + wRow[i] <= d
+// — the bit-parallel half of the pruning query, 8 roots per uint64 op.
+// hw is the hub row packed by loadCoverWords; wRow is the node row raw.
+//
+// The SWAR form is exact for d < 127 (every BFS depth in practice):
+// a lane with either byte >= 128 (which includes the bpNone marker)
+// can never satisfy the test, and the remaining lanes' sums are exact
+// 8-bit values, compared against d by adding 127-d and reading bit 7.
+// All three steps keep every lane's arithmetic inside its own byte —
+// no carry or borrow can cross lanes, so there are no false positives
+// (a false positive here would prune a needed label entry and corrupt
+// the index). Depths >= 127 take the scalar fallback.
+func bpCovers(hw *[bpWordsPerRow]uint64, hRow, wRow []uint8, d int32) bool {
+	if d >= 127 {
+		return bpCoversScalar(hRow, wRow, d)
+	}
+	k := uint64(127-d) * bpLowByte
+	for i := 0; i < bpWordsPerRow; i++ {
+		x := hw[i]
+		y := binary.LittleEndian.Uint64(wRow[i*8:])
+		// Lanes where either byte has bit 7 set can't pass (sum > 127 > d).
+		bad := (x | y) & bpHiBits
+		// Exact per-lane sums of the low 7 bits; <= 254, so no carry out.
+		t := (x &^ bpHiBits) + (y &^ bpHiBits)
+		// Fold lanes whose true sum is >= 128 into the reject mask, then
+		// saturate every rejected lane to 0x7F so the comparison below
+		// cannot fire for it: 0x7F + (127-d) >= 128 for every d < 127.
+		no := bad | (t & bpHiBits)
+		t = (t &^ bpHiBits) | (no - no>>7)
+		// Lane passes iff t + (127-d) <= 127, i.e. bit 7 stays clear.
+		if hit := ^(t + k) & bpHiBits; hit != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// bpCoversScalar is the reference (and d >= 127 fallback) form of
+// bpCovers over the raw byte rows.
+func bpCoversScalar(hRow, wRow []uint8, d int32) bool {
+	for i := 0; i < bpRootsPerBlock; i++ {
+		hb, wb := hRow[i], wRow[i]
+		if hb != bpNone && wb != bpNone && int32(hb)+int32(wb) <= d {
+			return true
+		}
+	}
+	return false
+}
+
+// buildBitParallel selects the top blocks×64 hubs of order as
+// bit-parallel roots, runs the mask BFSes, and returns the bit-parallel
+// index together with the hubs left for ordinary processing: roots of
+// complete blocks are removed (their coverage is exact), roots of
+// incomplete blocks stay.
+func buildBitParallel(ctx context.Context, f *graph.Frozen, order []int32, blocks int) (*bpIndex, []int32, error) {
+	n := f.N()
+	if blocks*bpRootsPerBlock > len(order) {
+		blocks = (len(order) + bpRootsPerBlock - 1) / bpRootsPerBlock
+	}
+	bp := &bpIndex{
+		n:      n,
+		blocks: blocks,
+		roots:  make([]int32, blocks*bpRootsPerBlock),
+		fwd:    make([]uint8, blocks*n*bpRootsPerBlock),
+		bwd:    make([]uint8, blocks*n*bpRootsPerBlock),
+		skip:   make([]bool, blocks),
+	}
+	for i := range bp.roots {
+		if i < len(order) {
+			bp.roots[i] = order[i]
+		} else {
+			bp.roots[i] = -1
+		}
+	}
+	for i := range bp.fwd {
+		bp.fwd[i] = bpNone
+	}
+	for i := range bp.bwd {
+		bp.bwd[i] = bpNone
+	}
+
+	s := &bpScratch{
+		cur:      make([]uint64, n),
+		nxt:      make([]uint64, n),
+		seen:     make([]uint64, n),
+		frontier: make([]int32, 0, 1024),
+		next:     make([]int32, 0, 1024),
+	}
+	size := n * bpRootsPerBlock
+	for b := 0; b < blocks; b++ {
+		roots := bp.roots[b*bpRootsPerBlock : (b+1)*bpRootsPerBlock]
+		fOK, err := bpBFS(ctx, f, roots, bp.fwd[b*size:(b+1)*size], false, s)
+		if err != nil {
+			return nil, nil, err
+		}
+		bOK, err := bpBFS(ctx, f, roots, bp.bwd[b*size:(b+1)*size], true, s)
+		if err != nil {
+			return nil, nil, err
+		}
+		bp.skip[b] = fOK && bOK
+	}
+
+	rest := make([]int32, 0, len(order))
+	for i, h := range order {
+		if b := i / bpRootsPerBlock; b < blocks && bp.skip[b] {
+			continue // exact coverage via the mask BFS: no pruned BFS needed
+		}
+		rest = append(rest, h)
+	}
+	return bp, rest, nil
+}
+
+// bpScratch is the reusable working state of bpBFS: mask arrays sized
+// to the graph and the two frontier lists.
+type bpScratch struct {
+	cur, nxt []uint64 // root masks arriving at this / the next level
+	seen     []uint64
+	frontier []int32
+	next     []int32
+}
+
+// bpBFS runs one level-synchronised 64-source mask BFS from roots into
+// dist (len n×64, pre-filled bpNone), over out-edges when rev is false
+// and in-edges otherwise. It reports whether the BFS completed within
+// bpMaxDist levels; on an incomplete run the reached prefix is exact
+// and everything beyond stays bpNone. Scratch mask arrays must be zero
+// on entry and are re-zeroed before returning.
+func bpBFS(ctx context.Context, f *graph.Frozen, roots []int32, dist []uint8, rev bool, s *bpScratch) (complete bool, err error) {
+	cur, nxt, seen := s.cur, s.nxt, s.seen
+	frontier, next := s.frontier[:0], s.next[:0]
+	for i, r := range roots {
+		if r < 0 {
+			continue
+		}
+		if cur[r] == 0 {
+			frontier = append(frontier, r)
+		}
+		cur[r] |= uint64(1) << uint(i)
+	}
+	complete = true
+	for d := int32(0); len(frontier) > 0; d++ {
+		if err := ctx.Err(); err != nil {
+			bpResetMasks(cur, nxt, seen, frontier, next)
+			return false, err
+		}
+		if d > bpMaxDist {
+			complete = false // leftover frontier keeps bpNone: "no info"
+			break
+		}
+		// Settle: bits arriving at this level that no earlier level saw
+		// are final distances.
+		for _, v := range frontier {
+			nb := cur[v] &^ seen[v]
+			cur[v] = nb
+			if nb == 0 {
+				continue
+			}
+			seen[v] |= nb
+			row := dist[int(v)*bpRootsPerBlock : (int(v)+1)*bpRootsPerBlock]
+			for m := nb; m != 0; m &= m - 1 {
+				row[bits.TrailingZeros64(m)] = uint8(d)
+			}
+		}
+		// Expand: move each node's new mask across its edges.
+		next = next[:0]
+		for _, v := range frontier {
+			nb := cur[v]
+			cur[v] = 0
+			if nb == 0 {
+				continue
+			}
+			var nbrs []int32
+			if rev {
+				nbrs = f.In(int(v))
+			} else {
+				nbrs = f.Out(int(v))
+			}
+			for _, w := range nbrs {
+				add := nb &^ seen[w]
+				if add == 0 {
+					continue
+				}
+				if nxt[w] == 0 {
+					next = append(next, w)
+				}
+				nxt[w] |= add
+			}
+		}
+		cur, nxt = nxt, cur
+		frontier, next = next, frontier
+	}
+	bpResetMasks(cur, nxt, seen, frontier, next)
+	s.cur, s.nxt, s.seen = cur, nxt, seen
+	s.frontier, s.next = frontier[:0], next[:0]
+	return complete, nil
+}
+
+// bpResetMasks re-zeroes the scratch arrays after a run (or an aborted
+// one): cur may hold the unexpanded frontier masks, nxt partially
+// accumulated next-level masks, and seen everything settled.
+func bpResetMasks(cur, nxt, seen []uint64, frontier, next []int32) {
+	for _, v := range frontier {
+		cur[v] = 0
+	}
+	for _, v := range next {
+		nxt[v] = 0
+	}
+	for i := range seen {
+		if seen[i] != 0 {
+			seen[i] = 0
+			cur[i] = 0
+			nxt[i] = 0
+		}
+	}
+}

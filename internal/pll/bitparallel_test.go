@@ -1,0 +1,57 @@
+package pll
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBPCoversMatchesScalar pins the SWAR coverage test against the
+// scalar reference on adversarial byte rows. A SWAR false positive
+// would prune a needed label entry and silently corrupt the index, so
+// every boundary the lane arithmetic has — sums crossing 127, operands
+// crossing 128, the bpNone marker, d at the scalar-fallback edge — is
+// driven explicitly alongside random rows.
+func TestBPCoversMatchesScalar(t *testing.T) {
+	// Values straddling every lane boundary the SWAR form cares about.
+	edge := []uint8{0, 1, 63, 64, 126, 127, 128, 129, 253, bpMaxDist, bpNone}
+	rng := rand.New(rand.NewSource(99))
+	randRow := func() []uint8 {
+		row := make([]uint8, bpRootsPerBlock)
+		for i := range row {
+			switch rng.Intn(3) {
+			case 0:
+				row[i] = edge[rng.Intn(len(edge))]
+			case 1:
+				row[i] = uint8(rng.Intn(16)) // realistic small distances
+			default:
+				row[i] = uint8(rng.Intn(256))
+			}
+		}
+		return row
+	}
+	ds := []int32{0, 1, 2, 5, 63, 125, 126, 127, 128, 254, 300}
+	var hw [bpWordsPerRow]uint64
+	for trial := 0; trial < 5000; trial++ {
+		hRow, wRow := randRow(), randRow()
+		if trial%17 == 0 {
+			// Single-lane rows: isolate each lane position once in a while
+			// so a cross-lane carry bug cannot hide behind other lanes.
+			lane := rng.Intn(bpRootsPerBlock)
+			solo := make([]uint8, bpRootsPerBlock)
+			for i := range solo {
+				solo[i] = bpNone
+			}
+			solo[lane] = hRow[lane]
+			hRow = solo
+		}
+		loadCoverWords(hRow, &hw)
+		for _, d := range ds {
+			got := bpCovers(&hw, hRow, wRow, d)
+			want := bpCoversScalar(hRow, wRow, d)
+			if got != want {
+				t.Fatalf("trial %d d=%d: bpCovers=%v scalar=%v\nh=%v\nw=%v",
+					trial, d, got, want, hRow, wRow)
+			}
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package pll
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"gpm/internal/graph"
+)
+
+// Batched-parallel construction (paraPLL-style). The hub order is
+// partitioned into rank batches; the pruned BFSes of one batch run
+// concurrently, pruning only against the committed labels of previous
+// batches (plus the bit-parallel roots), and their label additions are
+// buffered and committed single-threaded in rank order between batches.
+//
+// Two properties fall out of that protocol:
+//
+//   - Determinism. What a BFS produces depends only on the committed
+//     prefix, and the batch schedule (doubling sizes, capped) is fixed
+//     by the graph alone — so the index is byte-identical at every
+//     worker count; only scheduling varies.
+//   - Supersets, not equality. Hubs inside one batch cannot prune
+//     against each other the way the strictly-sequential build lets
+//     them, so batched labels may strictly contain the classic build's.
+//     Correctness is therefore pinned at the distance level: every
+//     entry is a true distance, and coverage of all pairs is preserved
+//     (the pruning certificate only ever cites already-committed,
+//     higher-ranked hubs). The small doubling batches keep the
+//     redundancy negligible — the high-degree hubs that do almost all
+//     the pruning sit alone or nearly alone in the earliest batches.
+
+// maxBatch caps the doubling batch size. Larger batches expose more
+// parallelism but weaken intra-batch pruning; 64 keeps the label
+// overhead against the sequential build under a few percent while
+// saturating any realistic worker count on the flat tail of the degree
+// distribution.
+const maxBatch = 64
+
+// labelAdd is one buffered label entry: hub t.hub reaches node at
+// distance d (direction decided by the task).
+type labelAdd struct {
+	node, d int32
+}
+
+// batchTask is one pruned BFS of the current batch: hub × direction.
+// Workers claim tasks off an atomic counter and buffer additions into
+// buf; the coordinator commits bufs in task (= rank) order.
+type batchTask struct {
+	hub int32
+	rev bool
+	buf []labelAdd
+	err error
+}
+
+// batchScratch is one worker's reusable BFS state, mirroring the
+// classic build's scratch plus the per-block hub-side cover rows of the
+// bit-parallel pruning query (raw bytes for the scalar fallback, packed
+// words for the SWAR fast path).
+type batchScratch struct {
+	dist     []int32
+	T        []int32
+	tTouched []int32
+	queue    []int32
+	hRow     [][]uint8
+	hw       [][bpWordsPerRow]uint64
+}
+
+func newBatchScratch(n, blocks int) *batchScratch {
+	sc := &batchScratch{
+		dist:  make([]int32, n),
+		T:     make([]int32, n),
+		queue: make([]int32, 0, 1024),
+		hRow:  make([][]uint8, blocks),
+		hw:    make([][bpWordsPerRow]uint64, blocks),
+	}
+	for i := range sc.dist {
+		sc.dist[i] = -1
+		sc.T[i] = -1
+	}
+	return sc
+}
+
+// buildBatched is the batched-parallel flavor of Build: an optional
+// bit-parallel phase over the top hubs, then rank batches of concurrent
+// pruned BFSes committed in order.
+func buildBatched(ctx context.Context, f *graph.Frozen, opts Options, idx *Index) error {
+	n := f.N()
+	in := newStore(n, opts.Arena, idx.inOv)
+	out := newStore(n, opts.Arena, idx.outOv)
+	order := hubOrder(f)
+
+	var bp *bpIndex
+	var pruneBlocks []int
+	if opts.BitParallel > 0 {
+		var err error
+		bp, order, err = buildBitParallel(ctx, f, order, opts.BitParallel)
+		if err != nil {
+			return err
+		}
+		idx.bp = bp
+		// Only complete blocks may prune: their arrays hold the exact
+		// distance of every reachable (root, node) pair, so a certificate
+		// cited during pruning is always visible again at query time. An
+		// incomplete block's arrays are partial — its roots keep their
+		// pruned BFSes (they stay in order) and the arrays serve queries
+		// only as extra candidates.
+		for b := 0; b < bp.blocks; b++ {
+			if !bp.skip[b] {
+				continue
+			}
+			pruneBlocks = append(pruneBlocks, b)
+			// Roots with no pruned BFS still carry their self entries:
+			// every consumer (loadT, the self-entry invariant, the
+			// oracle probes) assumes (v, 0) is in both labels of v.
+			for _, r := range bp.roots[b*bpRootsPerBlock : (b+1)*bpRootsPerBlock] {
+				if r >= 0 {
+					in.append(r, r, 0)
+					out.append(r, r, 0)
+				}
+			}
+		}
+	}
+
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1 // BitParallel > 0 alone selects this builder
+	}
+	blocks := 0
+	if bp != nil {
+		blocks = bp.blocks
+	}
+	scratch := make([]*batchScratch, workers)
+	for i := range scratch {
+		scratch[i] = newBatchScratch(n, blocks)
+	}
+
+	var tasks []batchTask
+	size := 1
+	for lo := 0; lo < len(order); {
+		hi := lo + size
+		if hi > len(order) {
+			hi = len(order)
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		tasks = tasks[:0]
+		for _, h := range order[lo:hi] {
+			tasks = append(tasks,
+				batchTask{hub: h, rev: false},
+				batchTask{hub: h, rev: true})
+		}
+		if err := runBatch(ctx, f, tasks, scratch, in, out, bp, pruneBlocks); err != nil {
+			return err
+		}
+		// Commit in rank order, forward before backward per hub — the
+		// same per-store append order the classic build produces.
+		for i := range tasks {
+			t := &tasks[i]
+			lbl := in
+			if t.rev {
+				lbl = out
+			}
+			for _, a := range t.buf {
+				lbl.append(a.node, t.hub, a.d)
+			}
+			t.buf = nil
+		}
+		lo = hi
+		if size < maxBatch {
+			size *= 2
+		}
+	}
+
+	idx.inOff, idx.inW = in.compact(n)
+	idx.outOff, idx.outW = out.compact(n)
+	return nil
+}
+
+// runBatch executes the batch's tasks on min(len(scratch), len(tasks))
+// workers and waits for all of them. The stores are read-only for the
+// duration — every addition is buffered — so concurrent covered/loadT
+// reads are safe.
+func runBatch(ctx context.Context, f *graph.Frozen, tasks []batchTask, scratch []*batchScratch, in, out *store, bp *bpIndex, pruneBlocks []int) error {
+	nw := len(scratch)
+	if nw > len(tasks) {
+		nw = len(tasks)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(sc *batchScratch) {
+			defer wg.Done()
+			for {
+				ti := next.Add(1) - 1
+				if ti >= int64(len(tasks)) {
+					return
+				}
+				t := &tasks[ti]
+				t.err = runBatchTask(ctx, f, t, sc, in, out, bp, pruneBlocks)
+				if t.err != nil {
+					return // ctx cancelled: peers see it at their next poll
+				}
+			}
+		}(scratch[w])
+	}
+	wg.Wait()
+	for i := range tasks {
+		if tasks[i].err != nil {
+			return tasks[i].err
+		}
+	}
+	return nil
+}
+
+// runBatchTask runs one buffered pruned BFS — the batched counterpart
+// of prunedBFS, with the bit-parallel cover check in front of the label
+// cover check (byte rows are far cheaper than the label walk).
+func runBatchTask(ctx context.Context, f *graph.Frozen, t *batchTask, sc *batchScratch, in, out *store, bp *bpIndex, pruneBlocks []int) error {
+	h := t.hub
+	own, lbl := out, in
+	if t.rev {
+		own, lbl = in, out
+	}
+	// T carries h's own committed label of the opposite direction — the
+	// "earlier hubs" side of the pruning query — plus h itself at 0,
+	// standing in for the self entry the classic build would have
+	// committed between the two passes.
+	sc.tTouched = own.loadT(h, sc.T, sc.tTouched[:0])
+	if sc.T[h] < 0 {
+		sc.T[h] = 0
+		sc.tTouched = append(sc.tTouched, h)
+	}
+	for _, b := range pruneBlocks {
+		if t.rev {
+			sc.hRow[b] = bp.fwdRow(b, h)
+		} else {
+			sc.hRow[b] = bp.bwdRow(b, h)
+		}
+		loadCoverWords(sc.hRow[b], &sc.hw[b])
+	}
+	q := sc.queue[:0]
+	dist := sc.dist
+	dist[h] = 0
+	q = append(q, h)
+	var err error
+	for head := 0; head < len(q); head++ {
+		if head&ctxCheckMask == ctxCheckMask {
+			if err = ctx.Err(); err != nil {
+				break
+			}
+		}
+		w := q[head]
+		d := dist[w]
+		if bpPrunes(bp, pruneBlocks, sc, w, d, t.rev) || lbl.covered(w, sc.T, d) {
+			continue
+		}
+		t.buf = append(t.buf, labelAdd{node: w, d: d})
+		var nbrs []int32
+		if t.rev {
+			nbrs = f.In(int(w))
+		} else {
+			nbrs = f.Out(int(w))
+		}
+		for _, x := range nbrs {
+			if dist[x] < 0 {
+				dist[x] = d + 1
+				q = append(q, x)
+			}
+		}
+	}
+	for _, w := range q {
+		dist[w] = -1
+	}
+	sc.queue = q
+	for _, x := range sc.tTouched {
+		sc.T[x] = -1
+	}
+	return err
+}
+
+// bpPrunes reports whether some complete-block root certifies a path of
+// length <= d between the task's hub (rows preloaded into the scratch)
+// and w.
+func bpPrunes(bp *bpIndex, pruneBlocks []int, sc *batchScratch, w, d int32, rev bool) bool {
+	for _, b := range pruneBlocks {
+		var wRow []uint8
+		if rev {
+			wRow = bp.bwdRow(b, w)
+		} else {
+			wRow = bp.fwdRow(b, w)
+		}
+		if bpCovers(&sc.hw[b], sc.hRow[b], wRow, d) {
+			return true
+		}
+	}
+	return false
+}

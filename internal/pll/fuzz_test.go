@@ -1,6 +1,7 @@
 package pll
 
 import (
+	"reflect"
 	"testing"
 
 	"gpm/internal/graph"
@@ -29,8 +30,10 @@ func decodeGraph(data []byte) *graph.Graph {
 
 // FuzzPLL drives Build with random small digraphs and upholds the
 // package invariants on every input: both storage modes produce
-// bit-identical labels, every pairwise distance agrees with a reference
-// BFS, and bounded queries clamp exactly.
+// bit-identical labels, the batched build produces a byte-identical
+// index at 1 and 8 workers (with and without the bit-parallel phase),
+// every pairwise distance of every flavor agrees with a reference BFS,
+// and bounded queries clamp exactly.
 func FuzzPLL(f *testing.F) {
 	f.Add([]byte("\x04\x00\x01\x01\x02\x02\x03\x03\x00"))             // 6-node ring
 	f.Add([]byte("\x02\x00\x01\x01\x00\x00\x00"))                     // 2-cycle + self-loop
@@ -39,35 +42,54 @@ func FuzzPLL(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g := decodeGraph(data)
 		fz := g.Freeze()
-		plain, err := Build(fz, Options{})
+		plain, err := Build(bg, fz, Options{})
 		if err != nil {
 			t.Fatalf("Build: %v", err)
 		}
-		arena, err := Build(fz, Options{Arena: true})
+		arena, err := Build(bg, fz, Options{Arena: true})
 		if err != nil {
 			t.Fatalf("Build(arena): %v", err)
 		}
 		if plain.LabelEntries() != arena.LabelEntries() {
 			t.Fatalf("arena build has %d entries, plain %d", arena.LabelEntries(), plain.LabelEntries())
 		}
+		// Worker-count determinism, the batched build's core contract:
+		// 1 worker and 8 workers must agree to the byte, bit-parallel
+		// phase on or off.
+		variants := []*Index{plain, arena}
+		for _, blocks := range []int{0, 1} {
+			w1, err := Build(bg, fz, Options{Workers: 1, BitParallel: blocks})
+			if err != nil {
+				t.Fatalf("Build(w1,bp=%d): %v", blocks, err)
+			}
+			w8, err := Build(bg, fz, Options{Workers: 8, BitParallel: blocks})
+			if err != nil {
+				t.Fatalf("Build(w8,bp=%d): %v", blocks, err)
+			}
+			if !reflect.DeepEqual(w1, w8) {
+				t.Fatalf("bp=%d: index differs between 1 and 8 workers", blocks)
+			}
+			variants = append(variants, w1)
+		}
 		truth := bfsTruth(fz)
 		n := fz.N()
 		for u := 0; u < n; u++ {
 			for v := 0; v < n; v++ {
 				want := int(truth[u][v])
-				if got := plain.Dist(u, v); got != want {
-					t.Fatalf("Dist(%d,%d) = %d, BFS says %d", u, v, got, want)
-				}
-				if got := arena.Dist(u, v); got != want {
-					t.Fatalf("arena Dist(%d,%d) = %d, BFS says %d", u, v, got, want)
+				for vi, idx := range variants {
+					if got := idx.Dist(u, v); got != want {
+						t.Fatalf("variant %d Dist(%d,%d) = %d, BFS says %d", vi, u, v, got, want)
+					}
 				}
 				for _, b := range []int{0, 1, 2, 5} {
 					wantB := want
 					if want < 0 || want > b {
 						wantB = -1
 					}
-					if got := plain.DistWithin(u, v, b); got != wantB {
-						t.Fatalf("DistWithin(%d,%d,%d) = %d, want %d", u, v, b, got, wantB)
+					for vi, idx := range variants {
+						if got := idx.DistWithin(u, v, b); got != wantB {
+							t.Fatalf("variant %d DistWithin(%d,%d,%d) = %d, want %d", vi, u, v, b, got, wantB)
+						}
 					}
 				}
 			}

@@ -23,9 +23,19 @@
 // saturate the field and keep their exact value in a per-direction
 // overflow map, so queries stay exact on pathological long-path graphs
 // while the common case costs 4 bytes per entry.
+//
+// Construction comes in two flavors. The classic sequential build
+// (Options.Workers == 0) processes hubs strictly in rank order. The
+// batched build (build_parallel.go, selected by Options.Workers >= 1 or
+// Options.BitParallel > 0) partitions the hub order into rank batches,
+// runs the pruned BFSes of one batch concurrently against the immutable
+// committed prefix, and commits labels in rank order — so the index is
+// identical at every worker count — optionally after a bit-parallel
+// phase (bitparallel.go) that folds the top hubs into mask BFSes.
 package pll
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -34,7 +44,9 @@ import (
 
 // MaxNodes is the largest node count the packed label words address: hub
 // ids occupy the top 24 bits of a word. Build rejects larger graphs.
-const MaxNodes = 1 << 24
+// It is a variable only so tests can lower the ceiling without
+// allocating 2²⁴ real nodes; treat it as a constant everywhere else.
+var MaxNodes = 1 << 24
 
 // satDist is the saturation value of the 8-bit distance field. Entries
 // whose distance is >= satDist store satDist in the word and their exact
@@ -71,6 +83,7 @@ type Index struct {
 	outW   []uint32
 	inOv   map[uint64]int32 // exact distances of saturated in entries
 	outOv  map[uint64]int32
+	bp     *bpIndex // bit-parallel root distances; nil when BitParallel == 0
 }
 
 // Options configures Build.
@@ -83,12 +96,46 @@ type Options struct {
 	// the labels are compacted into their final CSR form. The resulting
 	// index is bit-identical to the default build.
 	Arena bool
+
+	// Workers selects the batched-parallel builder (build_parallel.go)
+	// and its concurrency. 0 keeps the classic strictly-sequential
+	// build. Any value >= 1 runs the rank-batched build; the resulting
+	// index is identical at every worker count (batching and commit
+	// order are fixed by the graph, only scheduling varies), but it is
+	// generally a superset of the classic build's labels — correctness
+	// is pinned at the distance level, not the byte level.
+	Workers int
+
+	// BitParallel is the number of 64-root bit-parallel blocks (AIY §4.2
+	// adapted to directed graphs): the top BitParallel×64 hubs are
+	// folded into mask BFSes — two level-synchronised traversals per
+	// block instead of 128 pruned BFSes — and their exact distances
+	// serve both pruning during the rest of the build and queries.
+	// BitParallel > 0 implies the batched builder.
+	BitParallel int
 }
 
 // AutoOptions picks build options for f: slice-backed labels for small
-// graphs, arena-backed past ArenaEdgeThreshold edges.
+// graphs, arena-backed past ArenaEdgeThreshold edges, and one
+// bit-parallel block once the graph is large enough that the top hubs'
+// full BFSes dominate the build.
 func AutoOptions(f *graph.Frozen) Options {
-	return Options{Arena: f.M() >= ArenaEdgeThreshold}
+	return Options{
+		Arena:       f.M() >= ArenaEdgeThreshold,
+		BitParallel: autoBitParallel(f.N()),
+	}
+}
+
+// bpAutoMinNodes is the node count past which AutoOptions turns on the
+// bit-parallel phase: below it the top hubs' BFSes are cheap and the
+// 128 bytes/node of root-distance storage is pure overhead.
+const bpAutoMinNodes = 4096
+
+func autoBitParallel(n int) int {
+	if n >= bpAutoMinNodes {
+		return 1
+	}
+	return 0
 }
 
 // checkSize rejects node counts the 24-bit hub field cannot address.
@@ -100,9 +147,10 @@ func checkSize(n int) error {
 }
 
 // Build constructs the labelling of f by pruned forward and backward BFS
-// from every node in descending-degree order. It errors only when f has
-// more nodes than the packed words can address (MaxNodes).
-func Build(f *graph.Frozen, opts Options) (*Index, error) {
+// from every node in descending-degree order. It errors when f has more
+// nodes than the packed words can address (MaxNodes) or when ctx is
+// cancelled mid-build (the partial index is discarded).
+func Build(ctx context.Context, f *graph.Frozen, opts Options) (*Index, error) {
 	n := f.N()
 	if err := checkSize(n); err != nil {
 		return nil, err
@@ -113,21 +161,16 @@ func Build(f *graph.Frozen, opts Options) (*Index, error) {
 		idx.outOff = []int64{0}
 		return idx, nil
 	}
+	if opts.Workers > 0 || opts.BitParallel > 0 {
+		if err := buildBatched(ctx, f, opts, idx); err != nil {
+			return nil, err
+		}
+		return idx, nil
+	}
 	in := newStore(n, opts.Arena, idx.inOv)
 	out := newStore(n, opts.Arena, idx.outOv)
 
-	order := make([]int32, n)
-	for i := range order {
-		order[i] = int32(i)
-	}
-	sort.Slice(order, func(a, b int) bool {
-		da := f.OutDegree(int(order[a])) + f.InDegree(int(order[a]))
-		db := f.OutDegree(int(order[b])) + f.InDegree(int(order[b]))
-		if da != db {
-			return da > db
-		}
-		return order[a] < order[b]
-	})
+	order := hubOrder(f)
 
 	// T holds the current hub's own label expanded by hub id — the
 	// "earlier hubs" side of the pruning query — reset via tTouched.
@@ -141,6 +184,9 @@ func Build(f *graph.Frozen, opts Options) (*Index, error) {
 	queue := make([]int32, 0, 1024)
 
 	for _, h := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Forward BFS from h labels Lin: the pruning query needs
 		// d(h, x) for every earlier hub x that h reaches, i.e. Lout(h).
 		tTouched = out.loadT(h, T, tTouched[:0])
@@ -148,9 +194,12 @@ func Build(f *graph.Frozen, opts Options) (*Index, error) {
 			T[h] = 0
 			tTouched = append(tTouched, h)
 		}
-		prunedBFS(f, h, false, dist, &queue, T, in)
+		err := prunedBFS(ctx, f, h, false, dist, &queue, T, in)
 		for _, x := range tTouched {
 			T[x] = -1
+		}
+		if err != nil {
+			return nil, err
 		}
 		// Backward BFS labels Lout; the query side flips to Lin(h),
 		// which now includes the self entry (h, 0) the forward pass
@@ -160,9 +209,12 @@ func Build(f *graph.Frozen, opts Options) (*Index, error) {
 			T[h] = 0
 			tTouched = append(tTouched, h)
 		}
-		prunedBFS(f, h, true, dist, &queue, T, out)
+		err = prunedBFS(ctx, f, h, true, dist, &queue, T, out)
 		for _, x := range tTouched {
 			T[x] = -1
+		}
+		if err != nil {
+			return nil, err
 		}
 	}
 
@@ -171,19 +223,50 @@ func Build(f *graph.Frozen, opts Options) (*Index, error) {
 	return idx, nil
 }
 
+// hubOrder returns every node in descending (in+out)-degree order, node
+// id breaking ties — the processing rank shared by every build flavor.
+func hubOrder(f *graph.Frozen) []int32 {
+	order := make([]int32, f.N())
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da := f.OutDegree(int(order[a])) + f.InDegree(int(order[a]))
+		db := f.OutDegree(int(order[b])) + f.InDegree(int(order[b]))
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// ctxCheckMask throttles context polls inside BFS hot loops: the check
+// runs every ctxCheckMask+1 dequeues, bounding cancellation latency by
+// a few thousand node expansions while keeping the poll off the hot
+// path.
+const ctxCheckMask = 2047
+
 // prunedBFS runs one pruned BFS from h — forward over out-edges when rev
 // is false (adding h to Lin of reached nodes), backward over in-edges
 // otherwise (adding h to Lout). dist must be pre-filled with -1 and is
-// restored before returning. A visited node w at depth d is pruned —
+// restored before returning (also on cancellation, so the caller's
+// scratch stays reusable). A visited node w at depth d is pruned —
 // neither labelled nor expanded — when the labels built so far already
 // certify a path of length <= d between h and w (the AIY invariant:
 // min over x in lbl(w) of T[x] + d(x-side) where T carries h's own
 // label distances).
-func prunedBFS(f *graph.Frozen, h int32, rev bool, dist []int32, queue *[]int32, T []int32, lbl *store) {
+func prunedBFS(ctx context.Context, f *graph.Frozen, h int32, rev bool, dist []int32, queue *[]int32, T []int32, lbl *store) error {
 	q := (*queue)[:0]
 	dist[h] = 0
 	q = append(q, h)
+	var err error
 	for head := 0; head < len(q); head++ {
+		if head&ctxCheckMask == ctxCheckMask {
+			if err = ctx.Err(); err != nil {
+				break
+			}
+		}
 		w := q[head]
 		d := dist[w]
 		if lbl.covered(w, T, d) {
@@ -207,6 +290,7 @@ func prunedBFS(f *graph.Frozen, h int32, rev bool, dist []int32, queue *[]int32,
 		dist[w] = -1
 	}
 	*queue = q
+	return err
 }
 
 // N returns the number of nodes the index was built over.
@@ -245,11 +329,16 @@ func (x *Index) Dist(u, v int) int { return x.DistWithin(u, v, -1) }
 // means unbounded): it returns -1 when the shortest path is longer. The
 // bounded fast path skips label entries whose distance field alone
 // already exceeds the bound, so small-k pattern probes never touch the
-// overflow map.
+// overflow map. Bit-parallel root distances, when the index carries
+// them, participate as one more candidate set: the exact distance is
+// the minimum over ordinary hubs and bit-parallel roots.
 func (x *Index) DistWithin(u, v, bound int) int {
 	lo, li := x.OutLabel(u), x.InLabel(v)
 	bb := int32(bound)
-	best := int32(-1)
+	best := x.bp.distWithin(u, v, bb)
+	if best == 0 {
+		return 0
+	}
 	i, j := 0, 0
 	for i < len(lo) && j < len(li) {
 		hu, hv := Hub(lo[i]), Hub(li[j])
@@ -288,17 +377,40 @@ func (x *Index) DistWithin(u, v, bound int) int {
 	return int(best)
 }
 
+// BPDistWithin returns the best distance u->v certified by a
+// bit-parallel root within bound (bound < 0 means unbounded), or -1
+// when no root certifies one — always -1 on an index built without a
+// bit-parallel phase. Label-merge consumers that expand labels
+// themselves (the oracle layer's probe caches) fold this in as an
+// extra candidate set: roots of complete blocks carry no ordinary
+// label entries, so a label-only merge alone would miss their paths.
+func (x *Index) BPDistWithin(u, v, bound int) int {
+	return int(x.bp.distWithin(u, v, int32(bound)))
+}
+
 // LabelEntries returns the total number of label entries — the index
-// size statistic the hub-labeling literature reports.
+// size statistic the hub-labeling literature reports. Bit-parallel root
+// distances are stored separately (see BitParallelRoots/MemoryBytes)
+// and do not count as entries.
 func (x *Index) LabelEntries() int { return len(x.inW) + len(x.outW) }
 
+// BitParallelRoots reports how many hubs are served by the bit-parallel
+// root-distance arrays instead of (or in addition to) ordinary labels —
+// 0 when the index was built without a bit-parallel phase.
+func (x *Index) BitParallelRoots() int {
+	if x.bp == nil {
+		return 0
+	}
+	return x.bp.rootCount()
+}
+
 // MemoryBytes estimates the index footprint: packed words, offset
-// arrays, and overflow map entries.
+// arrays, overflow map entries, and bit-parallel root distances.
 func (x *Index) MemoryBytes() int64 {
 	words := int64(len(x.inW)+len(x.outW)) * 4
 	offs := int64(len(x.inOff)+len(x.outOff)) * 8
 	ov := int64(len(x.inOv)+len(x.outOv)) * 16
-	return words + offs + ov
+	return words + offs + ov + x.bp.memoryBytes()
 }
 
 // store accumulates per-node label entries during construction, in

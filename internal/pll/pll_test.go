@@ -1,12 +1,32 @@
 package pll
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
 
 	"gpm/internal/graph"
 )
+
+// bg is the build context for tests that don't exercise cancellation.
+var bg = context.Background()
+
+// buildVariants covers every construction flavor: classic sequential,
+// arena spill, batched at several worker counts, and the bit-parallel
+// phase with and without extra workers.
+var buildVariants = []struct {
+	name string
+	opts Options
+}{
+	{"classic", Options{}},
+	{"arena", Options{Arena: true}},
+	{"batched-w1", Options{Workers: 1}},
+	{"batched-w4", Options{Workers: 4}},
+	{"bp", Options{BitParallel: 1}},
+	{"bp-w4", Options{Workers: 4, BitParallel: 1}},
+	{"bp2-arena-w2", Options{Arena: true, Workers: 2, BitParallel: 2}},
+}
 
 // randomGraph builds a seeded random digraph with roughly density*n*n
 // edges (self-loops allowed — the matcher's graphs have them).
@@ -78,10 +98,10 @@ func TestDistMatchesBFS(t *testing.T) {
 	for _, tc := range cases {
 		g := randomGraph(tc.n, tc.density, tc.seed)
 		f := g.Freeze()
-		for _, arena := range []bool{false, true} {
-			idx, err := Build(f, Options{Arena: arena})
+		for _, bv := range buildVariants {
+			idx, err := Build(bg, f, bv.opts)
 			if err != nil {
-				t.Fatalf("Build(n=%d, arena=%v): %v", tc.n, arena, err)
+				t.Fatalf("Build(n=%d, %s): %v", tc.n, bv.name, err)
 			}
 			checkAgainstBFS(t, f, idx)
 		}
@@ -94,11 +114,11 @@ func TestArenaIdenticalIndex(t *testing.T) {
 	for seed := int64(0); seed < 6; seed++ {
 		g := randomGraph(60, 0.08, 100+seed)
 		f := g.Freeze()
-		plain, err := Build(f, Options{})
+		plain, err := Build(bg, f, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		arena, err := Build(f, Options{Arena: true})
+		arena, err := Build(bg, f, Options{Arena: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -108,8 +128,40 @@ func TestArenaIdenticalIndex(t *testing.T) {
 	}
 }
 
+// TestBatchedDeterministicAcrossWorkers pins the batched build's central
+// promise: worker count affects scheduling only, never the index. Every
+// (bit-parallel, arena) combination must produce byte-identical labels
+// at 1, 2, 3, and 8 workers.
+func TestBatchedDeterministicAcrossWorkers(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := randomGraph(80, 0.06, 300+seed)
+		f := g.Freeze()
+		for _, blocks := range []int{0, 1} {
+			for _, arena := range []bool{false, true} {
+				ref, err := Build(bg, f, Options{Workers: 1, BitParallel: blocks, Arena: arena})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, w := range []int{2, 3, 8} {
+					got, err := Build(bg, f, Options{Workers: w, BitParallel: blocks, Arena: arena})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(ref, got) {
+						t.Fatalf("seed %d bp=%d arena=%v: index at %d workers differs from 1 worker",
+							seed, blocks, arena, w)
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestLongPathOverflow drives distances past the 8-bit saturation point:
 // a 600-edge path must still answer exactly through the overflow map.
+// The bit-parallel variants exercise the incomplete-block path — the
+// mask BFS overflows its byte distances at 254, so its roots must keep
+// their ordinary pruned BFSes and queries stay exact end to end.
 func TestLongPathOverflow(t *testing.T) {
 	const n = 601
 	g := graph.New(n)
@@ -117,8 +169,8 @@ func TestLongPathOverflow(t *testing.T) {
 		g.AddEdge(i, i+1)
 	}
 	f := g.Freeze()
-	for _, arena := range []bool{false, true} {
-		idx, err := Build(f, Options{Arena: arena})
+	for _, bv := range buildVariants {
+		idx, err := Build(bg, f, bv.opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -132,67 +184,137 @@ func TestLongPathOverflow(t *testing.T) {
 			{500, 100, -1},
 		} {
 			if got := idx.Dist(tc.u, tc.v); got != tc.want {
-				t.Fatalf("arena=%v Dist(%d,%d) = %d, want %d", arena, tc.u, tc.v, got, tc.want)
+				t.Fatalf("%s Dist(%d,%d) = %d, want %d", bv.name, tc.u, tc.v, got, tc.want)
 			}
 		}
 		if got := idx.DistWithin(0, n-1, n-2); got != -1 {
-			t.Fatalf("DistWithin(0,%d,%d) = %d, want -1", n-1, n-2, got)
+			t.Fatalf("%s DistWithin(0,%d,%d) = %d, want -1", bv.name, n-1, n-2, got)
 		}
 		if got := idx.DistWithin(0, n-1, n-1); got != n-1 {
-			t.Fatalf("DistWithin(0,%d,%d) = %d, want %d", n-1, n-1, got, n-1)
+			t.Fatalf("%s DistWithin(0,%d,%d) = %d, want %d", bv.name, n-1, n-1, got, n-1)
 		}
 	}
 }
 
 func TestEmptyAndTiny(t *testing.T) {
-	idx, err := Build(graph.New(0).Freeze(), Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if idx.N() != 0 || idx.LabelEntries() != 0 {
-		t.Fatalf("empty graph: N=%d entries=%d", idx.N(), idx.LabelEntries())
-	}
+	for _, bv := range buildVariants {
+		idx, err := Build(bg, graph.New(0).Freeze(), bv.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx.N() != 0 || idx.LabelEntries() != 0 {
+			t.Fatalf("%s empty graph: N=%d entries=%d", bv.name, idx.N(), idx.LabelEntries())
+		}
 
-	g := graph.New(1)
-	g.AddEdge(0, 0) // self-loop: Dist is still 0, the loop is a cycle
-	idx, err = Build(g.Freeze(), Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := idx.Dist(0, 0); got != 0 {
-		t.Fatalf("Dist(0,0) = %d, want 0", got)
+		g := graph.New(1)
+		g.AddEdge(0, 0) // self-loop: Dist is still 0, the loop is a cycle
+		idx, err = Build(bg, g.Freeze(), bv.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := idx.Dist(0, 0); got != 0 {
+			t.Fatalf("%s Dist(0,0) = %d, want 0", bv.name, got)
+		}
 	}
 }
 
 // TestSelfEntries pins the label invariant the oracle layer's probe
-// caches rely on: every node carries (v, 0) in both of its labels.
+// caches rely on: every node carries (v, 0) in both of its labels —
+// including bit-parallel roots whose pruned BFSes were skipped.
 func TestSelfEntries(t *testing.T) {
 	g := randomGraph(30, 0.1, 42)
-	idx, err := Build(g.Freeze(), Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for v := 0; v < g.N(); v++ {
-		found := 0
-		for _, w := range idx.OutLabel(v) {
-			if Hub(w) == int32(v) && idx.OutDist(v, w) == 0 {
-				found++
+	for _, bv := range buildVariants {
+		idx, err := Build(bg, g.Freeze(), bv.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.N(); v++ {
+			found := 0
+			for _, w := range idx.OutLabel(v) {
+				if Hub(w) == int32(v) && idx.OutDist(v, w) == 0 {
+					found++
+				}
+			}
+			for _, w := range idx.InLabel(v) {
+				if Hub(w) == int32(v) && idx.InDist(v, w) == 0 {
+					found++
+				}
+			}
+			if found != 2 {
+				t.Fatalf("%s node %d: %d self entries, want 2", bv.name, v, found)
 			}
 		}
-		for _, w := range idx.InLabel(v) {
-			if Hub(w) == int32(v) && idx.InDist(v, w) == 0 {
-				found++
+		if idx.LabelEntries() < 2*g.N() {
+			t.Fatalf("%s LabelEntries() = %d, want >= %d", bv.name, idx.LabelEntries(), 2*g.N())
+		}
+		if idx.MemoryBytes() <= 0 {
+			t.Fatal("MemoryBytes() must be positive")
+		}
+		if bv.opts.BitParallel > 0 {
+			if idx.BitParallelRoots() != 30 {
+				t.Fatalf("%s BitParallelRoots() = %d, want 30", bv.name, idx.BitParallelRoots())
+			}
+		} else if idx.BitParallelRoots() != 0 {
+			t.Fatalf("%s BitParallelRoots() = %d, want 0", bv.name, idx.BitParallelRoots())
+		}
+	}
+}
+
+// TestBatchedSupersetOfClassic documents the batched build's label
+// discipline: it may add entries the sequential build prunes (hubs in
+// one batch cannot see each other), but never loses one.
+func TestBatchedSupersetOfClassic(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := randomGraph(70, 0.07, 500+seed)
+		f := g.Freeze()
+		classic, err := Build(bg, f, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		batched, err := Build(bg, f, Options{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batched.LabelEntries() < classic.LabelEntries() {
+			t.Fatalf("seed %d: batched build has %d entries, classic %d — batched must be a superset",
+				seed, batched.LabelEntries(), classic.LabelEntries())
+		}
+		has := func(words []uint32, hub int32) bool {
+			for _, w := range words {
+				if Hub(w) == hub {
+					return true
+				}
+			}
+			return false
+		}
+		for v := 0; v < f.N(); v++ {
+			for _, w := range classic.InLabel(v) {
+				if !has(batched.InLabel(v), Hub(w)) {
+					t.Fatalf("seed %d: batched in-label of %d lost hub %d", seed, v, Hub(w))
+				}
+			}
+			for _, w := range classic.OutLabel(v) {
+				if !has(batched.OutLabel(v), Hub(w)) {
+					t.Fatalf("seed %d: batched out-label of %d lost hub %d", seed, v, Hub(w))
+				}
 			}
 		}
-		if found != 2 {
-			t.Fatalf("node %d: %d self entries, want 2", v, found)
+	}
+}
+
+// TestBuildCancellation covers every builder flavor: a cancelled context
+// aborts construction with the context's error instead of returning a
+// partial index.
+func TestBuildCancellation(t *testing.T) {
+	g := randomGraph(200, 0.05, 7)
+	f := g.Freeze()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, bv := range buildVariants {
+		idx, err := Build(ctx, f, bv.opts)
+		if err != context.Canceled {
+			t.Fatalf("%s: Build on cancelled ctx: idx=%v err=%v, want context.Canceled", bv.name, idx, err)
 		}
-	}
-	if idx.LabelEntries() < 2*g.N() {
-		t.Fatalf("LabelEntries() = %d, want >= %d", idx.LabelEntries(), 2*g.N())
-	}
-	if idx.MemoryBytes() <= 0 {
-		t.Fatal("MemoryBytes() must be positive")
 	}
 }
 

@@ -193,13 +193,17 @@ func badRequest(format string, args ...interface{}) *httpError {
 
 // writeError maps an error to a JSON error response. Context errors
 // become 504: the request's deadline (or the shutting-down server)
-// cancelled the fixpoint.
+// cancelled the fixpoint. A graph bound beyond its oracle's addressing
+// limit becomes 422: the request was well-formed, the binding cannot
+// serve it — and, critically for a daemon, the process stays up.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	var he *httpError
 	switch {
 	case errors.As(err, &he):
 		code = he.code
+	case errors.Is(err, gpm.ErrGraphTooLarge):
+		code = http.StatusUnprocessableEntity
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		code = http.StatusGatewayTimeout
 	}

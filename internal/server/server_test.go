@@ -15,6 +15,7 @@ import (
 
 	"gpm"
 	"gpm/client"
+	"gpm/internal/pll"
 	"gpm/internal/server"
 )
 
@@ -555,6 +556,57 @@ func TestPLLOracleBinding(t *testing.T) {
 				t.Fatalf("node %d: pll relation differs from matrix reference", u)
 			}
 		}
+	}
+}
+
+// TestOversizedPLLBindingIs422 pins the daemon-survival contract for a
+// graph forced onto PLL past the labelling's addressing limit: Bind
+// succeeds (no panic takes the process down), oracle-backed queries
+// answer 422 with the exact error document, oracle-less semantics on
+// the same binding keep working, and the server stays live throughout.
+// MaxNodes is a variable so the test does not need a 16M-node graph;
+// not parallel, since it mutates that global.
+func TestOversizedPLLBindingIs422(t *testing.T) {
+	saved := pll.MaxNodes
+	pll.MaxNodes = 64
+	defer func() { pll.MaxNodes = saved }()
+
+	g := testGraph() // 300 nodes > the lowered MaxNodes
+	srv := server.New(server.Config{})
+	if err := srv.Bind("g", g, gpm.WithOracle(gpm.OraclePLL)); err != nil {
+		t.Fatalf("Bind on an oversized PLL graph must defer the error, got %v", err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	t.Cleanup(srv.Close)
+
+	p := testPattern(g, 3)
+	body := string(encodeWire(t, client.QueryRequest{Graph: "g", Pattern: patternText(t, p)}))
+
+	code, got := postRaw(t, ts.Client(), ts.URL, "/match", body)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("/match on oversized PLL binding: status %d, want 422 (body %s)", code, got)
+	}
+	want := encodeWire(t, client.ErrorResponse{Error: fmt.Sprintf(
+		"gpm: WithOracle(OraclePLL) on a %d-node graph; PLL labels address at most %d nodes: %v",
+		g.N(), pll.MaxNodes, gpm.ErrGraphTooLarge)})
+	if !bytes.Equal(got, want) {
+		t.Fatalf("/match error body:\n got %s want %s", got, want)
+	}
+
+	// The same binding still serves oracle-less semantics...
+	if code, got := postRaw(t, ts.Client(), ts.URL, "/simulate", body); code != http.StatusOK {
+		t.Fatalf("/simulate on the same binding: status %d, want 200 (body %s)", code, got)
+	}
+	// ...and the process is alive, not restarted: the old panic here was
+	// fatal to every other graph the daemon served.
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz after 422: status %d", resp.StatusCode)
 	}
 }
 
