@@ -161,11 +161,12 @@ func (c *Client) StrongSimulate(ctx context.Context, graph string, p *gpm.Patter
 	return c.relation(ctx, "/strong", graph, p)
 }
 
-// EnumerateOptions bounds a remote enumeration.
+// EnumerateOptions bounds a remote enumeration or count.
 type EnumerateOptions struct {
 	Algo          string // "vf2" (default) | "ullmann"
 	MaxEmbeddings int
 	MaxSteps      int64
+	NoPlan        bool // skip the server-side query planner
 }
 
 // Enumerate lists subgraph-isomorphism embeddings. A ctx deadline that
@@ -184,11 +185,39 @@ func (c *Client) Enumerate(ctx context.Context, graph string, p *gpm.Pattern, op
 		Algo:          opts.Algo,
 		MaxEmbeddings: opts.MaxEmbeddings,
 		MaxSteps:      opts.MaxSteps,
+		NoPlan:        opts.NoPlan,
 	}, &enum)
 	if err != nil {
 		return nil, err
 	}
 	return &enum, nil
+}
+
+// Count reports the number of subgraph-isomorphism embeddings without
+// materialising them, using the server's query planner (symmetry
+// breaking and inclusion-exclusion counting) unless opts.NoPlan. The
+// partial contract matches Enumerate: a ctx deadline that expires
+// mid-search still returns the count found so far with Complete ==
+// false and Truncated set. MaxEmbeddings is ignored — counting is
+// always exhaustive.
+func (c *Client) Count(ctx context.Context, graph string, p *gpm.Pattern, opts EnumerateOptions) (*Count, error) {
+	text, err := patternText(p)
+	if err != nil {
+		return nil, err
+	}
+	var cnt Count
+	err = c.post(ctx, "/count", QueryRequest{
+		Graph:     graph,
+		Pattern:   text,
+		TimeoutMS: timeoutMS(ctx),
+		Algo:      opts.Algo,
+		MaxSteps:  opts.MaxSteps,
+		NoPlan:    opts.NoPlan,
+	}, &cnt)
+	if err != nil {
+		return nil, err
+	}
+	return &cnt, nil
 }
 
 // MatchBatch computes one bounded-simulation match per pattern, fanned

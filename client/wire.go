@@ -9,8 +9,8 @@
 // returns.
 package client
 
-// QueryRequest is the body of POST /match, /simulate, /dual, /strong
-// and /enumerate.
+// QueryRequest is the body of POST /match, /simulate, /dual, /strong,
+// /enumerate and /count.
 type QueryRequest struct {
 	// Graph names a graph bound at daemon startup (see GET /graphs).
 	Graph string `json:"graph"`
@@ -21,10 +21,11 @@ type QueryRequest struct {
 	// daemon's default (its -timeout flag).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 
-	// Enumerate-only options.
+	// Enumerate/count-only options.
 	Algo          string `json:"algo,omitempty"` // "vf2" (default) | "ullmann"
 	MaxEmbeddings int    `json:"max_embeddings,omitempty"`
 	MaxSteps      int64  `json:"max_steps,omitempty"`
+	NoPlan        bool   `json:"no_plan,omitempty"` // skip the query planner
 }
 
 // BatchRequest is the body of POST /batch: one bounded-simulation match
@@ -76,6 +77,21 @@ type Enumeration struct {
 	Complete   bool      `json:"complete"`
 	Truncated  string    `json:"truncated,omitempty"` // context error when deadline hit
 	Stats      Stats     `json:"stats"`
+}
+
+// Count is the response of POST /count: the embedding count computed
+// without materialising embeddings, using the query planner's symmetry
+// breaking unless the request opted out. The partial contract matches
+// /enumerate: a mid-search deadline still returns HTTP 200 with the
+// count found so far, Complete == false and Truncated set.
+type Count struct {
+	Graph         string `json:"graph"`
+	Count         int64  `json:"count"`
+	Steps         int64  `json:"steps"`
+	Complete      bool   `json:"complete"`
+	Automorphisms int    `json:"automorphisms"`
+	Truncated     string `json:"truncated,omitempty"` // context error when deadline hit
+	Stats         Stats  `json:"stats"`
 }
 
 // WatchRequest is the body of POST /watch: start incremental

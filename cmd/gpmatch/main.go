@@ -3,21 +3,26 @@
 // Usage:
 //
 //	gpmatch -graph g.graph -pattern p.pattern
-//	        [-semantics match|bfs|2hop|pll|auto|sim|dual|strong|vf2|ullmann]
-//	        [-workers N] [-result] [-limit 100] [-time]
+//	        [-semantics match|bfs|2hop|pll|auto|sim|dual|strong|iso|vf2|ullmann]
+//	        [-workers N] [-result] [-limit 100] [-time] [-plan] [-count] [-noplan]
 //
 // The default semantics is the paper's cubic-time Match (bounded
 // simulation over a distance matrix); bfs/2hop/pll/auto select the oracle
 // (auto lets the engine pick from the graph's size and density). sim is
 // plain graph simulation; dual and strong are the topology-preserving
 // semantics of Ma et al. (VLDB 2012), requiring all edge bounds to be 1;
-// vf2/ullmann print embeddings under the traditional subgraph-
-// isomorphism semantics (-limit caps them). -result additionally prints
-// the result graph (bounded, dual and strong simulation). -time reports
-// the oracle preprocessing and the matching time separately. -workers
-// sets the matching parallelism and the PLL oracle's batched-parallel
-// build width (0 = GOMAXPROCS); every worker count returns identical
-// output. -algo is the deprecated spelling of -semantics.
+// iso/vf2/ullmann print embeddings under the traditional subgraph-
+// isomorphism semantics (-limit caps them; iso is VF2 under the query
+// planner's matching order and symmetry breaking, the engine default).
+// For those semantics -plan prints the chosen plan, -count prints the
+// embedding count (computed without materialising embeddings) instead of
+// listing them, and -noplan opts out of the planner. -result additionally
+// prints the result graph (bounded, dual and strong simulation). -time
+// reports the oracle preprocessing and the matching time separately.
+// -workers sets the matching parallelism and the PLL oracle's
+// batched-parallel build width (0 = GOMAXPROCS); every worker count
+// returns identical output. -algo is the deprecated spelling of
+// -semantics.
 package main
 
 import (
@@ -35,11 +40,14 @@ func main() {
 		graphPath   = flag.String("graph", "", "data graph file (required)")
 		patternPath = flag.String("pattern", "", "pattern file (required)")
 		algo        = flag.String("algo", "", "deprecated alias for -semantics")
-		semantics   = flag.String("semantics", "", "match | bfs | 2hop | pll | auto | sim | dual | strong | vf2 | ullmann")
+		semantics   = flag.String("semantics", "", "match | bfs | 2hop | pll | auto | sim | dual | strong | iso | vf2 | ullmann")
 		showResult  = flag.Bool("result", false, "print the result graph (bounded/dual/strong simulation)")
-		limit       = flag.Int("limit", 100, "embedding cap for vf2/ullmann")
+		limit       = flag.Int("limit", 100, "embedding cap for iso/vf2/ullmann")
 		showTime    = flag.Bool("time", false, "print oracle-build and match time separately")
 		workers     = flag.Int("workers", 0, "matching and oracle-build parallelism (0 = GOMAXPROCS)")
+		showPlan    = flag.Bool("plan", false, "print the enumeration plan (iso/vf2/ullmann)")
+		count       = flag.Bool("count", false, "print the embedding count instead of embeddings (iso/vf2/ullmann)")
+		noPlan      = flag.Bool("noplan", false, "skip the query planner (iso/vf2/ullmann)")
 	)
 	flag.Parse()
 	if *graphPath == "" || *patternPath == "" {
@@ -53,13 +61,17 @@ func main() {
 	if sem == "" {
 		sem = "match"
 	}
-	if err := run(os.Stdout, *graphPath, *patternPath, sem, *showResult, *limit, *showTime, *workers); err != nil {
+	if err := run(os.Stdout, *graphPath, *patternPath, sem, *showResult, *limit, *showTime, *workers, *showPlan, *count, *noPlan); err != nil {
 		fmt.Fprintln(os.Stderr, "gpmatch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, graphPath, patternPath, semantics string, showResult bool, limit int, showTime bool, workers int) error {
+func run(w io.Writer, graphPath, patternPath, semantics string, showResult bool, limit int, showTime bool, workers int, showPlan, count, noPlan bool) error {
+	isEnum := semantics == "iso" || semantics == "vf2" || semantics == "ullmann"
+	if (showPlan || count || noPlan) && !isEnum {
+		return fmt.Errorf("-plan/-count/-noplan apply to -semantics iso|vf2|ullmann, not %q", semantics)
+	}
 	g, err := gpm.LoadGraphFile(graphPath)
 	if err != nil {
 		return err
@@ -129,12 +141,31 @@ func run(w io.Writer, graphPath, patternPath, semantics string, showResult bool,
 		if showResult {
 			fmt.Fprint(w, eng.ResultGraphOf(res.Result).String())
 		}
-	case "vf2", "ullmann":
-		opts := gpm.IsoOptions{MaxEmbeddings: limit}
+	case "iso", "vf2", "ullmann":
+		opts := gpm.IsoOptions{MaxEmbeddings: limit, NoPlan: noPlan}
 		if semantics == "ullmann" {
 			opts.Algo = gpm.AlgoUllmann
 		}
 		eng := gpm.NewEngine(g, engOpts...)
+		if showPlan {
+			pl, err := eng.EnumerationPlan(p)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, pl.String())
+		}
+		if count {
+			cnt, err := eng.CountEmbeddings(ctx, p, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%s: count=%d (complete=%v, steps=%d, |Aut|=%d)\n",
+				semantics, cnt.Count, cnt.Complete, cnt.Steps, cnt.Automorphisms)
+			if showTime {
+				printTime(w, cnt.Stats)
+			}
+			return nil
+		}
 		enum, err := eng.Enumerate(ctx, p, opts)
 		if err != nil {
 			return err

@@ -20,23 +20,30 @@ func TestGoldenSemantics(t *testing.T) {
 		name       string
 		semantics  string
 		showResult bool
+		showPlan   bool
+		count      bool
+		noPlan     bool
 	}{
-		{"match", "match", true},
-		{"bfs", "bfs", false},
-		{"2hop", "2hop", false},
-		{"pll", "pll", false},
-		{"auto", "auto", false},
-		{"sim", "sim", false},
-		{"dual", "dual", true},
-		{"strong", "strong", true},
-		{"vf2", "vf2", false},
-		{"ullmann", "ullmann", false},
+		{name: "match", semantics: "match", showResult: true},
+		{name: "bfs", semantics: "bfs"},
+		{name: "2hop", semantics: "2hop"},
+		{name: "pll", semantics: "pll"},
+		{name: "auto", semantics: "auto"},
+		{name: "sim", semantics: "sim"},
+		{name: "dual", semantics: "dual", showResult: true},
+		{name: "strong", semantics: "strong", showResult: true},
+		{name: "vf2", semantics: "vf2"},
+		{name: "ullmann", semantics: "ullmann"},
+		{name: "iso", semantics: "iso"},
+		{name: "iso-plan", semantics: "iso", showPlan: true},
+		{name: "iso-count", semantics: "iso", count: true},
+		{name: "iso-noplan", semantics: "iso", noPlan: true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var buf bytes.Buffer
 			err := run(&buf, filepath.Join("testdata", "tiny.graph"), filepath.Join("testdata", "tiny.pattern"),
-				tc.semantics, tc.showResult, 100, false, 0)
+				tc.semantics, tc.showResult, 100, false, 0, tc.showPlan, tc.count, tc.noPlan)
 			if err != nil {
 				t.Fatalf("run(%s): %v", tc.semantics, err)
 			}
@@ -62,8 +69,18 @@ func TestGoldenSemantics(t *testing.T) {
 func TestUnknownSemantics(t *testing.T) {
 	var buf bytes.Buffer
 	err := run(&buf, filepath.Join("testdata", "tiny.graph"), filepath.Join("testdata", "tiny.pattern"),
-		"nonsense", false, 100, false, 0)
+		"nonsense", false, 100, false, 0, false, false, false)
 	if err == nil {
 		t.Fatal("run accepted unknown semantics")
+	}
+}
+
+// -plan/-count/-noplan are enumeration-only flags.
+func TestEnumFlagsRejectedElsewhere(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, filepath.Join("testdata", "tiny.graph"), filepath.Join("testdata", "tiny.pattern"),
+		"match", false, 100, false, 0, false, true, false)
+	if err == nil {
+		t.Fatal("run accepted -count with -semantics match")
 	}
 }

@@ -23,6 +23,9 @@ var volatileColumns = map[string]bool{
 	"speedup":              true,
 	"inc (ms/batch)":       true,
 	"recompute (ms/batch)": true,
+	"unplanned (ms)":       true,
+	"planned (ms)":         true,
+	"count (ms)":           true,
 }
 
 // scrub replaces run-dependent report fields and table cells with fixed
@@ -127,5 +130,44 @@ func TestGoldenIncsimJSON(t *testing.T) {
 func TestByIDUnknown(t *testing.T) {
 	if _, err := bench.ByID("no-such-exp", bench.Config{}); err == nil {
 		t.Fatal("ByID accepted an unknown experiment")
+	}
+}
+
+// Golden-file pin of the `gpmbench -exp plan -json` document: the
+// trajectory schema, the planner table's shape, and the deterministic
+// cells — |Aut|, restriction counts and embedding counts per shape —
+// must not drift. The embedding counts double as a correctness pin: the
+// experiment asserts in-run that planned, unplanned and counting paths
+// agree, so this golden freezes what they agree on.
+func TestGoldenPlanJSON(t *testing.T) {
+	cfg := bench.Config{Scale: 0.15, Patterns: 2, SynthNodes: 600}
+	tables, err := bench.ByID("plan", cfg)
+	if err != nil {
+		t.Fatalf("ByID(plan): %v", err)
+	}
+	report := makeReport("plan", cfg, time.Time{}, 0, tables)
+	scrub(&report)
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, report); err != nil {
+		t.Fatalf("writeJSON: %v", err)
+	}
+
+	goldenPath := filepath.Join("testdata", "golden", "plan_json.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-exp plan -json diverges from %s\n--- got ---\n%s\n--- want ---\n%s",
+			goldenPath, buf.String(), want)
 	}
 }

@@ -1,7 +1,8 @@
 // Command gpmd is the graph pattern matching daemon: it binds named
 // data graphs into gpm.Engines and serves every matching semantics the
 // module implements over HTTP/JSON — bounded simulation, plain/dual/
-// strong simulation, subgraph-isomorphism enumeration, pattern batches,
+// strong simulation, subgraph-isomorphism enumeration and counting
+// (/enumerate and /count, planner-backed by default), pattern batches,
 // and stateful watch sessions fed by streamed edge updates. See
 // internal/server for the endpoint list and gpm/client for the typed Go
 // client.

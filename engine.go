@@ -12,6 +12,7 @@ import (
 	"gpm/internal/core"
 	"gpm/internal/graph"
 	"gpm/internal/incremental"
+	"gpm/internal/plan"
 	"gpm/internal/pll"
 	"gpm/internal/simulation"
 	"gpm/internal/subiso"
@@ -159,6 +160,19 @@ type SimulationResult struct {
 type EnumerationResult struct {
 	*Enumeration
 	Stats MatchStats
+}
+
+// CountResult is an embedding count (see [Engine.CountEmbeddings]) with
+// its query stats.
+type CountResult struct {
+	Count    int64 // number of embeddings
+	Steps    int64 // search-tree nodes explored
+	Complete bool  // false when a budget or cancellation cut the count short
+	// Automorphisms is the pattern's automorphism-group size the planner
+	// exploited (each explored canonical embedding stands for this many;
+	// 1 when unplanned).
+	Automorphisms int
+	Stats         MatchStats
 }
 
 // TopoResult is a dual- or strong-simulation outcome with its query
@@ -577,26 +591,119 @@ func (e *Engine) StrongSimulate(ctx context.Context, p *Pattern) (*TopoResult, e
 	}}, nil
 }
 
+// usePlanner reports whether Enumerate/CountEmbeddings should consult the
+// query planner: it is the default, unless the caller opted out or
+// brought their own plan.
+func usePlanner(opts IsoOptions) bool {
+	return !opts.NoPlan && opts.Order == nil && len(opts.Restrictions) == 0 && opts.ExpandPerEmbedding <= 1
+}
+
 // Enumerate lists subgraph-isomorphism embeddings of p (edge-to-edge
 // semantics) against the bound graph; opts bounds the search and selects
-// VF2 (default) or Ullmann. On cancellation it returns ctx.Err()
-// alongside the partial enumeration found so far (Complete == false),
-// so deadline-bounded callers keep their best-effort embeddings.
+// VF2 (default) or Ullmann. By default the search runs under a query plan
+// (internal/plan): a cost-modelled matching order plus symmetry-breaking
+// restrictions whose canonical embeddings are re-expanded through the
+// pattern's automorphism group, so the reported embedding set is exactly
+// the unplanned one. IsoOptions.NoPlan opts out. On cancellation it
+// returns ctx.Err() alongside the partial enumeration found so far
+// (Complete == false), so deadline-bounded callers keep their best-effort
+// embeddings.
 func (e *Engine) Enumerate(ctx context.Context, p *Pattern, opts IsoOptions) (*EnumerationResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Snapshot the CSR under the read lock, then search lock-free: a
+	// single exponential enumeration must not starve Update and the
+	// watchers behind the write lock.
 	e.mu.RLock()
-	defer e.mu.RUnlock()
+	f := e.frozen()
+	e.mu.RUnlock()
 	start := time.Now()
-	enum, err := subiso.Enumerate(ctx, p, e.g, opts)
+	opts.CountOnly = false
+	var aut [][]int32
+	if usePlanner(opts) {
+		pl, err := plan.Build(p, f)
+		if err != nil {
+			return nil, err
+		}
+		opts.Order, opts.Restrictions = pl.Order, pl.Restrictions
+		opts.ExpandPerEmbedding = len(pl.Aut)
+		aut = pl.Aut
+	}
+	enum, err := subiso.EnumerateFrozen(ctx, p, f, opts)
 	if enum == nil {
 		return nil, err
 	}
+	if len(aut) > 1 {
+		enum.Embeddings = plan.Expand(enum.Embeddings, aut)
+		limit := opts.MaxEmbeddings
+		if limit <= 0 {
+			limit = 1<<31 - 1
+		}
+		if len(enum.Embeddings) > limit {
+			enum.Embeddings = enum.Embeddings[:limit]
+			enum.Complete = false
+		}
+	}
+	enum.Count = int64(len(enum.Embeddings))
 	return &EnumerationResult{Enumeration: enum, Stats: MatchStats{
 		Oracle:    OracleNone,
 		MatchTime: time.Since(start),
 	}}, err
+}
+
+// CountEmbeddings counts the subgraph-isomorphism embeddings of p without
+// materialising them. Under the default plan the search enumerates one
+// canonical embedding per automorphism orbit and multiplies by |Aut|, and
+// switches to inclusion-exclusion over the independent tail of the
+// matching order — often orders of magnitude cheaper than
+// len(Enumerate(...)). MaxEmbeddings is ignored; MaxSteps and ctx still
+// bound the search (partial counts come back with Complete == false, and
+// ctx.Err() alongside on cancellation).
+func (e *Engine) CountEmbeddings(ctx context.Context, p *Pattern, opts IsoOptions) (*CountResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	f := e.frozen()
+	e.mu.RUnlock()
+	start := time.Now()
+	opts.CountOnly = true
+	opts.MaxEmbeddings = 0
+	factor := 1
+	if usePlanner(opts) {
+		pl, err := plan.Build(p, f)
+		if err != nil {
+			return nil, err
+		}
+		opts.Order, opts.Restrictions = pl.Order, pl.Restrictions
+		opts.ExpandPerEmbedding = len(pl.Aut)
+		factor = len(pl.Aut)
+	}
+	enum, err := subiso.EnumerateFrozen(ctx, p, f, opts)
+	if enum == nil {
+		return nil, err
+	}
+	return &CountResult{
+		Count:         enum.Count,
+		Steps:         enum.Steps,
+		Complete:      enum.Complete,
+		Automorphisms: factor,
+		Stats: MatchStats{
+			Oracle:    OracleNone,
+			MatchTime: time.Since(start),
+		},
+	}, err
+}
+
+// EnumerationPlan returns the plan Enumerate and CountEmbeddings would
+// run p under: matching order, symmetry-breaking restrictions and the
+// automorphism group (gpmatch -plan surfaces it).
+func (e *Engine) EnumerationPlan(p *Pattern) (*EnumPlan, error) {
+	e.mu.RLock()
+	f := e.frozen()
+	e.mu.RUnlock()
+	return plan.Build(p, f)
 }
 
 // ResultGraph materialises the succinct result graph (§2.2) of a match

@@ -1,0 +1,221 @@
+package gpm_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"gpm"
+)
+
+// wildTriangle is the fully symmetric triangle pattern: three wildcard
+// nodes, bidirectional bound-1 edges (|Aut| = 6).
+func wildTriangle(tb testing.TB) *gpm.Pattern {
+	tb.Helper()
+	p := gpm.NewPattern()
+	for i := 0; i < 3; i++ {
+		p.AddNode(nil)
+	}
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}} {
+		if _, err := p.AddEdge(e[0], e[1], 1); err != nil {
+			tb.Fatal(err)
+		}
+		if _, err := p.AddEdge(e[1], e[0], 1); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return p
+}
+
+// completeGraph builds the complete digraph on n unlabeled nodes.
+func completeGraph(n int) *gpm.Graph {
+	g := gpm.NewGraph(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// A bounded in-flight enumeration must not starve Engine.Update: the
+// engine snapshots the frozen CSR under its read lock and releases it
+// before searching. With the lock held across the search (the old
+// behavior) this test times out on Update.
+func TestUpdateDuringEnumerate(t *testing.T) {
+	g := completeGraph(60)
+	eng := gpm.NewEngine(g)
+	// 6-clique count, unplanned: a search far too large to finish — it
+	// runs until the context is cancelled.
+	p := gpm.NewPattern()
+	for i := 0; i < 6; i++ {
+		p.AddNode(nil)
+	}
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			p.AddEdge(i, j, 1)
+			p.AddEdge(j, i, 1)
+		}
+	}
+	ctx, cancelSearch := context.WithCancel(context.Background())
+	defer cancelSearch()
+	searchDone := make(chan error, 1)
+	go func() {
+		res, err := eng.CountEmbeddings(ctx, p, gpm.IsoOptions{NoPlan: true})
+		if err == nil {
+			err = fmt.Errorf("count finished before cancellation (complete=%v)", res.Complete)
+		}
+		searchDone <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // let the search get going
+	updateDone := make(chan error, 1)
+	go func() {
+		// A real mutation: the search must keep reading its snapshot.
+		_, err := eng.Update(gpm.DeleteEdge(0, 1))
+		updateDone <- err
+	}()
+	select {
+	case <-updateDone:
+		// Update returned while the enumeration is still running: the
+		// write lock was not starved.
+	case <-time.After(10 * time.Second):
+		t.Fatal("Update blocked behind an in-flight enumeration")
+	}
+	cancelSearch()
+	if err := <-searchDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("search ended with %v, want context.Canceled", err)
+	}
+}
+
+// A graph holding exactly MaxEmbeddings embeddings must report
+// Complete=true — the budget being reached is not the same as the search
+// being truncated. One fewer budget slot must still report truncation.
+func TestEnumerateExactBudgetComplete(t *testing.T) {
+	// Two disjoint labeled directed triangles: exactly 2 embeddings of
+	// the labeled triangle pattern (|Aut| = 1).
+	g := gpm.NewGraph(0)
+	for i := 0; i < 2; i++ {
+		a := g.AddNode(gpm.Attrs{"label": gpm.Str("A")})
+		b := g.AddNode(gpm.Attrs{"label": gpm.Str("B")})
+		c := g.AddNode(gpm.Attrs{"label": gpm.Str("C")})
+		g.AddEdge(a, b)
+		g.AddEdge(b, c)
+		g.AddEdge(c, a)
+	}
+	p := gpm.NewPattern()
+	p.AddNode(gpm.Label("A"))
+	p.AddNode(gpm.Label("B"))
+	p.AddNode(gpm.Label("C"))
+	p.AddEdge(0, 1, 1)
+	p.AddEdge(1, 2, 1)
+	p.AddEdge(2, 0, 1)
+
+	eng := gpm.NewEngine(g)
+	ctx := context.Background()
+	for _, algo := range []gpm.EnumAlgo{gpm.AlgoVF2, gpm.AlgoUllmann} {
+		for _, noplan := range []bool{false, true} {
+			name := fmt.Sprintf("algo=%v/noplan=%v", algo, noplan)
+			exact, err := eng.Enumerate(ctx, p, gpm.IsoOptions{MaxEmbeddings: 2, Algo: algo, NoPlan: noplan})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(exact.Embeddings) != 2 || !exact.Complete {
+				t.Errorf("%s: exact budget: %d embeddings complete=%v, want 2 and true",
+					name, len(exact.Embeddings), exact.Complete)
+			}
+			short, err := eng.Enumerate(ctx, p, gpm.IsoOptions{MaxEmbeddings: 1, Algo: algo, NoPlan: noplan})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(short.Embeddings) != 1 || short.Complete {
+				t.Errorf("%s: short budget: %d embeddings complete=%v, want 1 and false",
+					name, len(short.Embeddings), short.Complete)
+			}
+		}
+	}
+}
+
+// The same exact-budget contract must hold when the planner's
+// automorphism expansion produces the final embedding count.
+func TestEnumerateExactBudgetWithExpansion(t *testing.T) {
+	// One bidirectional triangle: the symmetric triangle pattern has
+	// exactly 6 embeddings (3! orderings), all from one canonical one.
+	g := gpm.NewGraph(3)
+	for _, e := range [][2]int{{0, 1}, {1, 0}, {1, 2}, {2, 1}, {0, 2}, {2, 0}} {
+		g.AddEdge(e[0], e[1])
+	}
+	eng := gpm.NewEngine(g)
+	p := wildTriangle(t)
+	ctx := context.Background()
+	exact, err := eng.Enumerate(ctx, p, gpm.IsoOptions{MaxEmbeddings: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact.Embeddings) != 6 || !exact.Complete {
+		t.Fatalf("exact budget with |Aut|=6: %d embeddings complete=%v, want 6 and true",
+			len(exact.Embeddings), exact.Complete)
+	}
+	short, err := eng.Enumerate(ctx, p, gpm.IsoOptions{MaxEmbeddings: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(short.Embeddings) != 5 || short.Complete {
+		t.Fatalf("short budget with |Aut|=6: %d embeddings complete=%v, want 5 and false",
+			len(short.Embeddings), short.Complete)
+	}
+	cnt, err := eng.CountEmbeddings(ctx, p, gpm.IsoOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt.Count != 6 || !cnt.Complete || cnt.Automorphisms != 6 {
+		t.Fatalf("count = %+v, want 6 complete via |Aut|=6", cnt)
+	}
+}
+
+// Planned and unplanned enumeration agree as multisets, and the count
+// agrees with the enumeration length, on generated workloads.
+func TestEnginePlannedVsUnplanned(t *testing.T) {
+	g := engineTestGraph(t, 150, 700, 23)
+	eng := gpm.NewEngine(g)
+	ctx := context.Background()
+	pats := engineTestPatterns(t, g, 5)
+	pats = append(pats, wildTriangle(t))
+	for i, p := range pats {
+		plain, err := eng.Enumerate(ctx, p, gpm.IsoOptions{NoPlan: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		planned, err := eng.Enumerate(ctx, p, gpm.IsoOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := embKeys(plain.Embeddings), embKeys(planned.Embeddings)
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("pattern %d: planned multiset (%d) != unplanned (%d)", i, len(b), len(a))
+		}
+		cnt, err := eng.CountEmbeddings(ctx, p, gpm.IsoOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cnt.Count != int64(len(plain.Embeddings)) {
+			t.Fatalf("pattern %d: count %d != %d embeddings", i, cnt.Count, len(plain.Embeddings))
+		}
+		if planned.Count != int64(len(planned.Embeddings)) {
+			t.Fatalf("pattern %d: result Count %d != len %d", i, planned.Count, len(planned.Embeddings))
+		}
+	}
+}
+
+func embKeys(embs [][]int32) []string {
+	out := make([]string, len(embs))
+	for i, e := range embs {
+		out[i] = fmt.Sprint(e)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -54,6 +54,7 @@ import (
 	"gpm/internal/graph"
 	"gpm/internal/incremental"
 	"gpm/internal/pattern"
+	"gpm/internal/plan"
 	"gpm/internal/simulation"
 	"gpm/internal/subiso"
 	"gpm/internal/topo"
@@ -108,6 +109,10 @@ type (
 	IsoOptions = subiso.Options
 	// EnumAlgo selects the enumeration algorithm in IsoOptions.Algo.
 	EnumAlgo = subiso.Algo
+	// EnumPlan is the query plan Engine.Enumerate runs under by default:
+	// cost-modelled matching order, symmetry-breaking restrictions, and
+	// the pattern's automorphism group (see Engine.EnumerationPlan).
+	EnumPlan = plan.Plan
 )
 
 // Enumeration algorithms for IsoOptions.Algo.

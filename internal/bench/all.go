@@ -83,6 +83,7 @@ func All(cfg Config) []*Table {
 		EngineThroughput(cfg),
 		ParallelSpeedup(cfg),
 		TopoSpeedup(cfg),
+		PlanSpeedup(cfg),
 		IncSimSpeedup(cfg),
 		ServeThroughput(cfg),
 	}
@@ -147,11 +148,13 @@ func ByID(id string, cfg Config) ([]*Table, error) {
 		return []*Table{ParallelSpeedup(cfg)}, nil
 	case "topo":
 		return []*Table{TopoSpeedup(cfg)}, nil
+	case "plan":
+		return []*Table{PlanSpeedup(cfg)}, nil
 	case "incsim":
 		return []*Table{IncSimSpeedup(cfg)}, nil
 	case "serve":
 		return []*Table{ServeThroughput(cfg)}, nil
 	default:
-		return nil, fmt.Errorf("bench: unknown experiment %q (want all, datasets, 6a, 6b, 6c, 6d, 6e, 6f, 6g, 6h, 6i, 6j, 6k, fig9, gr, aff, 2hop, oracle, oracle-parallel, million, ablation, engine, parallel, topo, incsim, serve)", id)
+		return nil, fmt.Errorf("bench: unknown experiment %q (want all, datasets, 6a, 6b, 6c, 6d, 6e, 6f, 6g, 6h, 6i, 6j, 6k, fig9, gr, aff, 2hop, oracle, oracle-parallel, million, ablation, engine, parallel, topo, plan, incsim, serve)", id)
 	}
 }

@@ -45,6 +45,7 @@ func TestGrStatsTable(t *testing.T)  { checkTable(t, GrStats(tiny()), 1) }
 func TestAffStatsTable(t *testing.T) { checkTable(t, AffStats(tiny()), 1) }
 func TestTwoHopTable(t *testing.T)   { checkTable(t, TwoHopStats(tiny()), 3) }
 func TestAblationTable(t *testing.T) { checkTable(t, Ablation(tiny()), 2) }
+func TestPlanTable(t *testing.T)     { checkTable(t, PlanSpeedup(tiny()), 4) }
 func TestServeTable(t *testing.T)    { checkTable(t, ServeThroughput(tiny()), 4) }
 func TestOracleTable(t *testing.T)   { checkTable(t, OracleStats(tiny()), 12) }
 

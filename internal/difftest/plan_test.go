@@ -1,0 +1,126 @@
+package difftest
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+
+	"gpm"
+	"gpm/internal/generator"
+)
+
+// planShapes are the four symmetric shapes the plan bench measures
+// (internal/bench cannot be imported here — it imports difftest — so
+// the shapes are restated): bidirectional bound-1 edges over wildcard
+// nodes, the high-|Aut| regime where symmetry breaking does real work.
+var planShapes = []struct {
+	name  string
+	nodes int
+	edges [][2]int
+}{
+	{"triangle", 3, [][2]int{{0, 1}, {1, 2}, {0, 2}}},
+	{"4-clique", 4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}},
+	{"house", 5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 4}, {1, 4}}},
+	{"chordal-6-cycle", 6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {0, 3}}},
+}
+
+func shapePattern(tb testing.TB, nodes int, edges [][2]int) *gpm.Pattern {
+	tb.Helper()
+	p := gpm.NewPattern()
+	for i := 0; i < nodes; i++ {
+		p.AddNode(nil)
+	}
+	for _, e := range edges {
+		if _, err := p.AddEdge(e[0], e[1], 1); err != nil {
+			tb.Fatal(err)
+		}
+		if _, err := p.AddEdge(e[1], e[0], 1); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return p
+}
+
+// symWorkloadGraph returns a symmetrised random graph: every generated
+// edge gets its reverse, so the undirected shapes have embeddings.
+func symWorkloadGraph(nodes, edges int, seed int64) *gpm.Graph {
+	g := generator.Graph(generator.GraphConfig{
+		Nodes: nodes, Edges: edges, Attrs: 3, Model: generator.PowerLaw, Seed: seed,
+	})
+	var fwd [][2]int32
+	g.Edges(func(u, v int) { fwd = append(fwd, [2]int32{int32(u), int32(v)}) })
+	for _, e := range fwd {
+		g.AddEdge(int(e[1]), int(e[0]))
+	}
+	return g
+}
+
+// sortedEmbeddings is the order-insensitive view of an enumeration: the
+// planner reorders the search, so only the multiset is contractual.
+func sortedEmbeddings(embs [][]int32) []string {
+	out := make([]string, len(embs))
+	for i, e := range embs {
+		out[i] = fmt.Sprint(e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// The planner is an optimisation, not a semantics: planned enumeration
+// must return exactly the unplanned embedding multiset, and
+// CountEmbeddings must equal the enumeration length, at every worker
+// count, on the bench shapes and on random iso-biased workloads.
+func TestPlannedEnumerationEquivalence(t *testing.T) {
+	ctx := context.Background()
+	type job struct {
+		name string
+		g    *gpm.Graph
+		p    *gpm.Pattern
+	}
+	var jobs []job
+	shapeG := symWorkloadGraph(120, 360, 7)
+	for _, s := range planShapes {
+		jobs = append(jobs, job{s.name, shapeG, shapePattern(t, s.nodes, s.edges)})
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		w := NewWorkload(seed, Config{IsoBias: true, K: 1, PEdges: 4})
+		for pi, p := range w.Patterns {
+			jobs = append(jobs, job{fmt.Sprintf("workload-%d-%d", seed, pi), w.G, p})
+		}
+	}
+	for _, jb := range jobs {
+		for _, workers := range []int{1, 2, 4, 8} {
+			eng := gpm.NewEngine(jb.g, gpm.WithWorkers(workers))
+			plain, err := eng.Enumerate(ctx, jb.p, gpm.IsoOptions{NoPlan: true})
+			if err != nil {
+				t.Fatalf("%s workers=%d: unplanned: %v", jb.name, workers, err)
+			}
+			planned, err := eng.Enumerate(ctx, jb.p, gpm.IsoOptions{})
+			if err != nil {
+				t.Fatalf("%s workers=%d: planned: %v", jb.name, workers, err)
+			}
+			if !plain.Complete || !planned.Complete {
+				t.Fatalf("%s workers=%d: incomplete enumeration (plain=%v planned=%v)",
+					jb.name, workers, plain.Complete, planned.Complete)
+			}
+			a, b := sortedEmbeddings(plain.Embeddings), sortedEmbeddings(planned.Embeddings)
+			if fmt.Sprint(a) != fmt.Sprint(b) {
+				t.Fatalf("%s workers=%d: planned multiset (%d) != unplanned (%d)",
+					jb.name, workers, len(b), len(a))
+			}
+			cnt, err := eng.CountEmbeddings(ctx, jb.p, gpm.IsoOptions{})
+			if err != nil {
+				t.Fatalf("%s workers=%d: count: %v", jb.name, workers, err)
+			}
+			if cnt.Count != int64(len(plain.Embeddings)) {
+				t.Fatalf("%s workers=%d: count %d != %d enumerated",
+					jb.name, workers, cnt.Count, len(plain.Embeddings))
+			}
+			if planned.Count != int64(len(planned.Embeddings)) {
+				t.Fatalf("%s workers=%d: enumeration Count %d != len %d",
+					jb.name, workers, planned.Count, len(planned.Embeddings))
+			}
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// The fuzz target lives in an external test package so it can drive the
+// planner through the public gpm.Engine surface (gpm imports
+// internal/plan, so the inner package cannot import it back).
+package plan_test
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+
+	"gpm"
+)
+
+// decodePlanCase grows a tiny labeled graph and bound-1 pattern from
+// fuzz bytes:
+//
+//	b[0] graph nodes (2..16)    b[1] label alphabet (1..3)
+//	b[2] pattern nodes (1..4)   b[3] per-node wildcard/label mask
+//	b[4] bit 0: symmetrise the graph
+//	b[5] pattern edge count (0..2·pn)
+//	b[6:] byte pairs: first the pattern edges, then graph edges
+func decodePlanCase(data []byte) (*gpm.Graph, *gpm.Pattern) {
+	get := func(i int) byte {
+		if i < len(data) {
+			return data[i]
+		}
+		return 0
+	}
+	gn := 2 + int(get(0))%15
+	alpha := 1 + int(get(1))%3
+	pn := 1 + int(get(2))%4
+	predMask := get(3)
+	sym := get(4)&1 == 1
+	pe := int(get(5)) % (2*pn + 1)
+
+	g := gpm.NewGraph(0)
+	for i := 0; i < gn; i++ {
+		g.AddNode(gpm.Attrs{"label": gpm.Str(fmt.Sprintf("L%d", i%alpha))})
+	}
+	p := gpm.NewPattern()
+	for i := 0; i < pn; i++ {
+		if predMask&(1<<i) != 0 {
+			p.AddNode(gpm.Label(fmt.Sprintf("L%d", i%alpha)))
+		} else {
+			p.AddNode(nil)
+		}
+	}
+	pos := 6
+	for i := 0; i < pe && pos+1 < len(data); i++ {
+		u, v := int(data[pos])%pn, int(data[pos+1])%pn
+		pos += 2
+		if u != v {
+			p.AddEdge(u, v, 1) // duplicates are rejected; that's fine
+		}
+	}
+	for pos+1 < len(data) {
+		u, v := int(data[pos])%gn, int(data[pos+1])%gn
+		pos += 2
+		if u != v {
+			g.AddEdge(u, v)
+			if sym {
+				g.AddEdge(v, u)
+			}
+		}
+	}
+	return g, p
+}
+
+func multiset(embs [][]int32) string {
+	keys := make([]string, len(embs))
+	for i, e := range embs {
+		keys[i] = fmt.Sprint(e)
+	}
+	sort.Strings(keys)
+	return fmt.Sprint(keys)
+}
+
+// FuzzPlannedEnum pins the planner's only contract: on any graph and
+// pattern, planned enumeration returns exactly the unplanned embedding
+// multiset and CountEmbeddings equals the enumeration length.
+func FuzzPlannedEnum(f *testing.F) {
+	f.Add([]byte{})
+	// Symmetric triangle pattern on a symmetrised 4-cycle + chord.
+	f.Add([]byte{2, 0, 2, 0, 1, 6, 0, 1, 1, 2, 0, 2, 0, 1, 1, 2, 2, 3, 3, 0, 0, 2})
+	// Labeled 2-path on an asymmetric graph.
+	f.Add([]byte{5, 2, 2, 7, 0, 2, 0, 1, 1, 2, 0, 1, 1, 2, 2, 3, 3, 4, 4, 0, 1, 3})
+	// Isolated wildcard nodes: the whole pattern is one IE tail.
+	f.Add([]byte{9, 0, 3, 0, 0, 0, 0, 1, 2, 3, 4, 5, 5, 6})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, p := decodePlanCase(data)
+		eng := gpm.NewEngine(g)
+		ctx := context.Background()
+		opts := gpm.IsoOptions{MaxSteps: 200_000}
+
+		plainOpts := opts
+		plainOpts.NoPlan = true
+		plain, err := eng.Enumerate(ctx, p, plainOpts)
+		if err != nil {
+			t.Fatalf("unplanned: %v", err)
+		}
+		planned, err := eng.Enumerate(ctx, p, opts)
+		if err != nil {
+			t.Fatalf("planned: %v", err)
+		}
+		if planned.Count != int64(len(planned.Embeddings)) {
+			t.Fatalf("planned Count %d != len %d", planned.Count, len(planned.Embeddings))
+		}
+		// A step budget that dies mid-search leaves the two paths at
+		// different frontiers; only complete searches are comparable.
+		if plain.Complete && planned.Complete {
+			if a, b := multiset(plain.Embeddings), multiset(planned.Embeddings); a != b {
+				t.Fatalf("planned multiset diverged\nunplanned: %s\nplanned:   %s", a, b)
+			}
+			cnt, err := eng.CountEmbeddings(ctx, p, opts)
+			if err != nil {
+				t.Fatalf("count: %v", err)
+			}
+			if cnt.Complete && cnt.Count != int64(len(plain.Embeddings)) {
+				t.Fatalf("count %d != %d enumerated", cnt.Count, len(plain.Embeddings))
+			}
+		}
+	})
+}

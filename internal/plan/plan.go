@@ -1,0 +1,421 @@
+// Package plan is the query planner for subgraph-isomorphism enumeration
+// (internal/subiso): given a pattern and a frozen data-graph snapshot it
+// produces an execution plan — a cost-modelled matching order, symmetry-
+// breaking restriction pairs derived from the pattern's automorphism
+// group, and the group itself for re-expanding canonical embeddings into
+// the full embedding set.
+//
+// The techniques follow GraphPi (Shi et al., SC 2020): the matching order
+// minimises the estimated search-tree size under per-node candidate
+// counts and degree statistics; the restriction pairs force each reported
+// embedding to be the order-lexicographic minimum of its automorphism
+// orbit, so the search visits exactly one member per orbit and the full
+// count is the canonical count × |Aut|.
+package plan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"gpm/internal/graph"
+	"gpm/internal/pattern"
+)
+
+// Plan is an enumeration strategy for one (pattern, graph) pair.
+type Plan struct {
+	// Order is the matching order: position -> pattern node.
+	Order []int
+	// Restrictions are symmetry-breaking pairs (a, b) requiring
+	// f(a) < f(b) of every embedding f; a precedes b in Order.
+	Restrictions [][2]int32
+	// Aut is the pattern's automorphism group under enumeration
+	// semantics (predicates and edge colors preserved, bounds ignored —
+	// subiso treats every bound as a direct-edge requirement). The
+	// identity permutation is first. When the group is too large to
+	// enumerate, Aut holds only the identity and Restrictions is empty
+	// (the plan stays correct, just without symmetry breaking).
+	Aut [][]int32
+	// Cost is the estimated search-tree size of Order (model units, for
+	// comparing orders — not a step prediction).
+	Cost float64
+	// Cand is the per-pattern-node candidate-count estimate the cost
+	// model used (index: pattern node).
+	Cand []float64
+}
+
+// Automorphism-search caps: patterns bigger than maxAutNodes, or with
+// automorphism groups bigger than maxAutGroup (8!), fall back to the
+// identity-only group. Enumeration patterns are small — these bounds are
+// about pathological inputs (e.g. many isolated wildcard nodes), not
+// realistic queries.
+const (
+	maxAutNodes = 16
+	maxAutGroup = 40320
+)
+
+// statsSampleCap bounds the per-node candidate scan: on graphs larger
+// than this the planner samples evenly spaced nodes and extrapolates.
+const statsSampleCap = 1 << 15
+
+// Build plans the enumeration of p against the snapshot f.
+func Build(p *pattern.Pattern, f *graph.Frozen) (*Plan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cand := candCounts(p, f)
+	order, cost := chooseOrder(p, f, cand)
+	aut := Automorphisms(p)
+	return &Plan{
+		Order:        order,
+		Restrictions: restrictions(order, aut),
+		Aut:          aut,
+		Cost:         cost,
+		Cand:         cand,
+	}, nil
+}
+
+// String renders the plan for humans (gpmatch -plan).
+func (pl *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan: order %v, est cost %.4g\n", pl.Order, pl.Cost)
+	fmt.Fprintf(&b, "  automorphisms: %d", len(pl.Aut))
+	if len(pl.Restrictions) > 0 {
+		parts := make([]string, len(pl.Restrictions))
+		for i, r := range pl.Restrictions {
+			parts[i] = fmt.Sprintf("f(%d)<f(%d)", r[0], r[1])
+		}
+		fmt.Fprintf(&b, "; restrictions: %s", strings.Join(parts, ", "))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// candCounts estimates |{x : pred_u matches x}| per pattern node, with
+// the same degree pre-filters the searcher's candidate scan applies.
+func candCounts(p *pattern.Pattern, f *graph.Frozen) []float64 {
+	np, n := p.N(), f.N()
+	out := make([]float64, np)
+	if n == 0 {
+		return out
+	}
+	stride := 1
+	sampled := n
+	if n > statsSampleCap {
+		stride = (n + statsSampleCap - 1) / statsSampleCap
+		sampled = (n + stride - 1) / stride
+	}
+	for u := 0; u < np; u++ {
+		pred := p.Pred(u)
+		needOut := p.OutDegree(u) > 0
+		needIn := len(p.In(u)) > 0
+		count := 0
+		for x := 0; x < n; x += stride {
+			if needOut && f.OutDegree(x) == 0 {
+				continue
+			}
+			if needIn && f.InDegree(x) == 0 {
+				continue
+			}
+			if pred.Match(f.Attr(x)) {
+				count++
+			}
+		}
+		est := float64(count) * float64(n) / float64(sampled)
+		if est < 1 {
+			est = 1 // the cost model divides by these; keep them sane
+		}
+		out[u] = est
+	}
+	return out
+}
+
+// exhaustiveOrderCap: patterns up to this many nodes get an exhaustive
+// search over connectivity-valid orders; larger ones are planned greedily.
+const exhaustiveOrderCap = 8
+
+// chooseOrder picks the matching order minimising the modelled
+// search-tree size. Orders are restricted to connectivity-valid ones
+// (each node after the first is pattern-adjacent to an earlier one
+// whenever any unplaced node is), and ties keep the first candidate in
+// lexicographic enumeration — deterministic across runs.
+func chooseOrder(p *pattern.Pattern, f *graph.Frozen, cand []float64) ([]int, float64) {
+	np := p.N()
+	n := float64(f.N())
+	if n < 1 {
+		n = 1
+	}
+	avg := float64(f.M()) / n
+	if avg < 1 {
+		avg = 1
+	}
+	// adj[u][v] = number of pattern edges between u and v (either
+	// direction, self loops excluded — they don't branch).
+	adj := make([][]int8, np)
+	for u := range adj {
+		adj[u] = make([]int8, np)
+	}
+	for _, e := range p.Edges() {
+		if e.From != e.To {
+			adj[e.From][e.To]++
+			adj[e.To][e.From]++
+		}
+	}
+	// width models the candidate fan-out of placing u with k pattern
+	// edges into the already-placed prefix: unconnected nodes scan their
+	// whole candidate set; connected ones scan a neighborhood, thinned
+	// by predicate selectivity and by each extra edge that must also hit
+	// a placed image.
+	width := func(u, k int) float64 {
+		if k == 0 {
+			return cand[u]
+		}
+		w := avg * (cand[u] / n)
+		for i := 1; i < k; i++ {
+			w *= avg / n
+		}
+		return w
+	}
+	if np > exhaustiveOrderCap {
+		return greedyOrder(np, adj, cand, width)
+	}
+
+	var (
+		best     []int
+		bestCost = math.Inf(1)
+		order    = make([]int, 0, np)
+		placed   = make([]bool, np)
+		links    = make([]int, np) // pattern edges into the placed prefix
+	)
+	var rec func(prod, cost float64)
+	rec = func(prod, cost float64) {
+		if cost >= bestCost {
+			return // partial cost only grows
+		}
+		if len(order) == np {
+			best = append(best[:0], order...)
+			bestCost = cost
+			return
+		}
+		anyConnected := false
+		if len(order) > 0 {
+			for u := 0; u < np; u++ {
+				if !placed[u] && links[u] > 0 {
+					anyConnected = true
+					break
+				}
+			}
+		}
+		for u := 0; u < np; u++ {
+			if placed[u] || (anyConnected && links[u] == 0) {
+				continue
+			}
+			w := width(u, links[u])
+			placed[u] = true
+			order = append(order, u)
+			for v := 0; v < np; v++ {
+				links[v] += int(adj[u][v])
+			}
+			rec(prod*w, cost+prod*w)
+			for v := 0; v < np; v++ {
+				links[v] -= int(adj[u][v])
+			}
+			order = order[:len(order)-1]
+			placed[u] = false
+		}
+	}
+	rec(1, 0)
+	return best, bestCost
+}
+
+// greedyOrder is the large-pattern fallback: repeatedly place the
+// connected node with the smallest modelled width (lowest id on ties).
+func greedyOrder(np int, adj [][]int8, cand []float64, width func(u, k int) float64) ([]int, float64) {
+	order := make([]int, 0, np)
+	placed := make([]bool, np)
+	links := make([]int, np)
+	prod, cost := 1.0, 0.0
+	for len(order) < np {
+		anyConnected := false
+		if len(order) > 0 {
+			for u := 0; u < np; u++ {
+				if !placed[u] && links[u] > 0 {
+					anyConnected = true
+					break
+				}
+			}
+		}
+		best, bestW := -1, math.Inf(1)
+		for u := 0; u < np; u++ {
+			if placed[u] || (anyConnected && links[u] == 0) {
+				continue
+			}
+			if w := width(u, links[u]); w < bestW {
+				best, bestW = u, w
+			}
+		}
+		placed[best] = true
+		order = append(order, best)
+		for v := 0; v < np; v++ {
+			links[v] += int(adj[best][v])
+		}
+		prod *= bestW
+		cost += prod
+	}
+	return order, cost
+}
+
+// Automorphisms computes the pattern's automorphism group under
+// enumeration semantics: permutations σ with equal node predicates
+// (atom-set equality) and σ preserving edges and their colors in both
+// directions. Bounds are ignored, as subiso ignores them. The identity
+// is always first. Patterns over maxAutNodes nodes, or groups over
+// maxAutGroup elements, return the identity-only group.
+func Automorphisms(p *pattern.Pattern) [][]int32 {
+	np := p.N()
+	identity := func() [][]int32 {
+		id := make([]int32, np)
+		for i := range id {
+			id[i] = int32(i)
+		}
+		return [][]int32{id}
+	}
+	if np > maxAutNodes {
+		return identity()
+	}
+	keys := make([]string, np)
+	for u := 0; u < np; u++ {
+		keys[u] = nodeKey(p, u)
+	}
+	// color[u][v] tags a u->v edge: "" means absent, otherwise a
+	// non-empty tag embedding the edge color.
+	color := make([][]string, np)
+	for u := range color {
+		color[u] = make([]string, np)
+	}
+	for _, e := range p.Edges() {
+		color[e.From][e.To] = "e\x00" + e.Color
+	}
+	perm := make([]int32, np)
+	used := make([]bool, np)
+	var out [][]int32
+	overflow := false
+	var rec func(u int)
+	rec = func(u int) {
+		if overflow {
+			return
+		}
+		if u == np {
+			out = append(out, append([]int32(nil), perm...))
+			if len(out) > maxAutGroup {
+				overflow = true
+			}
+			return
+		}
+		for w := 0; w < np; w++ {
+			if used[w] || keys[w] != keys[u] {
+				continue
+			}
+			ok := color[u][u] == color[w][w]
+			for v := 0; ok && v < u; v++ {
+				m := perm[v]
+				if color[u][v] != color[w][m] || color[v][u] != color[m][w] {
+					ok = false
+				}
+			}
+			if !ok {
+				continue
+			}
+			perm[u] = int32(w)
+			used[w] = true
+			rec(u + 1)
+			used[w] = false
+			if overflow {
+				return
+			}
+		}
+	}
+	rec(0)
+	if overflow {
+		return identity()
+	}
+	// Candidates are tried in ascending order, so out[0] is the identity.
+	return out
+}
+
+// nodeKey is a canonical per-node invariant: the sorted predicate atoms
+// plus degrees. Nodes can only map to nodes with equal keys.
+func nodeKey(p *pattern.Pattern, u int) string {
+	pred := p.Pred(u)
+	atoms := make([]string, len(pred))
+	for i, a := range pred {
+		atoms[i] = a.String()
+	}
+	sort.Strings(atoms)
+	return fmt.Sprintf("%d|%d|%s", p.OutDegree(u), len(p.In(u)), strings.Join(atoms, "\x00"))
+}
+
+// restrictions derives the symmetry-breaking pairs for a matching order
+// from the automorphism group, by stabilizer chain: walking the order,
+// every group element still fixing the processed prefix pointwise that
+// moves the current node u to t contributes the pair (u, t) — forcing
+// f(u) < f(t) keeps exactly the order-lexicographic minimum of each
+// orbit. The group then shrinks to the stabilizer of u.
+func restrictions(order []int, aut [][]int32) [][2]int32 {
+	if len(aut) <= 1 {
+		return nil
+	}
+	cur := aut
+	var pairs [][2]int32
+	for _, u := range order {
+		var next [][]int32
+		targets := map[int32]bool{}
+		for _, sigma := range cur {
+			if t := sigma[u]; t == int32(u) {
+				next = append(next, sigma)
+			} else if !targets[t] {
+				targets[t] = true
+				pairs = append(pairs, [2]int32{int32(u), t})
+			}
+		}
+		cur = next
+		if len(cur) <= 1 {
+			break
+		}
+	}
+	// Deterministic pair order regardless of group enumeration order.
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	return pairs
+}
+
+// Expand maps each canonical embedding through every automorphism,
+// recovering the full embedding set from the symmetry-broken one: for
+// σ ∈ Aut, f∘σ is again an embedding, and distinct (f, σ) give distinct
+// results because the group acts freely on injective mappings. The
+// expansion of embedding i under aut j lands at index i*len(aut)+j, with
+// the identity (j = 0) first — canonical embeddings keep their relative
+// order.
+func Expand(embs [][]int32, aut [][]int32) [][]int32 {
+	if len(aut) <= 1 || len(embs) == 0 {
+		return embs
+	}
+	out := make([][]int32, 0, len(embs)*len(aut))
+	flat := make([]int32, len(embs)*len(aut)*len(embs[0]))
+	for _, f := range embs {
+		for _, sigma := range aut {
+			g := flat[:len(f):len(f)]
+			flat = flat[len(f):]
+			for u := range g {
+				g[u] = f[sigma[u]]
+			}
+			out = append(out, g)
+		}
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+
+	"gpm/internal/generator"
+	"gpm/internal/graph"
+	"gpm/internal/pattern"
+	"gpm/internal/subiso"
+)
+
+// biclique builds a pattern with wildcard nodes and bidirectional bound-1
+// edges for every listed undirected pair.
+func biclique(n int, pairs [][2]int) *pattern.Pattern {
+	p := pattern.New()
+	for i := 0; i < n; i++ {
+		p.AddNode(nil)
+	}
+	for _, e := range pairs {
+		p.AddEdge(e[0], e[1], 1)
+		p.AddEdge(e[1], e[0], 1)
+	}
+	return p
+}
+
+func triangle() *pattern.Pattern {
+	return biclique(3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+}
+
+func TestAutomorphismGroups(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *pattern.Pattern
+		want int
+	}{
+		{"triangle", triangle(), 6},
+		{"4clique", biclique(4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}), 24},
+		{"path3", biclique(3, [][2]int{{0, 1}, {1, 2}}), 2},
+		{"square", biclique(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}), 8},
+		{"isolated3", biclique(3, nil), 6},
+	}
+	// Directed 3-cycle with uniform labels: rotations only.
+	rot := pattern.New()
+	for i := 0; i < 3; i++ {
+		rot.AddNode(pattern.Label("X"))
+	}
+	rot.AddEdge(0, 1, 1)
+	rot.AddEdge(1, 2, 1)
+	rot.AddEdge(2, 0, 1)
+	cases = append(cases, struct {
+		name string
+		p    *pattern.Pattern
+		want int
+	}{"directed-3cycle", rot, 3})
+	// Distinct labels kill every non-identity automorphism.
+	lab := pattern.New()
+	for _, l := range []string{"A", "B", "C"} {
+		lab.AddNode(pattern.Label(l))
+	}
+	lab.AddEdge(0, 1, 1)
+	lab.AddEdge(1, 2, 1)
+	lab.AddEdge(2, 0, 1)
+	cases = append(cases, struct {
+		name string
+		p    *pattern.Pattern
+		want int
+	}{"labeled-3cycle", lab, 1})
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			aut := Automorphisms(tc.p)
+			if len(aut) != tc.want {
+				t.Fatalf("|Aut| = %d, want %d (%v)", len(aut), tc.want, aut)
+			}
+			for i := range aut[0] {
+				if aut[0][i] != int32(i) {
+					t.Fatalf("aut[0] is not the identity: %v", aut[0])
+				}
+			}
+			// Every element preserves edges (spot check the defining
+			// property rather than trusting the search).
+			for _, sigma := range aut {
+				for _, e := range tc.p.Edges() {
+					if !tc.p.HasEdge(int(sigma[e.From]), int(sigma[e.To])) {
+						t.Fatalf("σ=%v does not preserve edge %d->%d", sigma, e.From, e.To)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRestrictionsTriangle(t *testing.T) {
+	p := triangle()
+	pairs := restrictions([]int{0, 1, 2}, Automorphisms(p))
+	want := [][2]int32{{0, 1}, {0, 2}, {1, 2}}
+	if fmt.Sprint(pairs) != fmt.Sprint(want) {
+		t.Fatalf("restrictions = %v, want %v", pairs, want)
+	}
+}
+
+func TestExpandRecoversOrbit(t *testing.T) {
+	aut := Automorphisms(triangle())
+	canon := [][]int32{{3, 5, 9}}
+	full := Expand(canon, aut)
+	if len(full) != 6 {
+		t.Fatalf("expanded to %d embeddings, want 6", len(full))
+	}
+	seen := map[string]bool{}
+	for _, f := range full {
+		if f[0] == f[1] || f[0] == f[2] || f[1] == f[2] {
+			t.Fatalf("non-injective expansion %v", f)
+		}
+		seen[fmt.Sprint(f)] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("expansion has duplicates: %v", full)
+	}
+	if fmt.Sprint(full[0]) != fmt.Sprint(canon[0]) {
+		t.Fatalf("identity expansion %v should come first", full[0])
+	}
+}
+
+// symmetrized ER graph: every generated edge gets its reverse.
+func symGraph(nodes, edges int, seed int64) *graph.Graph {
+	g := generator.Graph(generator.GraphConfig{Nodes: nodes, Edges: edges, Attrs: 2, Seed: seed})
+	type e struct{ u, v int }
+	var add []e
+	g.Edges(func(u, v int) {
+		if !g.HasEdge(v, u) {
+			add = append(add, e{v, u})
+		}
+	})
+	for _, x := range add {
+		g.AddEdge(x.u, x.v)
+	}
+	return g
+}
+
+func canonEmb(embs [][]int32) []string {
+	out := make([]string, len(embs))
+	for i, e := range embs {
+		out[i] = fmt.Sprint(e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Planned execution (order + restrictions + expansion) must reproduce the
+// exact unplanned embedding multiset, and the planned count must match.
+func TestPlannedMatchesUnplanned(t *testing.T) {
+	shapes := map[string]*pattern.Pattern{
+		"triangle": triangle(),
+		"4clique":  biclique(4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}),
+		"path3":    biclique(3, [][2]int{{0, 1}, {1, 2}}),
+		"square":   biclique(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}),
+	}
+	ctx := context.Background()
+	for seed := int64(1); seed <= 3; seed++ {
+		g := symGraph(40, 120, seed)
+		f := g.Freeze()
+		for name, p := range shapes {
+			pl, err := Build(p, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, err := subiso.EnumerateFrozen(ctx, p, f, subiso.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := subiso.Options{Order: pl.Order, Restrictions: pl.Restrictions, ExpandPerEmbedding: len(pl.Aut)}
+			planned, err := subiso.EnumerateFrozen(ctx, p, f, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full := Expand(planned.Embeddings, pl.Aut)
+			if got, want := canonEmb(full), canonEmb(plain.Embeddings); fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("%s seed %d: planned multiset (%d) != unplanned (%d)", name, seed, len(got), len(want))
+			}
+			if planned.Count != int64(len(plain.Embeddings)) {
+				t.Fatalf("%s seed %d: planned Count %d != %d embeddings", name, seed, planned.Count, len(plain.Embeddings))
+			}
+			count, err := subiso.EnumerateFrozen(ctx, p, f, subiso.Options{
+				Order: pl.Order, Restrictions: pl.Restrictions,
+				ExpandPerEmbedding: len(pl.Aut), CountOnly: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if count.Count != int64(len(plain.Embeddings)) || count.Embeddings != nil {
+				t.Fatalf("%s seed %d: count mode got %d (emb %v), want %d and nil",
+					name, seed, count.Count, count.Embeddings != nil, len(plain.Embeddings))
+			}
+		}
+	}
+}
+
+// The symmetry-broken search must do strictly less work than the plain
+// one on a symmetric shape — the point of the planner.
+func TestRestrictionsPrune(t *testing.T) {
+	g := symGraph(60, 240, 7)
+	f := g.Freeze()
+	p := triangle()
+	pl, err := Build(p, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Aut) != 6 || len(pl.Restrictions) != 3 {
+		t.Fatalf("triangle plan: |Aut|=%d restrictions=%v", len(pl.Aut), pl.Restrictions)
+	}
+	ctx := context.Background()
+	plain, _ := subiso.EnumerateFrozen(ctx, p, f, subiso.Options{})
+	planned, _ := subiso.EnumerateFrozen(ctx, p, f, subiso.Options{
+		Order: pl.Order, Restrictions: pl.Restrictions, ExpandPerEmbedding: 6,
+	})
+	if planned.Steps*2 >= plain.Steps && plain.Steps > 100 {
+		t.Fatalf("restrictions did not prune: planned %d steps vs plain %d", planned.Steps, plain.Steps)
+	}
+}
+
+func TestBuildOrderIsPermutation(t *testing.T) {
+	g := symGraph(30, 90, 11)
+	f := g.Freeze()
+	for _, p := range []*pattern.Pattern{
+		triangle(),
+		biclique(1, nil),
+		biclique(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}}),
+		biclique(10, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 8}, {8, 9}}), // greedy path
+	} {
+		pl, err := Build(p, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pl.Order) != p.N() {
+			t.Fatalf("order %v for %d nodes", pl.Order, p.N())
+		}
+		seen := make([]bool, p.N())
+		for _, u := range pl.Order {
+			if seen[u] {
+				t.Fatalf("order %v repeats %d", pl.Order, u)
+			}
+			seen[u] = true
+		}
+	}
+}

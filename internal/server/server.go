@@ -12,6 +12,7 @@
 //	POST   /dual        dual simulation (Ma et al. VLDB 2012)
 //	POST   /strong      strong simulation
 //	POST   /enumerate   subgraph-isomorphism embeddings (VF2/Ullmann)
+//	POST   /count       embedding count (planner symmetry + incl-excl)
 //	POST   /batch       bounded simulation over a pattern batch
 //	POST   /watch       open an incremental watch session
 //	GET    /watch/{id}  snapshot a session's maintained relation
@@ -166,6 +167,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /dual", s.relationHandler("dual"))
 	s.mux.HandleFunc("POST /strong", s.relationHandler("strong"))
 	s.mux.HandleFunc("POST /enumerate", s.handleEnumerate)
+	s.mux.HandleFunc("POST /count", s.handleCount)
 	s.mux.HandleFunc("POST /batch", s.handleBatch)
 	s.mux.HandleFunc("POST /watch", s.handleWatchOpen)
 	s.mux.HandleFunc("GET /watch/{id}", s.handleWatchGet)
@@ -390,7 +392,7 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	opts := gpm.IsoOptions{MaxEmbeddings: req.MaxEmbeddings, MaxSteps: req.MaxSteps}
+	opts := gpm.IsoOptions{MaxEmbeddings: req.MaxEmbeddings, MaxSteps: req.MaxSteps, NoPlan: req.NoPlan}
 	switch req.Algo {
 	case "", "vf2":
 	case "ullmann":
@@ -424,6 +426,60 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		resp.Truncated = err.Error()
 	}
 	s.stats.record("enumerate", resp.Stats)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	s.stats.inFlight.Add(1)
+	defer s.stats.inFlight.Add(-1)
+	var req client.QueryRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	b, err := s.bindingOf(req.Graph)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	p, err := parsePattern(req.Pattern)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	opts := gpm.IsoOptions{MaxSteps: req.MaxSteps, NoPlan: req.NoPlan}
+	switch req.Algo {
+	case "", "vf2":
+	case "ullmann":
+		opts.Algo = gpm.AlgoUllmann
+	default:
+		s.writeError(w, badRequest("unknown algo %q (want vf2 or ullmann)", req.Algo))
+		return
+	}
+	ctx, stop := s.requestCtx(r, req.TimeoutMS)
+	defer stop()
+	res, err := b.eng.CountEmbeddings(ctx, p, opts)
+	if res == nil {
+		if err == nil {
+			err = fmt.Errorf("count produced no result")
+		}
+		s.writeError(w, err)
+		return
+	}
+	// Same partial contract as /enumerate: a deadline that expires
+	// mid-search still yields the count accumulated so far.
+	resp := client.Count{
+		Graph:         b.name,
+		Count:         res.Count,
+		Steps:         res.Steps,
+		Complete:      res.Complete,
+		Automorphisms: res.Automorphisms,
+		Stats:         wireStats(res.Stats),
+	}
+	if err != nil {
+		resp.Truncated = err.Error()
+	}
+	s.stats.record("count", resp.Stats)
 	writeJSON(w, http.StatusOK, resp)
 }
 

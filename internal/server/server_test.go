@@ -193,6 +193,30 @@ func TestEnumerateAndBatchMatchEngine(t *testing.T) {
 		}
 	}
 
+	// /count against the in-process engine, planned and unplanned; the
+	// planned count must also agree with the enumeration length.
+	for _, noPlan := range []bool{false, true} {
+		cnt, err := c.Count(ctx, "g", p, client.EnumerateOptions{NoPlan: noPlan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCnt, err := ref.CountEmbeddings(ctx, p, gpm.IsoOptions{NoPlan: noPlan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cnt.Count != wantCnt.Count || cnt.Complete != wantCnt.Complete ||
+			cnt.Steps != wantCnt.Steps || cnt.Automorphisms != wantCnt.Automorphisms {
+			t.Fatalf("count (noplan=%v) diverged: got %+v, want %+v", noPlan, cnt, wantCnt)
+		}
+		full, err := ref.Enumerate(ctx, p, gpm.IsoOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full.Complete && cnt.Count != int64(len(full.Embeddings)) {
+			t.Fatalf("count (noplan=%v) %d != %d enumerated embeddings", noPlan, cnt.Count, len(full.Embeddings))
+		}
+	}
+
 	ps := []*gpm.Pattern{testPattern(g, 1), testPattern(g, 2), testPattern(g, 3)}
 	results, err := c.MatchBatch(ctx, "g", ps)
 	if err != nil {
@@ -363,6 +387,28 @@ func TestDeadlinePartialEnumeration(t *testing.T) {
 	if enum.Truncated == "" {
 		t.Error("truncated enumeration carries no context error")
 	}
+
+	// The same partial contract holds for /count: a server-side deadline
+	// mid-count returns 200 with the partial count and Truncated set.
+	var buf bytes.Buffer
+	if err := gpm.WritePattern(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	body := encodeWire(t, client.QueryRequest{Graph: "dense", Pattern: buf.String(), TimeoutMS: 1})
+	status, raw := postRaw(t, ts.Client(), ts.URL, "/count", string(body))
+	if status != http.StatusOK {
+		t.Fatalf("/count under deadline: status %d: %s", status, raw)
+	}
+	var cnt client.Count
+	if err := json.Unmarshal(raw, &cnt); err != nil {
+		t.Fatal(err)
+	}
+	if cnt.Complete {
+		t.Fatal("count completed inside a 1ms deadline; grow the fixture")
+	}
+	if cnt.Truncated == "" {
+		t.Error("truncated count carries no context error")
+	}
 }
 
 // TestDeadlineExceededIsGatewayTimeout pins the non-enumeration
@@ -430,6 +476,9 @@ func TestBadRequests(t *testing.T) {
 		{"empty pattern", "/dual", `{"graph":"g","pattern":"# empty\n"}`, http.StatusBadRequest},
 		{"zero-node pattern", "/strong", `{"graph":"g","pattern":"pattern 0\n"}`, http.StatusBadRequest},
 		{"unknown algo", "/enumerate", `{"graph":"g","pattern":"pattern 1\nnode 0 label = L0\n","algo":"dfs"}`, http.StatusBadRequest},
+		{"count unknown algo", "/count", `{"graph":"g","pattern":"pattern 1\nnode 0 label = L0\n","algo":"dfs"}`, http.StatusBadRequest},
+		{"count unknown graph", "/count", `{"graph":"nope","pattern":"pattern 1\nnode 0 label = L0\n"}`, http.StatusNotFound},
+		{"count bad pattern", "/count", `{"graph":"g","pattern":"nonsense 3\n"}`, http.StatusBadRequest},
 		{"empty batch", "/batch", `{"graph":"g","patterns":[]}`, http.StatusBadRequest},
 		{"unknown watch semantics", "/watch", `{"graph":"g","pattern":"pattern 1\nnode 0 label = L0\n","semantics":"quantum"}`, http.StatusBadRequest},
 		{"unknown update op", "/update", `{"graph":"g","updates":[{"op":"?","u":0,"v":1}]}`, http.StatusBadRequest},
@@ -493,12 +542,17 @@ func TestGraphsAndStats(t *testing.T) {
 	if _, err := c.DualSimulate(ctx, "g", p); err != nil {
 		t.Fatal(err)
 	}
+	if _, err := c.Count(ctx, "g", p, client.EnumerateOptions{}); err != nil {
+		t.Fatal(err)
+	}
 	st, err := c.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.Queries["match"] != 1 || st.Queries["dual"] != 1 {
-		t.Errorf("stats queries = %+v, want match=1 dual=1", st.Queries)
+	// count must have its own bucket — it used to fall through semIndex's
+	// default and inflate the match counter.
+	if st.Queries["match"] != 1 || st.Queries["dual"] != 1 || st.Queries["count"] != 1 {
+		t.Errorf("stats queries = %+v, want match=1 dual=1 count=1", st.Queries)
 	}
 	if st.MatchTimeNS <= 0 {
 		t.Error("stats match time not accumulated")

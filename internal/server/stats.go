@@ -7,13 +7,13 @@ import (
 )
 
 // statSemantics are the query kinds the counters break down by.
-var statSemantics = []string{"match", "sim", "dual", "strong", "enumerate", "batch"}
+var statSemantics = []string{"match", "sim", "dual", "strong", "enumerate", "count", "batch"}
 
 // stats aggregates MatchStats across every query the server serves.
 // All fields are atomics: queries record concurrently from the engine's
 // read path.
 type stats struct {
-	queries       [6]atomic.Int64 // indexed by statSemantics order
+	queries       [7]atomic.Int64 // indexed by statSemantics order
 	errors        atomic.Int64
 	inFlight      atomic.Int64
 	updates       atomic.Int64

@@ -1,0 +1,205 @@
+package subiso
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// A search space holding exactly MaxEmbeddings embeddings is complete,
+// not truncated: the searcher probes past the budget to tell the two
+// apart. Regression for the pre-planner behavior that reported
+// Complete=false the moment the budget was reached.
+func TestExactBudgetComplete(t *testing.T) {
+	// Two disjoint A->B edges: exactly 2 embeddings of the A->B pattern.
+	g := labeled("A", "B", "A", "B")
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	p := edgePattern([]string{"A", "B"}, [][2]int{{0, 1}})
+	run := map[string]func(Options) *Enumeration{
+		"vf2":     func(o Options) *Enumeration { return VF2(p, g, o) },
+		"ullmann": func(o Options) *Enumeration { return Ullmann(p, g, o) },
+	}
+	for name, f := range run {
+		exact := f(Options{MaxEmbeddings: 2})
+		if len(exact.Embeddings) != 2 || !exact.Complete {
+			t.Errorf("%s exact budget: %d embeddings complete=%v, want 2/true",
+				name, len(exact.Embeddings), exact.Complete)
+		}
+		short := f(Options{MaxEmbeddings: 1})
+		if len(short.Embeddings) != 1 || short.Complete {
+			t.Errorf("%s short budget: %d embeddings complete=%v, want 1/false",
+				name, len(short.Embeddings), short.Complete)
+		}
+	}
+}
+
+// MaxSteps during the exhaustion probe must not mislabel the result
+// complete: once the step budget dies mid-probe, completeness is unknown
+// and must be reported false.
+func TestBudgetProbeRespectsMaxSteps(t *testing.T) {
+	g := labeled("A", "B", "B", "B", "B", "B")
+	for v := 1; v < 6; v++ {
+		g.AddEdge(0, v)
+	}
+	p := edgePattern([]string{"A", "B"}, [][2]int{{0, 1}})
+	e := VF2(p, g, Options{MaxEmbeddings: 2, MaxSteps: 3})
+	if e.Complete {
+		t.Fatalf("steps exhausted mid-probe, but Complete=true (%d embeddings)", len(e.Embeddings))
+	}
+}
+
+// The Ullmann searcher now shares the connectivity-aware order. This
+// pins the work saving: with a disconnected cheap node first in id order
+// and an unmatchable selective core, the connectivity-aware order fails
+// fast instead of iterating the cheap node's whole candidate set.
+func TestUllmannOrderPrunes(t *testing.T) {
+	labels := []string{"A", "B"}
+	for i := 0; i < 50; i++ {
+		labels = append(labels, "X")
+	}
+	g := labeled(labels...)
+	g.AddEdge(0, 1)
+	// Pattern node 0: X (50 candidates, no pattern edges). Nodes 1,2,3:
+	// A->B->A chain — unmatchable (B has no edge to any A).
+	p := edgePattern([]string{"X", "A", "B", "A"}, [][2]int{{1, 2}, {2, 3}})
+	e := Ullmann(p, g, Options{})
+	if len(e.Embeddings) != 0 || !e.Complete {
+		t.Fatalf("unexpected embeddings: %d (complete=%v)", len(e.Embeddings), e.Complete)
+	}
+	// Identity order would pay ~50 root steps before failing each core;
+	// the connectivity-aware order roots at the chain and fails in a
+	// handful of steps.
+	if e.Steps > 20 {
+		t.Fatalf("Ullmann explored %d steps; connectivity-aware ordering should fail fast", e.Steps)
+	}
+}
+
+// The order change must not alter what Ullmann finds.
+func TestUllmannOrderSameResults(t *testing.T) {
+	g := labeled("A", "B", "C", "A", "B", "C")
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {0, 4}, {3, 1}} {
+		g.AddEdge(e[0], e[1])
+	}
+	p := edgePattern([]string{"A", "B", "C"}, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+	u := Ullmann(p, g, Options{})
+	v := VF2(p, g, Options{})
+	if fmt.Sprint(canon(u.Embeddings)) != fmt.Sprint(canon(v.Embeddings)) {
+		t.Fatalf("ullmann %v != vf2 %v", u.Embeddings, v.Embeddings)
+	}
+}
+
+// CountOnly inclusion-exclusion over the independent tail must agree with
+// full enumeration, including under restrictions and self-loops.
+func TestCountOnlyInclusionExclusion(t *testing.T) {
+	// Star pattern: center 0 with out-edges to 3 leaves — the leaves are
+	// pairwise non-adjacent, a 3-long IE tail.
+	p := edgePattern([]string{"A", "B", "B", "B"}, [][2]int{{0, 1}, {0, 2}, {0, 3}})
+	g := labeled("A", "B", "B", "B", "B", "A")
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {5, 1}, {5, 2}} {
+		g.AddEdge(e[0], e[1])
+	}
+	plain := VF2(p, g, Options{})
+	cnt, err := VF2Context(context.Background(), p, g, Options{CountOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt.Count != int64(len(plain.Embeddings)) {
+		t.Fatalf("IE count %d != %d enumerated", cnt.Count, len(plain.Embeddings))
+	}
+	if cnt.Embeddings != nil {
+		t.Fatalf("CountOnly materialised %d embeddings", len(cnt.Embeddings))
+	}
+	// Fully disconnected pattern: the whole pattern is one IE tail.
+	iso := edgePattern([]string{"B", "B"}, nil)
+	plainIso := VF2(iso, g, Options{})
+	cntIso, _ := VF2Context(context.Background(), iso, g, Options{CountOnly: true})
+	if cntIso.Count != int64(len(plainIso.Embeddings)) {
+		t.Fatalf("disconnected IE count %d != %d", cntIso.Count, len(plainIso.Embeddings))
+	}
+}
+
+// Restriction pairs restrict: f(a) < f(b), with pairs filtering both the
+// main candidate loop and the IE candidate sets.
+func TestRestrictionsFilter(t *testing.T) {
+	g := labeled("A", "A", "A")
+	for u := 0; u < 3; u++ {
+		for v := 0; v < 3; v++ {
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	p := edgePattern([]string{"A", "A", "A"}, [][2]int{{0, 1}, {1, 2}, {2, 0}, {1, 0}, {2, 1}, {0, 2}})
+	plain := VF2(p, g, Options{})
+	if len(plain.Embeddings) != 6 {
+		t.Fatalf("triangle-on-K3: %d embeddings, want 6", len(plain.Embeddings))
+	}
+	restricted, err := VF2Context(context.Background(), p, g, Options{
+		Order:              []int{0, 1, 2},
+		Restrictions:       [][2]int32{{0, 1}, {0, 2}, {1, 2}},
+		ExpandPerEmbedding: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restricted.Embeddings) != 1 || restricted.Count != 6 {
+		t.Fatalf("canonical embeddings %d (count %d), want 1 (6)", len(restricted.Embeddings), restricted.Count)
+	}
+	if e := restricted.Embeddings[0]; !(e[0] < e[1] && e[1] < e[2]) {
+		t.Fatalf("canonical embedding %v is not the lex minimum", e)
+	}
+}
+
+// Invalid plans must be rejected, not silently misexecuted.
+func TestPlanValidation(t *testing.T) {
+	g := labeled("A", "B")
+	g.AddEdge(0, 1)
+	p := edgePattern([]string{"A", "B"}, [][2]int{{0, 1}})
+	ctx := context.Background()
+	for name, opts := range map[string]Options{
+		"short order":      {Order: []int{0}},
+		"not permutation":  {Order: []int{0, 0}},
+		"out of range":     {Order: []int{0, 2}},
+		"restr range":      {Restrictions: [][2]int32{{0, 7}}},
+		"restr self":       {Restrictions: [][2]int32{{1, 1}}},
+		"restr wrong side": {Order: []int{0, 1}, Restrictions: [][2]int32{{1, 0}}},
+	} {
+		if _, err := VF2Context(ctx, p, g, opts); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// PairsPerNode must allocate proportionally to the pattern size, not the
+// enumeration size (it used to build one map per node spanning every
+// embedding).
+func TestPairsPerNodeAllocs(t *testing.T) {
+	enum := &Enumeration{}
+	for i := 0; i < 2000; i++ {
+		enum.Embeddings = append(enum.Embeddings, []int32{int32(i % 37), int32(i % 53), int32(i % 71)})
+	}
+	var got [][]int32
+	allocs := testing.AllocsPerRun(20, func() {
+		got = enum.PairsPerNode(3)
+	})
+	if len(got) != 3 || len(got[0]) != 37 || len(got[1]) != 53 || len(got[2]) != 71 {
+		t.Fatalf("wrong pairs: %d/%d/%d", len(got[0]), len(got[1]), len(got[2]))
+	}
+	if allocs > 8 {
+		t.Fatalf("PairsPerNode did %.0f allocs for 3 pattern nodes; want O(np)", allocs)
+	}
+}
+
+// PairsPerNode keeps its sorted-distinct contract.
+func TestPairsPerNodeValues(t *testing.T) {
+	enum := &Enumeration{Embeddings: [][]int32{{5, 2}, {3, 2}, {5, 9}}}
+	got := enum.PairsPerNode(2)
+	if fmt.Sprint(got) != "[[3 5] [2 9]]" {
+		t.Fatalf("pairs = %v", got)
+	}
+	empty := (&Enumeration{}).PairsPerNode(2)
+	if len(empty) != 2 || empty[0] != nil || empty[1] != nil {
+		t.Fatalf("empty enumeration pairs = %v", empty)
+	}
+}
