@@ -178,6 +178,23 @@ type ServerStats struct {
 	OracleQueries int64            `json:"oracle_queries"`
 	Removals      int64            `json:"removals"`
 	InitialPairs  int64            `json:"initial_pairs"`
+	// WAL reports durability state; nil when the daemon runs without -wal.
+	WAL *WALStats `json:"wal,omitempty"`
+}
+
+// WALStats is the durability block of GET /stats: the write-ahead log's
+// position and what the last crash recovery replayed (zeroes when the
+// process started from a clean shutdown or an empty WAL directory).
+type WALStats struct {
+	Generation        uint64  `json:"generation"`     // snapshot generation in use
+	SyncPolicy        string  `json:"sync_policy"`    // "always" | "none"
+	LoggedBatches     int64   `json:"logged_batches"` // batches replay would redo
+	Snapshots         int64   `json:"snapshots"`      // snapshots taken this process
+	RecoveredGraphs   int64   `json:"recovered_graphs"`
+	RecoveredSessions int64   `json:"recovered_sessions"` // watch sessions re-opened
+	RecoveredBatches  int64   `json:"recovered_batches"`  // batches replayed at startup
+	ReplayMS          float64 `json:"replay_ms"`          // total startup replay time
+	TruncatedTail     bool    `json:"truncated_tail"`     // a torn final record was dropped
 }
 
 // ErrorResponse is the body of every non-2xx response.

@@ -12,7 +12,8 @@
 //	gpmd -listen :8474
 //	     -graph social=social.graph -graph cites=cites.graph
 //	     -dataset tube=youtube:0.1:7
-//	     [-oracle auto|matrix|bfs|2hop|pll] [-workers N] [-timeout 30s] [-v]
+//	     [-oracle auto|matrix|bfs|2hop|pll] [-workers N] [-timeout 30s]
+//	     [-wal DIR [-wal-sync always|none] [-snapshot-every N]] [-v]
 //
 // -graph binds a graph file in the .graph text format under a name;
 // -dataset binds a synthetic dataset stand-in ("matter", "pblog" or
@@ -20,6 +21,15 @@
 // names the graph it queries, so one daemon serves many graphs, each
 // behind its own engine with its own cached oracle. -timeout is the
 // default per-request deadline; requests may lower it via timeout_ms.
+//
+// -wal makes the daemon durable: update batches and watch sessions are
+// written to a write-ahead log in DIR before they take effect, a
+// snapshot of every graph is taken at startup and then after every
+// -snapshot-every update batches, and a restart pointed at the same DIR
+// recovers — graphs, watch sessions (same ids), maintained relations —
+// to exactly the state of a process that never crashed. -wal-sync
+// chooses whether every append reaches disk before the HTTP response
+// ("always", the default) or rides the page cache ("none").
 package main
 
 import (
@@ -41,6 +51,7 @@ import (
 
 	"gpm"
 	"gpm/internal/server"
+	"gpm/internal/wal"
 )
 
 // multiFlag collects a repeatable name=spec flag.
@@ -54,13 +65,16 @@ func (m *multiFlag) Set(s string) error {
 
 // options is the parsed command line.
 type options struct {
-	listen   string
-	graphs   multiFlag
-	datasets multiFlag
-	oracle   string
-	workers  int
-	timeout  time.Duration
-	verbose  bool
+	listen    string
+	graphs    multiFlag
+	datasets  multiFlag
+	oracle    string
+	workers   int
+	timeout   time.Duration
+	walDir    string
+	walSync   string
+	snapEvery int
+	verbose   bool
 }
 
 func main() {
@@ -83,6 +97,9 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.StringVar(&opts.oracle, "oracle", "auto", "distance oracle: auto | matrix | bfs | 2hop | pll")
 	fs.IntVar(&opts.workers, "workers", 0, "matching and oracle-build parallelism per engine (0 = GOMAXPROCS)")
 	fs.DurationVar(&opts.timeout, "timeout", 30*time.Second, "default per-request deadline (0 = none)")
+	fs.StringVar(&opts.walDir, "wal", "", "write-ahead log directory; enables crash recovery (empty = in-memory only)")
+	fs.StringVar(&opts.walSync, "wal-sync", "always", "WAL append durability: always (fsync per batch) | none (page cache)")
+	fs.IntVar(&opts.snapEvery, "snapshot-every", 256, "WAL snapshot cadence in update batches (0 = only at startup and shutdown)")
 	fs.BoolVar(&opts.verbose, "v", false, "log requests and lifecycle to stderr")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -146,50 +163,88 @@ func loadDataset(spec string) (*gpm.Graph, error) {
 	return gpm.Dataset(parts[0], seed, scale)
 }
 
-// buildServer loads every graph and binds it into a fresh server.
-// Progress lines go to logw when verbose.
-func buildServer(opts *options, logw io.Writer) (*server.Server, error) {
+// buildServer loads every graph and binds it into a fresh server. With
+// -wal it first opens (and recovers) the log, so every Bind restores
+// that graph's pre-crash state, then checkpoints so the initial graphs
+// are always snapshotted. Progress lines go to logw when verbose. The
+// returned WAL is nil without -wal; the caller owns closing it.
+func buildServer(opts *options, logw io.Writer) (*server.Server, *wal.WAL, error) {
 	if len(opts.graphs)+len(opts.datasets) == 0 {
-		return nil, fmt.Errorf("no graphs bound: pass at least one -graph or -dataset")
+		return nil, nil, fmt.Errorf("no graphs bound: pass at least one -graph or -dataset")
 	}
 	kind, err := oracleKind(opts.oracle)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	if opts.snapEvery < 0 {
+		return nil, nil, fmt.Errorf("-snapshot-every must be >= 0 (got %d)", opts.snapEvery)
+	}
+	sync, err := wal.ParseSyncPolicy(opts.walSync)
+	if err != nil {
+		return nil, nil, fmt.Errorf("-wal-sync: %v", err)
 	}
 	engOpts := []gpm.EngineOption{gpm.WithOracle(kind)}
 	if opts.workers > 0 {
 		engOpts = append(engOpts, gpm.WithWorkers(opts.workers))
 	}
-	srv := server.New(server.Config{DefaultTimeout: opts.timeout})
+	cfg := server.Config{DefaultTimeout: opts.timeout}
+	var w *wal.WAL
+	if opts.walDir != "" {
+		var rec *wal.Recovery
+		w, rec, err = wal.Open(opts.walDir, wal.Options{Sync: sync})
+		if err != nil {
+			return nil, nil, fmt.Errorf("-wal: %v", err)
+		}
+		if rec.Batches > 0 || rec.Sessions > 0 || len(rec.Graphs) > 0 {
+			fmt.Fprintf(logw, "gpmd: wal %s: recovering generation %d (%d graphs, %d sessions, %d batches%s)\n",
+				opts.walDir, rec.Generation, len(rec.Graphs), rec.Sessions, rec.Batches,
+				map[bool]string{true: ", torn tail truncated"}[rec.Truncated])
+		}
+		cfg.WAL, cfg.Recovery, cfg.SnapshotEvery = w, rec, opts.snapEvery
+	}
+	srv := server.New(cfg)
+	closeOnErr := func(err error) (*server.Server, *wal.WAL, error) {
+		if w != nil {
+			w.Close()
+		}
+		return nil, nil, err
+	}
 	for _, v := range opts.graphs {
 		name, path, err := splitBinding("graph", v)
 		if err != nil {
-			return nil, err
+			return closeOnErr(err)
 		}
 		g, err := gpm.LoadGraphFile(path)
 		if err != nil {
-			return nil, fmt.Errorf("-graph %s: %v", name, err)
+			return closeOnErr(fmt.Errorf("-graph %s: %v", name, err))
 		}
 		if err := srv.Bind(name, g, engOpts...); err != nil {
-			return nil, err
+			return closeOnErr(err)
 		}
 		fmt.Fprintf(logw, "gpmd: bound %s from %s (%d nodes, %d edges)\n", name, path, g.N(), g.M())
 	}
 	for _, v := range opts.datasets {
 		name, spec, err := splitBinding("dataset", v)
 		if err != nil {
-			return nil, err
+			return closeOnErr(err)
 		}
 		g, err := loadDataset(spec)
 		if err != nil {
-			return nil, fmt.Errorf("-dataset %s: %v", name, err)
+			return closeOnErr(fmt.Errorf("-dataset %s: %v", name, err))
 		}
 		if err := srv.Bind(name, g, engOpts...); err != nil {
-			return nil, err
+			return closeOnErr(err)
 		}
 		fmt.Fprintf(logw, "gpmd: bound %s from dataset %s (%d nodes, %d edges)\n", name, spec, g.N(), g.M())
 	}
-	return srv, nil
+	if w != nil {
+		// Snapshot the recovered (or initial) state: from here on replay
+		// starts at this generation instead of the binding flags.
+		if err := srv.Checkpoint(); err != nil {
+			return closeOnErr(fmt.Errorf("-wal: initial snapshot: %v", err))
+		}
+	}
+	return srv, w, nil
 }
 
 // run is main, testable: parse, build, listen, serve until a signal or
@@ -204,9 +259,12 @@ func run(args []string, stdout, stderr io.Writer, ready func(addr string)) error
 	if opts.verbose {
 		logw = stderr
 	}
-	srv, err := buildServer(opts, logw)
+	srv, w, err := buildServer(opts, logw)
 	if err != nil {
 		return err
+	}
+	if w != nil {
+		defer w.Close()
 	}
 	publishExpvar(srv)
 
@@ -245,6 +303,13 @@ func run(args []string, stdout, stderr io.Writer, ready func(addr string)) error
 	defer stop()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		return err
+	}
+	if w != nil {
+		// A parting snapshot makes the next start replay-free; failure is
+		// not fatal, the log already holds everything.
+		if err := srv.Checkpoint(); err != nil {
+			fmt.Fprintf(logw, "gpmd: shutdown snapshot: %v\n", err)
+		}
 	}
 	fmt.Fprintf(stdout, "gpmd: drained\n")
 	return nil

@@ -60,7 +60,7 @@ func TestGoldenStartup(t *testing.T) {
 		t.Fatal(err)
 	}
 	var log bytes.Buffer
-	srv, err := buildServer(opts, &log)
+	srv, _, err := buildServer(opts, &log)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,12 +90,14 @@ func TestFlagErrors(t *testing.T) {
 		{"bad dataset scale", []string{"-dataset", "d=matter:7"}, "bad scale"},
 		{"bad dataset seed", []string{"-dataset", "d=matter:0.01:x"}, "bad seed"},
 		{"bad dataset spec", []string{"-dataset", "d=matter:0.01:1:extra"}, "want ds[:scale[:seed]]"},
+		{"bad wal sync", []string{"-graph", "t=testdata/tiny.graph", "-wal-sync", "fsync-sometimes"}, "unknown sync policy"},
+		{"negative snapshot cadence", []string{"-graph", "t=testdata/tiny.graph", "-snapshot-every", "-1"}, "-snapshot-every must be >= 0"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			opts, err := parseFlags(tc.args, io.Discard)
 			if err == nil {
-				_, err = buildServer(opts, io.Discard)
+				_, _, err = buildServer(opts, io.Discard)
 			}
 			if err == nil {
 				t.Fatalf("%v accepted", tc.args)
@@ -145,6 +147,89 @@ func TestServeLifecycle(t *testing.T) {
 	// output is golden.
 	port := regexp.MustCompile(`127\.0\.0\.1:\d+`)
 	checkGolden(t, "lifecycle.golden", port.ReplaceAll(stdout.Bytes(), []byte("127.0.0.1:PORT")))
+}
+
+// TestWALLifecycle runs the daemon twice against one WAL directory: the
+// first run opens a watch and applies an update, the second must recover
+// the session under the same id with the updated relation — the full
+// durability loop through flags, server and log.
+func TestWALLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{
+		"-listen", "127.0.0.1:0",
+		"-graph", "tiny=" + filepath.Join("testdata", "tiny.graph"),
+		"-timeout", "5s",
+		"-wal", dir,
+		"-wal-sync", "none",
+	}
+	boot := func(probeFn func(addr string) error) error {
+		var stdout, stderr bytes.Buffer
+		errCh := make(chan error, 1)
+		probed := make(chan error, 1)
+		go func() {
+			errCh <- run(args, &stdout, &stderr, func(addr string) { probed <- probeFn(addr) })
+		}()
+		if err := <-probed; err != nil {
+			return err
+		}
+		select {
+		case err := <-errCh:
+			return err
+		case <-time.After(15 * time.Second):
+			return errors.New("daemon did not drain")
+		}
+	}
+
+	var watchID int64
+	var pairsAfterUpdate int
+	if err := boot(func(addr string) error {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		c := client.New("http://" + addr)
+		p, err := gpm.LoadPatternFile(filepath.Join("testdata", "tiny.pattern"))
+		if err != nil {
+			return err
+		}
+		st, err := c.Watch(ctx, "tiny", p, "dual")
+		if err != nil {
+			return err
+		}
+		watchID = st.ID
+		if _, _, err := c.Update(ctx, "tiny", []gpm.Update{gpm.DeleteEdge(0, 1)}); err != nil {
+			return err
+		}
+		after, err := c.WatchSnapshot(ctx, st.ID)
+		if err != nil {
+			return err
+		}
+		pairsAfterUpdate = after.Pairs
+		return nil
+	}); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+
+	if err := boot(func(addr string) error {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		c := client.New("http://" + addr)
+		st, err := c.WatchSnapshot(ctx, watchID)
+		if err != nil {
+			return errors.New("watch session did not survive the restart: " + err.Error())
+		}
+		if st.Pairs != pairsAfterUpdate {
+			return errors.New("recovered relation differs from pre-restart state")
+		}
+		stats, err := c.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		if stats.WAL == nil || stats.WAL.RecoveredSessions != 1 {
+			return errors.New("stats lack the recovery block")
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
 }
 
 // probe exercises a live daemon end to end: health, graph listing, one

@@ -86,6 +86,7 @@ func All(cfg Config) []*Table {
 		PlanSpeedup(cfg),
 		IncSimSpeedup(cfg),
 		ServeThroughput(cfg),
+		ServeRecovery(cfg),
 	}
 }
 
@@ -153,8 +154,10 @@ func ByID(id string, cfg Config) ([]*Table, error) {
 	case "incsim":
 		return []*Table{IncSimSpeedup(cfg)}, nil
 	case "serve":
-		return []*Table{ServeThroughput(cfg)}, nil
+		return []*Table{ServeThroughput(cfg), ServeRecovery(cfg)}, nil
+	case "serve-recovery":
+		return []*Table{ServeRecovery(cfg)}, nil
 	default:
-		return nil, fmt.Errorf("bench: unknown experiment %q (want all, datasets, 6a, 6b, 6c, 6d, 6e, 6f, 6g, 6h, 6i, 6j, 6k, fig9, gr, aff, 2hop, oracle, oracle-parallel, million, ablation, engine, parallel, topo, plan, incsim, serve)", id)
+		return nil, fmt.Errorf("bench: unknown experiment %q (want all, datasets, 6a, 6b, 6c, 6d, 6e, 6f, 6g, 6h, 6i, 6j, 6k, fig9, gr, aff, 2hop, oracle, oracle-parallel, million, ablation, engine, parallel, topo, plan, incsim, serve, serve-recovery)", id)
 	}
 }

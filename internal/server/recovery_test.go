@@ -1,0 +1,319 @@
+package server_test
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpm"
+	"gpm/client"
+	"gpm/internal/difftest"
+	"gpm/internal/server"
+	"gpm/internal/wal"
+)
+
+// watchSemantics are the four incremental maintainers the crash harness
+// must restore exactly.
+var watchSemantics = []string{"match", "sim", "dual", "strong"}
+
+// crashServer is one WAL-backed server run in the harness: boot, drive,
+// then crash (discard everything in memory, keep only the directory).
+type crashServer struct {
+	srv *server.Server
+	ts  *httptest.Server
+	c   *client.Client
+	w   *wal.WAL
+	rec *wal.Recovery
+	ids map[string]int64 // semantics -> watch id
+}
+
+// bootWAL opens (recovering) the WAL in dir and serves a freshly loaded
+// testGraph over it — exactly what a gpmd restart pointed at the same
+// flags and -wal DIR does.
+func bootWAL(t *testing.T, dir string, snapshotEvery int) *crashServer {
+	t.Helper()
+	w, rec, err := wal.Open(dir, wal.Options{Sync: wal.SyncNone})
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	srv := server.New(server.Config{WAL: w, Recovery: rec, SnapshotEvery: snapshotEvery})
+	if err := srv.Bind("g", testGraph()); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	ts := httptest.NewServer(srv)
+	return &crashServer{
+		srv: srv, ts: ts,
+		c: client.New(ts.URL, client.WithHTTPClient(ts.Client())),
+		w: w, rec: rec,
+		ids: map[string]int64{},
+	}
+}
+
+// crash discards the server without any orderly checkpoint: the HTTP
+// listener dies, the WAL file handle closes (a real crash loses it
+// anyway), and all in-memory state is dropped.
+func (cs *crashServer) crash() {
+	cs.ts.Close()
+	cs.w.Close()
+}
+
+// openWatches opens one session per semantics and records the ids.
+func (cs *crashServer) openWatches(t *testing.T, p *gpm.Pattern) {
+	t.Helper()
+	ctx := t.Context()
+	for _, sem := range watchSemantics {
+		st, err := cs.c.Watch(ctx, "g", p, sem)
+		if err != nil {
+			t.Fatalf("watch %s: %v", sem, err)
+		}
+		cs.ids[sem] = st.ID
+	}
+}
+
+// reference replays the same session against in-process watchers on an
+// identical graph and returns each semantics' maintained relation — the
+// never-crashed oracle the recovered server must match byte for byte
+// (PR 4's harness proves these maintained relations equal recompute).
+func reference(t *testing.T, p *gpm.Pattern, batches [][]gpm.Update) map[string][][]int32 {
+	t.Helper()
+	eng := gpm.NewEngine(testGraph())
+	ws := map[string]*gpm.Watcher{}
+	for _, sem := range watchSemantics {
+		var w *gpm.Watcher
+		var err error
+		switch sem {
+		case "match":
+			w, err = eng.Watch(p)
+		case "sim":
+			w, err = eng.WatchSim(p)
+		case "dual":
+			w, err = eng.WatchDual(p)
+		case "strong":
+			w, err = eng.WatchStrong(p)
+		}
+		if err != nil {
+			t.Fatalf("reference watch %s: %v", sem, err)
+		}
+		ws[sem] = w
+	}
+	for _, b := range batches {
+		if _, err := eng.Update(b...); err != nil {
+			t.Fatalf("reference update: %v", err)
+		}
+	}
+	out := map[string][][]int32{}
+	for sem, w := range ws {
+		out[sem] = w.Relation()
+	}
+	return out
+}
+
+// assertRecovered compares every recovered session — found under its
+// original id — against the reference relations.
+func assertRecovered(t *testing.T, cs *crashServer, want map[string][][]int32) {
+	t.Helper()
+	ctx := t.Context()
+	for _, sem := range watchSemantics {
+		st, err := cs.c.WatchSnapshot(ctx, cs.ids[sem])
+		if err != nil {
+			t.Fatalf("recovered snapshot %s (id %d): %v", sem, cs.ids[sem], err)
+		}
+		if st.Semantics != sem {
+			t.Fatalf("id %d recovered as %q, want %q", cs.ids[sem], st.Semantics, sem)
+		}
+		if !difftest.RelationsEqual(st.Matches, want[sem]) {
+			t.Errorf("%s relation diverged after recovery:\n%s", sem, difftest.DiffRelations(st.Matches, want[sem]))
+		}
+	}
+}
+
+// TestCrashRecoveryMetamorphic is the acceptance harness: a WAL-backed
+// server with all four watch semantics open is killed mid-update-stream
+// and rebooted from the directory; every watcher must come back under
+// its original id holding a relation byte-identical to a process that
+// never crashed — with and without mid-stream snapshots, and again
+// after post-recovery updates (the recovered watchers must be live
+// maintainers, not frozen copies).
+func TestCrashRecoveryMetamorphic(t *testing.T) {
+	for _, tc := range []struct {
+		name          string
+		snapshotEvery int
+	}{
+		{"replay-only", 0},
+		{"mid-stream snapshots", 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			g := testGraph()
+			p := testPattern(g, 4)
+			ctx := t.Context()
+
+			cs := bootWAL(t, dir, tc.snapshotEvery)
+			cs.openWatches(t, p)
+			var batches [][]gpm.Update
+			live := testGraph() // tracks the served graph for valid update generation
+			for round := int64(0); round < 7; round++ {
+				ups := gpm.GenerateUpdates(gpm.UpdateGenConfig{Insertions: 4, Deletions: 4, Seed: 200 + round}, live)
+				if _, _, err := cs.c.Update(ctx, "g", ups); err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+				if _, err := gpm.NewEngine(live).Update(ups...); err != nil {
+					t.Fatalf("round %d mirror: %v", round, err)
+				}
+				batches = append(batches, ups)
+			}
+			ids := cs.ids
+			cs.crash()
+
+			rec := bootWAL(t, dir, tc.snapshotEvery)
+			defer rec.crash()
+			rec.ids = ids
+			if tc.snapshotEvery > 0 && rec.rec.Generation == 0 {
+				t.Fatal("no snapshot was taken despite the cadence")
+			}
+			want := reference(t, p, batches)
+			assertRecovered(t, rec, want)
+
+			// The recovered sessions keep maintaining: one more batch through
+			// both sides must agree again.
+			more := gpm.GenerateUpdates(gpm.UpdateGenConfig{Insertions: 3, Deletions: 3, Seed: 999}, live)
+			if _, _, err := rec.c.Update(ctx, "g", more); err != nil {
+				t.Fatalf("post-recovery update: %v", err)
+			}
+			want = reference(t, p, append(batches, more))
+			assertRecovered(t, rec, want)
+
+			// Stats surface what recovery did.
+			st, err := rec.c.Stats(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.WAL == nil {
+				t.Fatal("stats lack the WAL block")
+			}
+			if st.WAL.RecoveredSessions != int64(len(watchSemantics)) {
+				t.Errorf("recovered_sessions = %d, want %d", st.WAL.RecoveredSessions, len(watchSemantics))
+			}
+		})
+	}
+}
+
+// TestCrashRecoveryTornTail covers the torn-final-record corpus at the
+// harness level: a crash that corrupts the log tail mid-write must
+// recover to the last complete batch — the reference over the surviving
+// prefix — never error out, and keep serving.
+func TestCrashRecoveryTornTail(t *testing.T) {
+	for _, tc := range []struct {
+		name        string
+		damage      func(t *testing.T, logPath string)
+		lostBatches int
+	}{
+		{
+			// Garbage after the last complete record: nothing acknowledged
+			// is lost.
+			name: "garbage tail",
+			damage: func(t *testing.T, logPath string) {
+				f, err := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f.Write([]byte{0xde, 0xad, 0xbe})
+				f.Close()
+			},
+			lostBatches: 0,
+		},
+		{
+			// The final record itself is torn: its batch is lost, the
+			// prefix survives.
+			name: "truncated final record",
+			damage: func(t *testing.T, logPath string) {
+				fi, err := os.Stat(logPath)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.Truncate(logPath, fi.Size()-5); err != nil {
+					t.Fatal(err)
+				}
+			},
+			lostBatches: 1,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			g := testGraph()
+			p := testPattern(g, 4)
+			ctx := t.Context()
+
+			cs := bootWAL(t, dir, 0)
+			cs.openWatches(t, p)
+			var batches [][]gpm.Update
+			live := testGraph()
+			for round := int64(0); round < 5; round++ {
+				ups := gpm.GenerateUpdates(gpm.UpdateGenConfig{Insertions: 4, Deletions: 4, Seed: 300 + round}, live)
+				if _, _, err := cs.c.Update(ctx, "g", ups); err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+				if _, err := gpm.NewEngine(live).Update(ups...); err != nil {
+					t.Fatalf("round %d mirror: %v", round, err)
+				}
+				batches = append(batches, ups)
+			}
+			ids := cs.ids
+			gen := cs.w.Generation()
+			cs.crash()
+			tc.damage(t, filepath.Join(dir, fmt.Sprintf("wal-%d.log", gen)))
+
+			rec := bootWAL(t, dir, 0)
+			defer rec.crash()
+			rec.ids = ids
+			if !rec.rec.Truncated {
+				t.Fatal("recovery did not report the torn tail")
+			}
+			want := reference(t, p, batches[:len(batches)-tc.lostBatches])
+			assertRecovered(t, rec, want)
+		})
+	}
+}
+
+// TestCleanRestartReplaysNothing pins the startup-checkpoint contract:
+// after an orderly Checkpoint and close, the next boot recovers from the
+// snapshot alone (no logged batches) with watch state intact.
+func TestCleanRestartReplaysNothing(t *testing.T) {
+	dir := t.TempDir()
+	g := testGraph()
+	p := testPattern(g, 4)
+	ctx := t.Context()
+
+	cs := bootWAL(t, dir, 0)
+	cs.openWatches(t, p)
+	live := testGraph()
+	var batches [][]gpm.Update
+	for round := int64(0); round < 3; round++ {
+		ups := gpm.GenerateUpdates(gpm.UpdateGenConfig{Insertions: 4, Deletions: 4, Seed: 400 + round}, live)
+		if _, _, err := cs.c.Update(ctx, "g", ups); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := gpm.NewEngine(live).Update(ups...); err != nil {
+			t.Fatal(err)
+		}
+		batches = append(batches, ups)
+	}
+	if err := cs.srv.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	ids := cs.ids
+	cs.crash() // after the checkpoint: a clean shutdown
+
+	rec := bootWAL(t, dir, 0)
+	defer rec.crash()
+	rec.ids = ids
+	if rec.rec.Batches != 0 {
+		t.Errorf("clean restart replayed %d batches, want 0", rec.rec.Batches)
+	}
+	if rec.rec.Generation == 0 {
+		t.Error("clean restart found no snapshot generation")
+	}
+	assertRecovered(t, rec, reference(t, p, batches))
+}

@@ -46,6 +46,7 @@ import (
 
 	"gpm"
 	"gpm/client"
+	"gpm/internal/wal"
 )
 
 // Config parameterises New.
@@ -56,6 +57,18 @@ type Config struct {
 	// MaxBodyBytes caps request bodies (patterns and update batches from
 	// untrusted callers). Zero means the built-in 64 MiB.
 	MaxBodyBytes int64
+	// WAL, when non-nil, makes the server durable: update batches and
+	// watch open/close are logged before they take effect, and Checkpoint
+	// snapshots every binding. Recovery must be the *wal.Recovery the same
+	// wal.Open returned; Bind consults it to restore snapshotted graphs,
+	// re-open watch sessions under their original ids and replay logged
+	// batches.
+	WAL      *wal.WAL
+	Recovery *wal.Recovery
+	// SnapshotEvery triggers an automatic Checkpoint once that many update
+	// batches accumulate in the log (bounding replay work after a crash).
+	// Zero disables automatic snapshots; Checkpoint can still be called.
+	SnapshotEvery int
 }
 
 const defaultMaxBody = 64 << 20
@@ -73,7 +86,23 @@ type Server struct {
 	sessions map[int64]*session
 	nextID   int64
 
-	stats stats
+	// walMu orders logged mutations against snapshots: handleUpdate,
+	// handleWatchOpen and handleWatchClose hold the read side across
+	// append+apply, so a Checkpoint (write side) never observes a batch
+	// that is applied but unlogged or logged but unapplied. Lock order:
+	// walMu before mu.
+	walMu sync.RWMutex
+
+	stats    stats
+	recovery recoveryStats // written by Bind, read-only once serving
+}
+
+// recoveryStats aggregates what startup replay did across Bind calls.
+type recoveryStats struct {
+	graphs   int64
+	sessions int64
+	batches  int64
+	replayNS int64
 }
 
 // binding is one named graph served by its engine.
@@ -92,6 +121,10 @@ type session struct {
 	b         *binding
 	semantics string
 	w         *gpm.Watcher
+	// pattern is the canonical .pattern text (WritePattern output, not the
+	// request's raw bytes), logged on open and written into snapshot
+	// manifests so recovery re-opens an identical session.
+	pattern string
 }
 
 // New returns an empty server; Bind graphs before serving.
@@ -108,6 +141,11 @@ func New(cfg Config) *Server {
 		bindings: make(map[string]*binding),
 		sessions: make(map[int64]*session),
 	}
+	if cfg.Recovery != nil {
+		// Watch ids survive crashes: resume the counter past every id the
+		// log ever issued so recovered and new sessions never collide.
+		s.nextID = cfg.Recovery.NextID
+	}
 	s.routes()
 	return s
 }
@@ -115,6 +153,15 @@ func New(cfg Config) *Server {
 // Bind names a graph and binds it into an engine. The graph must not be
 // mutated afterwards except through /update. Bind is not safe to call
 // concurrently with serving; bind every graph before the listener opens.
+//
+// When the server was configured with WAL recovery state, Bind restores
+// the binding to its pre-crash condition: a snapshotted copy of the
+// graph replaces g, every watch session that was open at crash time is
+// re-opened under its original id, and the update batches logged after
+// the snapshot replay through the engine — so the incrementally
+// maintained relations end up identical to a process that never crashed
+// (the engine's maintain-equals-recompute invariant makes watcher-first
+// replay exact, not approximate).
 func (s *Server) Bind(name string, g *gpm.Graph, opts ...gpm.EngineOption) error {
 	if name == "" {
 		return fmt.Errorf("server: empty graph name")
@@ -124,11 +171,69 @@ func (s *Server) Bind(name string, g *gpm.Graph, opts ...gpm.EngineOption) error
 	if _, dup := s.bindings[name]; dup {
 		return fmt.Errorf("server: graph %q already bound", name)
 	}
-	s.bindings[name] = &binding{
+	var rec *wal.GraphState
+	if s.cfg.Recovery != nil {
+		rec = s.cfg.Recovery.Graphs[name]
+	}
+	if rec != nil && rec.Graph != nil {
+		// The snapshot is the authoritative base state; the caller's g is
+		// the same graph as of bind time, pre-updates.
+		g = rec.Graph
+	}
+	b := &binding{
 		name:      name,
 		eng:       gpm.NewEngine(g, opts...),
 		byWatcher: make(map[*gpm.Watcher]*session),
 	}
+	s.bindings[name] = b
+	if rec == nil {
+		return nil
+	}
+	return s.recoverBinding(b, rec)
+}
+
+// recoverBinding replays one graph's WAL state into its fresh binding:
+// sessions first (watchers then absorb the replayed batches exactly as
+// they absorbed the originals), then every logged batch in log order.
+// Called with s.mu held, before serving starts.
+func (s *Server) recoverBinding(b *binding, rec *wal.GraphState) error {
+	start := time.Now()
+	for _, ws := range rec.Sessions {
+		p, err := gpm.ReadPattern(strings.NewReader(ws.Pattern))
+		if err != nil {
+			return fmt.Errorf("server: recovering watch %d on %q: bad pattern: %v", ws.ID, b.name, err)
+		}
+		var watcher *gpm.Watcher
+		var werr error
+		switch ws.Semantics {
+		case "match":
+			watcher, werr = b.eng.Watch(p)
+		case "sim":
+			watcher, werr = b.eng.WatchSim(p)
+		case "dual":
+			watcher, werr = b.eng.WatchDual(p)
+		case "strong":
+			watcher, werr = b.eng.WatchStrong(p)
+		default:
+			werr = fmt.Errorf("unknown semantics %q", ws.Semantics)
+		}
+		if werr != nil {
+			return fmt.Errorf("server: recovering watch %d on %q: %v", ws.ID, b.name, werr)
+		}
+		sess := &session{id: ws.ID, b: b, semantics: ws.Semantics, w: watcher, pattern: ws.Pattern}
+		s.sessions[sess.id] = sess
+		b.byWatcher[watcher] = sess
+		s.recovery.sessions++
+	}
+	for _, batch := range rec.Batches {
+		// A batch that failed validation pre-crash fails identically here;
+		// Update is deterministic, so errors are part of the replay, not a
+		// recovery failure.
+		b.eng.Update(batch...)
+		s.recovery.batches++
+	}
+	s.recovery.replayNS += time.Since(start).Nanoseconds()
+	s.recovery.graphs++
 	return nil
 }
 
@@ -262,8 +367,13 @@ func parsePattern(text string) (*gpm.Pattern, error) {
 // requestCtx derives the context one query runs under: the client
 // connection (gone when the caller hangs up), the per-request deadline,
 // and the server's base context (cancelled by Close). The returned stop
-// must be called when the request finishes.
-func (s *Server) requestCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+// must be called when the request finishes. A negative timeout_ms is a
+// caller bug, not a request for the default: rejecting it keeps "0 or
+// absent means default" the only spelling of that intent.
+func (s *Server) requestCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc, error) {
+	if timeoutMS < 0 {
+		return nil, nil, badRequest("timeout_ms must be >= 0 (got %d); omit it or send 0 for the server default", timeoutMS)
+	}
 	ctx, cancel := context.WithCancel(r.Context())
 	unhook := context.AfterFunc(s.base, cancel)
 	timeout := s.cfg.DefaultTimeout
@@ -278,7 +388,7 @@ func (s *Server) requestCtx(r *http.Request, timeoutMS int64) (context.Context, 
 		unhook()
 		cancelT()
 		cancel()
-	}
+	}, nil
 }
 
 // wireStats converts engine stats to the wire schema.
@@ -323,7 +433,10 @@ func (s *Server) relationQuery(r *http.Request, semantics string, req client.Que
 	if err != nil {
 		return nil, err
 	}
-	ctx, stop := s.requestCtx(r, req.TimeoutMS)
+	ctx, stop, err := s.requestCtx(r, req.TimeoutMS)
+	if err != nil {
+		return nil, err
+	}
 	defer stop()
 
 	var rel *client.Relation
@@ -401,7 +514,11 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, badRequest("unknown algo %q (want vf2 or ullmann)", req.Algo))
 		return
 	}
-	ctx, stop := s.requestCtx(r, req.TimeoutMS)
+	ctx, stop, err := s.requestCtx(r, req.TimeoutMS)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
 	defer stop()
 	res, err := b.eng.Enumerate(ctx, p, opts)
 	if res == nil {
@@ -456,7 +573,11 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, badRequest("unknown algo %q (want vf2 or ullmann)", req.Algo))
 		return
 	}
-	ctx, stop := s.requestCtx(r, req.TimeoutMS)
+	ctx, stop, err := s.requestCtx(r, req.TimeoutMS)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
 	defer stop()
 	res, err := b.eng.CountEmbeddings(ctx, p, opts)
 	if res == nil {
@@ -509,7 +630,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		ps[i] = p
 	}
-	ctx, stop := s.requestCtx(r, req.TimeoutMS)
+	ctx, stop, err := s.requestCtx(r, req.TimeoutMS)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
 	defer stop()
 	results, err := b.eng.MatchBatch(ctx, ps)
 	if err != nil {
@@ -571,17 +696,66 @@ func (s *Server) handleWatchOpen(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if werr != nil {
-		s.writeError(w, badRequest("%v", werr))
+		s.writeError(w, engineError(werr))
 		return
 	}
+	// Canonical pattern text for the WAL: recovery re-parses exactly what
+	// WritePattern emits, independent of the request's formatting.
+	var pb strings.Builder
+	if err := gpm.WritePattern(&pb, p); err != nil {
+		watcher.Close()
+		s.writeError(w, fmt.Errorf("serialising pattern: %v", err))
+		return
+	}
+
+	s.walMu.RLock()
 	s.mu.Lock()
+	// Re-check shutdown under the lock: the watcher build above can be
+	// slow, and a session registered after Close has drained would outlive
+	// the shutdown guarantee (and, with a WAL, be resurrected on restart).
+	if s.base.Err() != nil {
+		s.mu.Unlock()
+		s.walMu.RUnlock()
+		watcher.Close()
+		s.writeError(w, &httpError{code: http.StatusServiceUnavailable, err: fmt.Errorf("server shutting down")})
+		return
+	}
 	s.nextID++
-	sess := &session{id: s.nextID, b: b, semantics: req.Semantics, w: watcher}
+	sess := &session{id: s.nextID, b: b, semantics: req.Semantics, w: watcher, pattern: pb.String()}
 	s.sessions[sess.id] = sess
 	b.byWatcher[watcher] = sess
 	s.mu.Unlock()
+	if s.cfg.WAL != nil {
+		if err := s.cfg.WAL.AppendWatchOpen(b.name, wal.Session{ID: sess.id, Semantics: sess.semantics, Pattern: sess.pattern}); err != nil {
+			// The open is not durable; undo it rather than hand out a
+			// session a restart would silently forget.
+			s.mu.Lock()
+			delete(s.sessions, sess.id)
+			delete(b.byWatcher, watcher)
+			s.mu.Unlock()
+			s.walMu.RUnlock()
+			watcher.Close()
+			s.writeError(w, fmt.Errorf("wal append: %v", err))
+			return
+		}
+	}
+	s.walMu.RUnlock()
 	s.stats.watchesOpened.Add(1)
 	writeJSON(w, http.StatusOK, s.watchState(sess))
+}
+
+// engineError classifies an error from the engine's watch/update write
+// path. The sentinel and context errors must reach writeError unwrapped
+// so they map to 422 and 504 exactly as the relation handlers report
+// them; anything else is a validation failure of the request and stays
+// a 400.
+func engineError(err error) error {
+	if errors.Is(err, gpm.ErrGraphTooLarge) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled) {
+		return err
+	}
+	return badRequest("%v", err)
 }
 
 func (s *Server) watchState(sess *session) client.WatchState {
@@ -625,10 +799,18 @@ func (s *Server) handleWatchClose(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	s.walMu.RLock()
 	s.mu.Lock()
 	delete(s.sessions, sess.id)
 	delete(sess.b.byWatcher, sess.w)
 	s.mu.Unlock()
+	if s.cfg.WAL != nil {
+		// Log the close so recovery doesn't resurrect the session. An
+		// append failure is not worth failing the close over: replaying an
+		// extra open only costs memory, not correctness.
+		s.cfg.WAL.AppendWatchClose(sess.id)
+	}
+	s.walMu.RUnlock()
 	sess.w.Close()
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -660,9 +842,23 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Log before apply: a crash between the two replays a batch the
+	// in-memory engine never absorbed, which is exactly what recovery
+	// redoes; the reverse order would lose an acknowledged batch. The
+	// walMu read side keeps a concurrent Checkpoint from snapshotting
+	// between the append and the apply.
+	s.walMu.RLock()
+	if s.cfg.WAL != nil {
+		if err := s.cfg.WAL.AppendUpdate(b.name, ups); err != nil {
+			s.walMu.RUnlock()
+			s.writeError(w, fmt.Errorf("wal append: %v", err))
+			return
+		}
+	}
 	deltas, err := b.eng.Update(ups...)
+	s.walMu.RUnlock()
 	if err != nil {
-		s.writeError(w, badRequest("%v", err))
+		s.writeError(w, engineError(err))
 		return
 	}
 	s.stats.updates.Add(1)
@@ -705,6 +901,51 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
+	s.maybeCheckpoint()
+}
+
+// maybeCheckpoint snapshots once enough batches accumulate in the log,
+// bounding crash-recovery replay work. Runs after the update response is
+// streamed so snapshot latency never sits on a request's critical path.
+// A failed snapshot is retried by the next update: the log keeps
+// growing, LoggedBatches stays over the threshold.
+func (s *Server) maybeCheckpoint() {
+	if s.cfg.WAL == nil || s.cfg.SnapshotEvery <= 0 {
+		return
+	}
+	if s.cfg.WAL.LoggedBatches() < int64(s.cfg.SnapshotEvery) {
+		return
+	}
+	s.Checkpoint()
+}
+
+// Checkpoint writes a new WAL snapshot generation — every bound graph in
+// gio format plus the open-watch manifest — rotates the log and retires
+// the previous generation. It is a no-op without a WAL. The walMu write
+// side excludes in-flight log appends, so the snapshot is exactly the
+// state the log's empty successor starts from.
+func (s *Server) Checkpoint() error {
+	if s.cfg.WAL == nil {
+		return nil
+	}
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	var st wal.SnapshotState
+	s.mu.RLock()
+	st.NextID = s.nextID
+	for _, b := range s.bindings {
+		gs := wal.GraphSnapshot{Name: b.name, WriteGraph: b.eng.WriteGraph}
+		for _, sess := range b.byWatcher {
+			gs.Sessions = append(gs.Sessions, wal.Session{ID: sess.id, Semantics: sess.semantics, Pattern: sess.pattern})
+		}
+		st.Graphs = append(st.Graphs, gs)
+	}
+	s.mu.RUnlock()
+	if err := s.cfg.WAL.Snapshot(st); err != nil {
+		return err
+	}
+	s.stats.snapshots.Add(1)
+	return nil
 }
 
 func wirePairs(ps []gpm.MatchPair) []client.MatchPair {
@@ -738,9 +979,30 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.stats.snapshot())
+	writeJSON(w, http.StatusOK, s.StatsSnapshot())
 }
 
 // StatsSnapshot returns the aggregate counters (also served at /stats);
-// cmd/gpmd publishes it through expvar.
-func (s *Server) StatsSnapshot() client.ServerStats { return s.stats.snapshot() }
+// cmd/gpmd publishes it through expvar. With a WAL configured the
+// durability block reports the log position and what startup recovery
+// replayed.
+func (s *Server) StatsSnapshot() client.ServerStats {
+	out := s.stats.snapshot()
+	if w := s.cfg.WAL; w != nil {
+		ws := &client.WALStats{
+			Generation:        w.Generation(),
+			SyncPolicy:        w.Sync().String(),
+			LoggedBatches:     w.LoggedBatches(),
+			Snapshots:         s.stats.snapshots.Load(),
+			RecoveredGraphs:   s.recovery.graphs,
+			RecoveredSessions: s.recovery.sessions,
+			RecoveredBatches:  s.recovery.batches,
+			ReplayMS:          float64(s.recovery.replayNS) / 1e6,
+		}
+		if s.cfg.Recovery != nil {
+			ws.TruncatedTail = s.cfg.Recovery.Truncated
+		}
+		out.WAL = ws
+	}
+	return out
+}

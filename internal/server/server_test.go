@@ -483,6 +483,10 @@ func TestBadRequests(t *testing.T) {
 		{"unknown watch semantics", "/watch", `{"graph":"g","pattern":"pattern 1\nnode 0 label = L0\n","semantics":"quantum"}`, http.StatusBadRequest},
 		{"unknown update op", "/update", `{"graph":"g","updates":[{"op":"?","u":0,"v":1}]}`, http.StatusBadRequest},
 		{"out-of-range update", "/update", `{"graph":"g","updates":[{"op":"+","u":100000,"v":1}]}`, http.StatusBadRequest},
+		{"negative timeout match", "/match", `{"graph":"g","pattern":"pattern 1\nnode 0 label = L0\n","timeout_ms":-5}`, http.StatusBadRequest},
+		{"negative timeout enumerate", "/enumerate", `{"graph":"g","pattern":"pattern 1\nnode 0 label = L0\n","timeout_ms":-1}`, http.StatusBadRequest},
+		{"negative timeout count", "/count", `{"graph":"g","pattern":"pattern 1\nnode 0 label = L0\n","timeout_ms":-1}`, http.StatusBadRequest},
+		{"negative timeout batch", "/batch", `{"graph":"g","patterns":["pattern 1\nnode 0 label = L0\n"],"timeout_ms":-1}`, http.StatusBadRequest},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -518,6 +522,133 @@ func TestBadRequests(t *testing.T) {
 	// The daemon survived the whole sweep.
 	if !cl.Healthy(ctx) {
 		t.Fatal("daemon unhealthy after bad-request sweep")
+	}
+}
+
+// TestNegativeTimeoutErrorBody pins the exact error document of the
+// negative-timeout rejection (the satellite bugfix's wire contract): a
+// 400 whose message names the field, echoes the value and says what to
+// send instead.
+func TestNegativeTimeoutErrorBody(t *testing.T) {
+	g := testGraph()
+	srv := server.New(server.Config{})
+	if err := srv.Bind("g", g); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	t.Cleanup(srv.Close)
+
+	body := `{"graph":"g","pattern":"pattern 1\nnode 0 label = L0\n","timeout_ms":-5}`
+	status, raw := postRaw(t, ts.Client(), ts.URL, "/match", body)
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d (%s), want 400", status, raw)
+	}
+	want := encodeWire(t, client.ErrorResponse{
+		Error: "timeout_ms must be >= 0 (got -5); omit it or send 0 for the server default",
+	})
+	if !bytes.Equal(raw, want) {
+		t.Errorf("error body:\n got %s want %s", raw, want)
+	}
+}
+
+// TestWatchOpenValidationStays400 pins the e2e half of the
+// classification fix: a watch whose pattern the semantics rejects (sim
+// requires every edge bound to be 1) is still the caller's fault — 400,
+// not 500 — after the engineError routing change.
+func TestWatchOpenValidationStays400(t *testing.T) {
+	g := testGraph()
+	srv := server.New(server.Config{})
+	if err := srv.Bind("g", g); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	t.Cleanup(srv.Close)
+
+	// A bound-2 edge: valid for "match", rejected by the sim maintainer.
+	bounded := gpm.GeneratePattern(gpm.PatternGenConfig{Nodes: 3, Edges: 3, K: 2, C: 0, PredAttrs: 1, Seed: 4}, g)
+	if text := patternText(t, bounded); !strings.Contains(text, " 2\n") {
+		t.Fatalf("fixture lost its bound-2 edges:\n%s", text)
+	}
+	body := encodeWire(t, client.WatchRequest{Graph: "g", Pattern: patternText(t, bounded), Semantics: "sim"})
+	status, raw := postRaw(t, ts.Client(), ts.URL, "/watch", string(body))
+	if status != http.StatusBadRequest {
+		t.Fatalf("sim watch on bounded pattern: status %d (%s), want 400", status, raw)
+	}
+	var er client.ErrorResponse
+	if err := json.Unmarshal(raw, &er); err != nil || er.Error == "" {
+		t.Fatalf("error body is not JSON: %s", raw)
+	}
+}
+
+// TestCloseDuringWatchOpen is the shutdown-race regression test (run
+// under -race): watch opens racing Close must each either complete
+// before the drain (200, session readable afterwards) or be refused
+// (503) — never register a session after Close has drained, which the
+// old code could do because checkAccepting ran before the watcher
+// build. Sessions opened before the drain stay readable by contract.
+func TestCloseDuringWatchOpen(t *testing.T) {
+	g := testGraph()
+	srv := server.New(server.Config{})
+	if err := srv.Bind("g", g); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	c := client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+	ctx := context.Background()
+	p := testPattern(g, 4)
+
+	const openers = 16
+	var wg sync.WaitGroup
+	type result struct {
+		id  int64
+		err error
+	}
+	results := make(chan result, openers)
+	for i := 0; i < openers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem := []string{"match", "sim", "dual", "strong"}[i%4]
+			st, err := c.Watch(ctx, "g", p, sem)
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			results <- result{id: st.ID}
+		}(i)
+	}
+	// Fire Close into the middle of the open storm.
+	srv.Close()
+	wg.Wait()
+	close(results)
+
+	opened := 0
+	var maxID int64
+	for r := range results {
+		if r.err != nil {
+			ce := new(client.Error)
+			if !errors.As(r.err, &ce) || ce.StatusCode != http.StatusServiceUnavailable {
+				t.Fatalf("racing open failed with %v, want 503", r.err)
+			}
+			continue
+		}
+		opened++
+		if r.id > maxID {
+			maxID = r.id
+		}
+		// Every acknowledged session is readable after Close.
+		if _, err := c.WatchSnapshot(ctx, r.id); err != nil {
+			t.Errorf("session %d acknowledged but unreadable after Close: %v", r.id, err)
+		}
+	}
+	// Refused opens consume no ids: the highest id is exactly the number
+	// of successes, so nothing was registered past the drain.
+	if maxID != int64(opened) {
+		t.Errorf("max session id %d after %d successful opens; a refused open consumed an id", maxID, opened)
 	}
 }
 

@@ -19,6 +19,7 @@ type stats struct {
 	updates       atomic.Int64
 	updateEdges   atomic.Int64
 	watchesOpened atomic.Int64
+	snapshots     atomic.Int64 // WAL snapshots taken this process
 	matchTimeNS   atomic.Int64
 	oracleBuildNS atomic.Int64
 	oracleQueries atomic.Int64

@@ -1,0 +1,674 @@
+// Package wal is gpmd's durability subsystem: a write-ahead log for
+// update batches and watch-session lifecycle events, plus periodic
+// snapshots (every bound graph in gio text format and a manifest of the
+// open watch sessions) and crash recovery that replays the log tail on
+// top of the last snapshot.
+//
+// On-disk layout, all inside one directory:
+//
+//	CURRENT       the current generation number (atomic pointer file)
+//	snap-N.wals   generation N's snapshot: manifest + one graph per record
+//	wal-N.log     generation N's log: records appended after the snapshot
+//
+// Every file is a sequence of framed records: a 4-byte little-endian
+// payload length, a 4-byte CRC-32C (Castagnoli) of the payload, then the
+// payload (JSON). A crash can tear only the final log record; recovery
+// stops at the first frame whose length or checksum fails, truncates the
+// torn tail, and resumes appending after the last complete record — a
+// partial write therefore costs at most the one batch whose HTTP
+// response the crash also lost. Snapshot files are written to a
+// temporary name, fsynced and renamed before CURRENT advances, so a
+// crash mid-snapshot leaves the previous generation intact.
+//
+// The log records three kinds of events. "update" carries one /update
+// batch (logged before the engine applies it). "open" and "close" carry
+// watch-session lifecycle so sessions created after the last snapshot
+// are re-opened — with their original ids — by recovery. Replaying the
+// per-graph batches through the engine's incremental maintainers
+// restores every watcher to the exact relation a never-crashed process
+// would hold; the metamorphic update-stream harness (internal/difftest)
+// is the oracle for that equivalence.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"gpm/internal/gio"
+	"gpm/internal/graph"
+	"gpm/internal/incremental"
+)
+
+// SyncPolicy selects when appended records reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs the log after every append: a batch acknowledged
+	// over HTTP survives an OS crash. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncNone leaves flushing to the OS page cache: bounded data loss on
+	// an OS crash, none on a process crash, much higher update throughput.
+	SyncNone
+)
+
+// ParseSyncPolicy maps gpmd's -wal-sync flag values.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "none":
+		return SyncNone, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown sync policy %q (want always or none)", s)
+	}
+}
+
+func (p SyncPolicy) String() string {
+	if p == SyncNone {
+		return "none"
+	}
+	return "always"
+}
+
+// Options parameterises Open.
+type Options struct {
+	Sync SyncPolicy
+}
+
+// Op is one logged edge update.
+type Op struct {
+	Insert bool `json:"i"`
+	U      int  `json:"u"`
+	V      int  `json:"v"`
+}
+
+// Session is one open watch session as the manifest and the log record
+// it: enough to re-open it with its original id after a crash.
+type Session struct {
+	ID        int64  `json:"id"`
+	Semantics string `json:"semantics"`
+	Pattern   string `json:"pattern"` // .pattern text format
+}
+
+// record is the JSON payload of one framed log or snapshot record.
+type record struct {
+	Kind  string `json:"k"` // "update" | "open" | "close" | "manifest" | "graph"
+	Graph string `json:"g,omitempty"`
+	Ops   []Op   `json:"ops,omitempty"` // update
+	// open / close
+	ID        int64  `json:"id,omitempty"`
+	Semantics string `json:"semantics,omitempty"`
+	Pattern   string `json:"pattern,omitempty"`
+	// manifest
+	NextID int64           `json:"next_id,omitempty"`
+	Graphs []manifestGraph `json:"graphs,omitempty"`
+	// graph
+	Gio string `json:"gio,omitempty"`
+}
+
+type manifestGraph struct {
+	Name     string    `json:"name"`
+	Sessions []Session `json:"sessions,omitempty"`
+}
+
+// GraphState is everything recovery knows about one named graph: the
+// snapshot graph (nil when the graph never made it into a snapshot — the
+// caller's freshly loaded graph is the base then), the sessions open at
+// crash time, and the update batches logged after the snapshot, in log
+// order.
+type GraphState struct {
+	Graph    *graph.Graph
+	Sessions []Session
+	Batches  [][]incremental.Update
+}
+
+// Recovery is the state Open reconstructed from disk. An empty directory
+// recovers to a Recovery with no graphs.
+type Recovery struct {
+	Generation uint64
+	NextID     int64 // watch-id counter to resume from
+	Graphs     map[string]*GraphState
+	Batches    int  // update batches recovered from the log
+	Sessions   int  // sessions open at crash time
+	Truncated  bool // a torn final record was dropped
+}
+
+// GraphSnapshot is one graph's contribution to a snapshot.
+type GraphSnapshot struct {
+	Name     string
+	Sessions []Session
+	// WriteGraph streams the graph in gio text format; it runs with the
+	// WAL lock held and must produce a state consistent with every update
+	// record already appended (gpmd passes Engine.WriteGraph, which takes
+	// the engine's read lock).
+	WriteGraph func(io.Writer) error
+}
+
+// SnapshotState is the full-server state a snapshot captures.
+type SnapshotState struct {
+	NextID int64
+	Graphs []GraphSnapshot
+}
+
+// WAL is an open write-ahead log. All methods are safe for concurrent
+// use; Append* calls serialise against each other and against Snapshot.
+type WAL struct {
+	dir  string
+	sync SyncPolicy
+
+	mu      sync.Mutex
+	gen     uint64
+	f       *os.File // current log, opened for append
+	batches int64    // update records in the current log
+	closed  bool
+}
+
+const (
+	currentFile    = "CURRENT"
+	maxRecordBytes = 1 << 30
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func snapName(gen uint64) string { return fmt.Sprintf("snap-%d.wals", gen) }
+func logName(gen uint64) string  { return fmt.Sprintf("wal-%d.log", gen) }
+
+// Open opens (creating if necessary) the WAL in dir and recovers
+// whatever a previous process left there: the CURRENT generation's
+// snapshot, then its log up to the last complete record. The torn tail,
+// if any, is truncated so the returned WAL appends after the last good
+// record. Files from interrupted snapshots (generations other than
+// CURRENT) are swept.
+func Open(dir string, opts Options) (*WAL, *Recovery, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	w := &WAL{dir: dir, sync: opts.Sync}
+	rec := &Recovery{Graphs: make(map[string]*GraphState)}
+
+	gen, err := readCurrent(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	w.gen = gen
+	rec.Generation = gen
+	if gen > 0 {
+		if err := w.loadSnapshot(gen, rec); err != nil {
+			return nil, nil, fmt.Errorf("wal: snapshot %s: %w", snapName(gen), err)
+		}
+	}
+	if err := w.replayLog(gen, rec); err != nil {
+		return nil, nil, err
+	}
+	w.sweep()
+
+	f, err := os.OpenFile(filepath.Join(dir, logName(gen)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	w.f = f
+	return w, rec, nil
+}
+
+func readCurrent(dir string) (uint64, error) {
+	b, err := os.ReadFile(filepath.Join(dir, currentFile))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	gen, err := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("wal: corrupt CURRENT %q: %v", b, err)
+	}
+	return gen, nil
+}
+
+// loadSnapshot reads snap-<gen>.wals into rec. A snapshot referenced by
+// CURRENT was fully written and fsynced before CURRENT advanced, so any
+// framing or checksum failure here is corruption, not a torn write, and
+// recovery refuses rather than serving partial state.
+func (w *WAL) loadSnapshot(gen uint64, rec *Recovery) error {
+	f, err := os.Open(filepath.Join(w.dir, snapName(gen)))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	first := true
+	for {
+		payload, _, err := readRecord(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("corrupt record: %v", err)
+		}
+		var rc record
+		if err := json.Unmarshal(payload, &rc); err != nil {
+			return fmt.Errorf("corrupt record: %v", err)
+		}
+		switch {
+		case first && rc.Kind != "manifest":
+			return fmt.Errorf("first record is %q, want manifest", rc.Kind)
+		case rc.Kind == "manifest":
+			rec.NextID = rc.NextID
+			for _, mg := range rc.Graphs {
+				rec.Graphs[mg.Name] = &GraphState{Sessions: append([]Session(nil), mg.Sessions...)}
+			}
+		case rc.Kind == "graph":
+			gs, ok := rec.Graphs[rc.Graph]
+			if !ok {
+				return fmt.Errorf("graph %q not in manifest", rc.Graph)
+			}
+			g, err := gio.ReadGraph(strings.NewReader(rc.Gio))
+			if err != nil {
+				return fmt.Errorf("graph %q: %v", rc.Graph, err)
+			}
+			gs.Graph = g
+		default:
+			return fmt.Errorf("unknown snapshot record kind %q", rc.Kind)
+		}
+		first = false
+	}
+	if first {
+		return fmt.Errorf("empty snapshot")
+	}
+	for name, gs := range rec.Graphs {
+		if gs.Graph == nil {
+			return fmt.Errorf("graph %q in manifest but not snapshotted", name)
+		}
+	}
+	return nil
+}
+
+// replayLog folds wal-<gen>.log into rec, stopping at the first torn
+// record and truncating the file there so the next append continues
+// cleanly after the last complete record.
+func (w *WAL) replayLog(gen uint64, rec *Recovery) error {
+	path := filepath.Join(w.dir, logName(gen))
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	r := bufio.NewReader(f)
+	var good int64 // offset after the last complete record
+	// sessionGraph resolves close records to the graph their open went to.
+	sessionGraph := make(map[int64]string)
+	for name, gs := range rec.Graphs {
+		for _, s := range gs.Sessions {
+			sessionGraph[s.ID] = name
+		}
+	}
+	torn := false
+	for {
+		payload, n, err := readRecord(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			torn = true
+			break
+		}
+		var rc record
+		if err := json.Unmarshal(payload, &rc); err != nil {
+			torn = true
+			break
+		}
+		good += n
+		w.batches += applyLogRecord(rc, rec, sessionGraph)
+	}
+	f.Close()
+	if torn {
+		rec.Truncated = true
+		if err := os.Truncate(path, good); err != nil {
+			return fmt.Errorf("wal: truncating torn tail of %s: %v", logName(gen), err)
+		}
+	}
+	rec.Batches = int(w.batches)
+	for _, gs := range rec.Graphs {
+		rec.Sessions += len(gs.Sessions)
+	}
+	return nil
+}
+
+// applyLogRecord folds one complete log record into rec; returns 1 for
+// update records (the snapshot-cadence counter counts batches).
+func applyLogRecord(rc record, rec *Recovery, sessionGraph map[int64]string) int64 {
+	graphState := func(name string) *GraphState {
+		gs, ok := rec.Graphs[name]
+		if !ok {
+			// A graph that never made it into a snapshot (crash before the
+			// first checkpoint): Graph stays nil and the caller replays onto
+			// its freshly loaded copy.
+			gs = &GraphState{}
+			rec.Graphs[name] = gs
+		}
+		return gs
+	}
+	switch rc.Kind {
+	case "update":
+		gs := graphState(rc.Graph)
+		batch := make([]incremental.Update, len(rc.Ops))
+		for i, op := range rc.Ops {
+			batch[i] = incremental.Update{Insert: op.Insert, U: op.U, V: op.V}
+		}
+		gs.Batches = append(gs.Batches, batch)
+		return 1
+	case "open":
+		gs := graphState(rc.Graph)
+		gs.Sessions = append(gs.Sessions, Session{ID: rc.ID, Semantics: rc.Semantics, Pattern: rc.Pattern})
+		sessionGraph[rc.ID] = rc.Graph
+		if rc.ID > rec.NextID {
+			rec.NextID = rc.ID
+		}
+	case "close":
+		name, ok := sessionGraph[rc.ID]
+		if !ok {
+			return 0
+		}
+		delete(sessionGraph, rc.ID)
+		gs := rec.Graphs[name]
+		for i, s := range gs.Sessions {
+			if s.ID == rc.ID {
+				gs.Sessions = append(gs.Sessions[:i], gs.Sessions[i+1:]...)
+				break
+			}
+		}
+	}
+	// Unknown kinds are ignored: an older binary replaying a newer log
+	// must not invent state, and the server refuses to start elsewhere.
+	return 0
+}
+
+// sweep removes files belonging to generations other than the current
+// one: leftovers of interrupted snapshots (gen+1 files written before
+// CURRENT advanced) and of interrupted cleanups (old-generation files
+// that outlived their replacement).
+func (w *WAL) sweep() {
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return
+	}
+	keep := map[string]bool{currentFile: true, logName(w.gen): true, snapName(w.gen): true}
+	for _, e := range entries {
+		name := e.Name()
+		if keep[name] {
+			continue
+		}
+		if strings.HasPrefix(name, "snap-") || strings.HasPrefix(name, "wal-") || strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(w.dir, name))
+		}
+	}
+}
+
+// Generation reports the current snapshot generation (0 before the first
+// snapshot).
+func (w *WAL) Generation() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.gen
+}
+
+// LoggedBatches reports the update batches appended to the current log —
+// the work replay would redo, and the counter gpmd's -snapshot-every
+// cadence watches. It survives restarts: recovery recounts the log.
+func (w *WAL) LoggedBatches() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.batches
+}
+
+// Dir reports the directory the WAL lives in.
+func (w *WAL) Dir() string { return w.dir }
+
+// Sync reports the append durability policy.
+func (w *WAL) Sync() SyncPolicy { return w.sync }
+
+// AppendUpdate logs one update batch for graph. It must be called before
+// the batch is applied to the engine (log-before-apply): a crash between
+// append and apply replays a batch that never took effect in memory,
+// which is exactly the recovery semantics; the reverse order loses
+// acknowledged batches.
+func (w *WAL) AppendUpdate(graph string, ups []incremental.Update) error {
+	ops := make([]Op, len(ups))
+	for i, u := range ups {
+		ops[i] = Op{Insert: u.Insert, U: u.U, V: u.V}
+	}
+	return w.append(record{Kind: "update", Graph: graph, Ops: ops}, true)
+}
+
+// AppendWatchOpen logs a watch session opening on graph.
+func (w *WAL) AppendWatchOpen(graph string, s Session) error {
+	return w.append(record{Kind: "open", Graph: graph, ID: s.ID, Semantics: s.Semantics, Pattern: s.Pattern}, false)
+}
+
+// AppendWatchClose logs a watch session closing.
+func (w *WAL) AppendWatchClose(id int64) error {
+	return w.append(record{Kind: "close", ID: id}, false)
+}
+
+func (w *WAL) append(rc record, isBatch bool) error {
+	payload, err := json.Marshal(rc)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("wal: append on closed WAL")
+	}
+	if err := writeRecord(w.f, payload); err != nil {
+		return err
+	}
+	if w.sync == SyncAlways {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+	}
+	if isBatch {
+		w.batches++
+	}
+	return nil
+}
+
+// Snapshot writes a new generation — every graph in st, the open-session
+// manifest — and atomically advances CURRENT to it, then removes the
+// previous generation's files. The log restarts empty: recovery from the
+// new generation replays nothing until the next update arrives.
+//
+// The caller must guarantee st is consistent with the log: no update may
+// be applied-but-unlogged or logged-but-unapplied while Snapshot runs
+// (gpmd holds its WAL barrier in write mode across the call).
+func (w *WAL) Snapshot(st SnapshotState) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("wal: snapshot on closed WAL")
+	}
+	newGen := w.gen + 1
+
+	if err := w.writeSnapshotFile(newGen, st); err != nil {
+		return err
+	}
+	// An empty log must exist before CURRENT names its generation, so a
+	// crash right after the CURRENT rename recovers cleanly.
+	newLog, err := os.OpenFile(filepath.Join(w.dir, logName(newGen)), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := newLog.Sync(); err != nil {
+		newLog.Close()
+		return err
+	}
+	if err := w.advanceCurrent(newGen); err != nil {
+		newLog.Close()
+		return err
+	}
+
+	// The new generation is durable and named; retire the old one.
+	oldGen := w.gen
+	w.f.Close()
+	w.f = newLog
+	w.gen = newGen
+	w.batches = 0
+	os.Remove(filepath.Join(w.dir, logName(oldGen)))
+	if oldGen > 0 {
+		os.Remove(filepath.Join(w.dir, snapName(oldGen)))
+	}
+	return nil
+}
+
+func (w *WAL) writeSnapshotFile(gen uint64, st SnapshotState) error {
+	graphs := append([]GraphSnapshot(nil), st.Graphs...)
+	sort.Slice(graphs, func(i, j int) bool { return graphs[i].Name < graphs[j].Name })
+
+	tmp := filepath.Join(w.dir, snapName(gen)+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp) // no-op after the rename succeeds
+	bw := bufio.NewWriterSize(f, 1<<20)
+
+	manifest := record{Kind: "manifest", NextID: st.NextID}
+	for _, gs := range graphs {
+		sessions := append([]Session(nil), gs.Sessions...)
+		sort.Slice(sessions, func(i, j int) bool { return sessions[i].ID < sessions[j].ID })
+		manifest.Graphs = append(manifest.Graphs, manifestGraph{Name: gs.Name, Sessions: sessions})
+	}
+	if err := marshalRecord(bw, manifest); err != nil {
+		f.Close()
+		return err
+	}
+	for _, gs := range graphs {
+		var buf strings.Builder
+		if err := gs.WriteGraph(&buf); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: snapshotting graph %q: %w", gs.Name, err)
+		}
+		if err := marshalRecord(bw, record{Kind: "graph", Graph: gs.Name, Gio: buf.String()}); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(w.dir, snapName(gen))); err != nil {
+		return err
+	}
+	return syncDir(w.dir)
+}
+
+// advanceCurrent atomically repoints CURRENT at gen.
+func (w *WAL) advanceCurrent(gen uint64) error {
+	tmp := filepath.Join(w.dir, currentFile+".tmp")
+	if err := os.WriteFile(tmp, []byte(strconv.FormatUint(gen, 10)+"\n"), 0o644); err != nil {
+		return err
+	}
+	f, err := os.Open(tmp)
+	if err == nil {
+		f.Sync()
+		f.Close()
+	}
+	if err := os.Rename(tmp, filepath.Join(w.dir, currentFile)); err != nil {
+		return err
+	}
+	return syncDir(w.dir)
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Directory fsync is advisory on some filesystems; ignore its error
+	// the way databases do.
+	d.Sync()
+	return nil
+}
+
+// Close releases the log file handle. Appends after Close fail; the
+// directory can then be re-Opened (by a test simulating a crash, or the
+// next process).
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.f.Close()
+}
+
+// writeRecord frames one payload: length, CRC-32C, payload.
+func writeRecord(f io.Writer, payload []byte) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	buf := make([]byte, 0, 8+len(payload))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	// One write call per record: the kernel may still tear it across
+	// sectors on a crash, which the CRC catches at recovery.
+	_, err := f.Write(buf)
+	return err
+}
+
+func marshalRecord(f io.Writer, rc record) error {
+	payload, err := json.Marshal(rc)
+	if err != nil {
+		return err
+	}
+	return writeRecord(f, payload)
+}
+
+// readRecord reads one framed record; n is the total bytes consumed.
+// io.EOF means a clean end; any other error means a torn or corrupt
+// record starting at the current offset.
+func readRecord(r io.Reader) (payload []byte, n int64, err error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, fmt.Errorf("torn header: %v", err)
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if length > maxRecordBytes {
+		return nil, 0, fmt.Errorf("implausible record length %d", length)
+	}
+	payload = make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, 0, fmt.Errorf("torn payload: %v", err)
+	}
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, 0, fmt.Errorf("checksum mismatch")
+	}
+	return payload, 8 + int64(length), nil
+}

@@ -1,0 +1,372 @@
+package wal
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gpm/internal/gio"
+	"gpm/internal/graph"
+	"gpm/internal/incremental"
+	"gpm/internal/value"
+)
+
+func mustOpen(t *testing.T, dir string) (*WAL, *Recovery) {
+	t.Helper()
+	w, rec, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return w, rec
+}
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New(5)
+	g.SetAttr(0, graph.Attrs{"label": value.Str("a")})
+	g.SetAttr(3, graph.Attrs{"label": value.Str("b")})
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}} {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+func gioText(t *testing.T, g *graph.Graph) string {
+	t.Helper()
+	var b strings.Builder
+	if err := gio.WriteGraph(&b, g); err != nil {
+		t.Fatalf("WriteGraph: %v", err)
+	}
+	return b.String()
+}
+
+func snapshotOf(t *testing.T, nextID int64, name string, g *graph.Graph, sessions ...Session) SnapshotState {
+	t.Helper()
+	return SnapshotState{
+		NextID: nextID,
+		Graphs: []GraphSnapshot{{
+			Name:       name,
+			Sessions:   sessions,
+			WriteGraph: func(w io.Writer) error { return gio.WriteGraph(w, g) },
+		}},
+	}
+}
+
+func TestEmptyDirRecoversToNothing(t *testing.T) {
+	dir := t.TempDir()
+	w, rec := mustOpen(t, dir)
+	defer w.Close()
+	if rec.Generation != 0 || rec.NextID != 0 || len(rec.Graphs) != 0 || rec.Truncated {
+		t.Fatalf("empty dir recovered %+v", rec)
+	}
+	if got := w.LoggedBatches(); got != 0 {
+		t.Fatalf("LoggedBatches = %d, want 0", got)
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := mustOpen(t, dir)
+
+	batches := [][]incremental.Update{
+		{{Insert: true, U: 1, V: 2}},
+		{{Insert: false, U: 1, V: 2}, {Insert: true, U: 3, V: 4}},
+		{},
+	}
+	for _, b := range batches {
+		if err := w.AppendUpdate("g", b); err != nil {
+			t.Fatalf("AppendUpdate: %v", err)
+		}
+	}
+	if err := w.AppendWatchOpen("g", Session{ID: 1, Semantics: "match", Pattern: "pattern 1\n"}); err != nil {
+		t.Fatalf("AppendWatchOpen: %v", err)
+	}
+	if err := w.AppendWatchOpen("g", Session{ID: 2, Semantics: "dual", Pattern: "pattern 1\n"}); err != nil {
+		t.Fatalf("AppendWatchOpen: %v", err)
+	}
+	if err := w.AppendWatchClose(1); err != nil {
+		t.Fatalf("AppendWatchClose: %v", err)
+	}
+	if got := w.LoggedBatches(); got != 3 {
+		t.Fatalf("LoggedBatches = %d, want 3", got)
+	}
+	w.Close() // crash: no snapshot
+
+	w2, rec := mustOpen(t, dir)
+	defer w2.Close()
+	if rec.Truncated {
+		t.Fatal("clean log reported truncation")
+	}
+	if rec.Batches != 3 || rec.Sessions != 1 {
+		t.Fatalf("recovered %d batches / %d sessions, want 3 / 1", rec.Batches, rec.Sessions)
+	}
+	gs := rec.Graphs["g"]
+	if gs == nil {
+		t.Fatal("graph g not recovered")
+	}
+	if gs.Graph != nil {
+		t.Fatal("graph state has a snapshot graph; none was taken")
+	}
+	if len(gs.Batches) != 3 {
+		t.Fatalf("recovered %d batches for g, want 3", len(gs.Batches))
+	}
+	for i, want := range batches {
+		got := gs.Batches[i]
+		if len(got) != len(want) {
+			t.Fatalf("batch %d: %v, want %v", i, got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("batch %d op %d: %+v, want %+v", i, j, got[j], want[j])
+			}
+		}
+	}
+	if len(gs.Sessions) != 1 || gs.Sessions[0].ID != 2 || gs.Sessions[0].Semantics != "dual" {
+		t.Fatalf("recovered sessions %+v, want only id 2 (dual)", gs.Sessions)
+	}
+	if rec.NextID != 2 {
+		t.Fatalf("NextID = %d, want 2 (highest open id seen)", rec.NextID)
+	}
+	// Recovery recounts the log so the snapshot cadence survives restarts.
+	if got := w2.LoggedBatches(); got != 3 {
+		t.Fatalf("reopened LoggedBatches = %d, want 3", got)
+	}
+}
+
+func TestSnapshotRotatesAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := mustOpen(t, dir)
+	g := testGraph(t)
+	want := gioText(t, g)
+
+	if err := w.AppendUpdate("g", []incremental.Update{{Insert: true, U: 0, V: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	sess := Session{ID: 7, Semantics: "strong", Pattern: "pattern 1\nnode 0 label=a\n"}
+	if err := w.Snapshot(snapshotOf(t, 7, "g", g, sess)); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if got := w.Generation(); got != 1 {
+		t.Fatalf("generation after snapshot = %d, want 1", got)
+	}
+	if got := w.LoggedBatches(); got != 0 {
+		t.Fatalf("LoggedBatches after snapshot = %d, want 0", got)
+	}
+	// One batch after the snapshot: the only replay work left.
+	if err := w.AppendUpdate("g", []incremental.Update{{Insert: false, U: 4, V: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	// The previous generation's files are gone.
+	if _, err := os.Stat(filepath.Join(dir, logName(0))); !os.IsNotExist(err) {
+		t.Fatalf("old log still present (err=%v)", err)
+	}
+
+	w2, rec := mustOpen(t, dir)
+	defer w2.Close()
+	if rec.Generation != 1 {
+		t.Fatalf("recovered generation %d, want 1", rec.Generation)
+	}
+	if rec.NextID != 7 {
+		t.Fatalf("NextID = %d, want 7", rec.NextID)
+	}
+	gs := rec.Graphs["g"]
+	if gs == nil || gs.Graph == nil {
+		t.Fatalf("snapshot graph not recovered: %+v", gs)
+	}
+	if got := gioText(t, gs.Graph); got != want {
+		t.Fatalf("recovered graph differs:\n%s\nwant:\n%s", got, want)
+	}
+	if len(gs.Sessions) != 1 || gs.Sessions[0] != sess {
+		t.Fatalf("recovered sessions %+v, want %+v", gs.Sessions, sess)
+	}
+	// Only the post-snapshot batch replays; the pre-snapshot one is baked
+	// into the graph.
+	if len(gs.Batches) != 1 || gs.Batches[0][0] != (incremental.Update{Insert: false, U: 4, V: 0}) {
+		t.Fatalf("recovered batches %+v, want the one post-snapshot delete", gs.Batches)
+	}
+}
+
+func TestSecondSnapshotRetiresFirst(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := mustOpen(t, dir)
+	defer w.Close()
+	g := testGraph(t)
+	for gen := 1; gen <= 3; gen++ {
+		if err := w.Snapshot(snapshotOf(t, int64(gen), "g", g)); err != nil {
+			t.Fatalf("snapshot %d: %v", gen, err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	want := map[string]bool{currentFile: true, snapName(3): true, logName(3): true}
+	if len(names) != len(want) {
+		t.Fatalf("dir holds %v, want exactly %v", names, want)
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Fatalf("unexpected leftover %s (dir holds %v)", n, names)
+		}
+	}
+}
+
+// TestTornTailCorpus writes a clean log then damages its tail in each of
+// the ways a crash can: a partial header, a partial payload, and a
+// complete-looking record whose checksum no longer matches. Recovery
+// must keep every complete record, drop the tail, and leave the log
+// appendable.
+func TestTornTailCorpus(t *testing.T) {
+	writeClean := func(t *testing.T, dir string) {
+		w, _ := mustOpen(t, dir)
+		for i := 0; i < 3; i++ {
+			if err := w.AppendUpdate("g", []incremental.Update{{Insert: true, U: i, V: i + 1}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w.Close()
+	}
+	logPath := func(dir string) string { return filepath.Join(dir, logName(0)) }
+
+	damage := map[string]func(t *testing.T, dir string){
+		"torn header": func(t *testing.T, dir string) {
+			appendBytes(t, logPath(dir), []byte{0x10, 0x00, 0x00})
+		},
+		"torn payload": func(t *testing.T, dir string) {
+			var hdr [8]byte
+			binary.LittleEndian.PutUint32(hdr[0:4], 64) // claims 64 payload bytes...
+			binary.LittleEndian.PutUint32(hdr[4:8], 0)
+			appendBytes(t, logPath(dir), append(hdr[:], []byte("short")...)) // ...delivers 5
+		},
+		"checksum mismatch": func(t *testing.T, dir string) {
+			payload := []byte(`{"k":"update","g":"g","ops":[{"i":true,"u":9,"v":9}]}`)
+			var hdr [8]byte
+			binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+			binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable)+1)
+			appendBytes(t, logPath(dir), append(hdr[:], payload...))
+		},
+	}
+	for name, hurt := range damage {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			writeClean(t, dir)
+			hurt(t, dir)
+
+			w, rec := mustOpen(t, dir)
+			if !rec.Truncated {
+				t.Fatal("damaged tail not reported as truncated")
+			}
+			if rec.Batches != 3 {
+				t.Fatalf("recovered %d batches, want the 3 complete ones", rec.Batches)
+			}
+			// The tail was physically truncated: appending then re-reading
+			// yields 4 clean records, no truncation.
+			if err := w.AppendUpdate("g", []incremental.Update{{Insert: true, U: 8, V: 9}}); err != nil {
+				t.Fatal(err)
+			}
+			w.Close()
+			w2, rec2 := mustOpen(t, dir)
+			defer w2.Close()
+			if rec2.Truncated || rec2.Batches != 4 {
+				t.Fatalf("after truncate+append: truncated=%v batches=%d, want clean 4", rec2.Truncated, rec2.Batches)
+			}
+		})
+	}
+}
+
+// TestInterruptedSnapshotIsSwept simulates a crash mid-snapshot: files of
+// the next generation exist but CURRENT still names the old one. Open
+// must recover the old generation and sweep the orphans.
+func TestInterruptedSnapshotIsSwept(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := mustOpen(t, dir)
+	g := testGraph(t)
+	if err := w.Snapshot(snapshotOf(t, 1, "g", g)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendUpdate("g", []incremental.Update{{Insert: true, U: 0, V: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	// A half-written next generation and a stray tmp file.
+	for _, orphan := range []string{snapName(2), logName(2), snapName(2) + ".tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, orphan), []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	w2, rec := mustOpen(t, dir)
+	defer w2.Close()
+	if rec.Generation != 1 || rec.Batches != 1 {
+		t.Fatalf("recovered gen %d with %d batches, want gen 1 with 1", rec.Generation, rec.Batches)
+	}
+	for _, orphan := range []string{snapName(2), logName(2), snapName(2) + ".tmp"} {
+		if _, err := os.Stat(filepath.Join(dir, orphan)); !os.IsNotExist(err) {
+			t.Fatalf("orphan %s survived the sweep (err=%v)", orphan, err)
+		}
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := mustOpen(t, dir)
+	w.Close()
+	if err := w.AppendUpdate("g", nil); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+	if err := w.Snapshot(SnapshotState{}); err == nil {
+		t.Fatal("snapshot after Close succeeded")
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	if p, err := ParseSyncPolicy("always"); err != nil || p != SyncAlways {
+		t.Fatalf("always -> %v, %v", p, err)
+	}
+	if p, err := ParseSyncPolicy("none"); err != nil || p != SyncNone {
+		t.Fatalf("none -> %v, %v", p, err)
+	}
+	if _, err := ParseSyncPolicy("fsync-sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestSyncAlwaysRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendUpdate("g", []incremental.Update{{Insert: true, U: 0, V: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	w2, rec := mustOpen(t, dir)
+	defer w2.Close()
+	if rec.Batches != 1 {
+		t.Fatalf("recovered %d batches, want 1", rec.Batches)
+	}
+}
+
+func appendBytes(t *testing.T, path string, b []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}

@@ -18,7 +18,17 @@ func Stats(g *Graph) GraphStats { return graph.ComputeStats(g) }
 
 // WriteGraph / ReadGraph serialise data graphs in the line-oriented text
 // format documented in README ("graph n / node id k=v ... / edge u v").
-func WriteGraph(w io.Writer, g *Graph) error     { return gio.WriteGraph(w, g) }
+func WriteGraph(w io.Writer, g *Graph) error { return gio.WriteGraph(w, g) }
+
+// WriteGraph serialises the engine's bound graph in the text format,
+// ordered against concurrent [Engine.Update] batches (serialising
+// e.Graph() directly would race with an in-flight batch). The WAL's
+// snapshot path uses it to capture a graph consistent with the log.
+func (e *Engine) WriteGraph(w io.Writer) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return gio.WriteGraph(w, e.g)
+}
 func ReadGraph(r io.Reader) (*Graph, error)      { return gio.ReadGraph(r) }
 func WritePattern(w io.Writer, p *Pattern) error { return gio.WritePattern(w, p) }
 func ReadPattern(r io.Reader) (*Pattern, error)  { return gio.ReadPattern(r) }
