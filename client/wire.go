@@ -44,6 +44,12 @@ type Stats struct {
 	OracleQueries int64  `json:"oracle_queries"`
 	Removals      int64  `json:"removals"`
 	InitialPairs  int64  `json:"initial_pairs"`
+	// Cache marks how the daemon's result cache served this relation:
+	// "hit" (returned verbatim from the cache), "containment" (computed
+	// by seeding the fixpoint from a containing pattern's cached
+	// relation), or empty for an uncached computation. Either way the
+	// Matches rows are identical to a cold computation.
+	Cache string `json:"cache,omitempty"`
 }
 
 // Relation is the response of the four relation-valued semantics
@@ -180,6 +186,9 @@ type ServerStats struct {
 	InitialPairs  int64            `json:"initial_pairs"`
 	// WAL reports durability state; nil when the daemon runs without -wal.
 	WAL *WALStats `json:"wal,omitempty"`
+	// Cache reports the relation-result cache; nil when the daemon runs
+	// with -cache-bytes=0.
+	Cache *CacheStats `json:"cache,omitempty"`
 }
 
 // WALStats is the durability block of GET /stats: the write-ahead log's
@@ -195,6 +204,19 @@ type WALStats struct {
 	RecoveredBatches  int64   `json:"recovered_batches"`  // batches replayed at startup
 	ReplayMS          float64 `json:"replay_ms"`          // total startup replay time
 	TruncatedTail     bool    `json:"truncated_tail"`     // a torn final record was dropped
+}
+
+// CacheStats is the result-cache block of GET /stats: how the daemon's
+// canonical-pattern relation cache (keyed by graph, update generation,
+// semantics and canonical pattern digest) behaved this process.
+type CacheStats struct {
+	Hits            int64 `json:"hits"`             // exact canonical-digest hits
+	Misses          int64 `json:"misses"`           // lookups with no exact entry
+	ContainmentHits int64 `json:"containment_hits"` // misses answered via a containing pattern
+	Evictions       int64 `json:"evictions"`        // entries dropped for the byte budget
+	Entries         int64 `json:"entries"`          // live entries
+	Bytes           int64 `json:"bytes"`            // live payload bytes (approximate)
+	MaxBytes        int64 `json:"max_bytes"`        // -cache-bytes budget
 }
 
 // ErrorResponse is the body of every non-2xx response.

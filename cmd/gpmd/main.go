@@ -13,6 +13,7 @@
 //	     -graph social=social.graph -graph cites=cites.graph
 //	     -dataset tube=youtube:0.1:7
 //	     [-oracle auto|matrix|bfs|2hop|pll] [-workers N] [-timeout 30s]
+//	     [-cache-bytes N]
 //	     [-wal DIR [-wal-sync always|none] [-snapshot-every N]] [-v]
 //
 // -graph binds a graph file in the .graph text format under a name;
@@ -21,6 +22,14 @@
 // names the graph it queries, so one daemon serves many graphs, each
 // behind its own engine with its own cached oracle. -timeout is the
 // default per-request deadline; requests may lower it via timeout_ms.
+//
+// -cache-bytes budgets the relation-result cache: responses to /match,
+// /simulate, /dual and /strong are cached under the pattern's canonical
+// form (invariant under node renaming, so isomorphic patterns share an
+// entry) and the graph's update generation, and near-misses are
+// answered by seeding the fixpoint from a cached containing pattern's
+// relation. Cached answers are byte-identical to cold ones; 0 disables
+// the cache.
 //
 // -wal makes the daemon durable: update batches and watch sessions are
 // written to a write-ahead log in DIR before they take effect, a
@@ -71,6 +80,7 @@ type options struct {
 	oracle    string
 	workers   int
 	timeout   time.Duration
+	cacheB    int64
 	walDir    string
 	walSync   string
 	snapEvery int
@@ -97,6 +107,7 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.StringVar(&opts.oracle, "oracle", "auto", "distance oracle: auto | matrix | bfs | 2hop | pll")
 	fs.IntVar(&opts.workers, "workers", 0, "matching and oracle-build parallelism per engine (0 = GOMAXPROCS)")
 	fs.DurationVar(&opts.timeout, "timeout", 30*time.Second, "default per-request deadline (0 = none)")
+	fs.Int64Var(&opts.cacheB, "cache-bytes", 64<<20, "relation-result cache budget in bytes (0 = no caching)")
 	fs.StringVar(&opts.walDir, "wal", "", "write-ahead log directory; enables crash recovery (empty = in-memory only)")
 	fs.StringVar(&opts.walSync, "wal-sync", "always", "WAL append durability: always (fsync per batch) | none (page cache)")
 	fs.IntVar(&opts.snapEvery, "snapshot-every", 256, "WAL snapshot cadence in update batches (0 = only at startup and shutdown)")
@@ -187,7 +198,10 @@ func buildServer(opts *options, logw io.Writer) (*server.Server, *wal.WAL, error
 	if opts.workers > 0 {
 		engOpts = append(engOpts, gpm.WithWorkers(opts.workers))
 	}
-	cfg := server.Config{DefaultTimeout: opts.timeout}
+	if opts.cacheB < 0 {
+		return nil, nil, fmt.Errorf("-cache-bytes must be >= 0 (got %d)", opts.cacheB)
+	}
+	cfg := server.Config{DefaultTimeout: opts.timeout, CacheBytes: opts.cacheB}
 	var w *wal.WAL
 	if opts.walDir != "" {
 		var rec *wal.Recovery

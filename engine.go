@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -223,6 +224,12 @@ type Engine struct {
 	dm       atomic.Pointer[incremental.DynMatrix] // shared matrix maintenance
 	fz       atomic.Pointer[graph.Frozen]          // CSR snapshot; dropped on Update
 	watchers []*Watcher                            // guarded by mu (write side)
+
+	// gen is the monotone structural version of the bound graph: bumped
+	// by Update exactly when a batch has a net effect, mirroring the
+	// engine's own cache invalidation (a no-op batch changes nothing, so
+	// relations keyed by the old generation stay valid). See Generation.
+	gen atomic.Uint64
 }
 
 // NewEngine binds g. The graph must outlive the engine and, from then
@@ -272,6 +279,15 @@ func (e *Engine) OracleKind() OracleKind { return e.kind }
 
 // Workers reports the resolved matching parallelism (see WithWorkers).
 func (e *Engine) Workers() int { return e.workers }
+
+// Generation returns the monotone structural version of the bound graph.
+// It advances exactly when an [Engine.Update] batch has a net structural
+// effect — empty and insert-then-delete batches leave it unchanged, just
+// as they leave the engine's internal caches intact — so an external
+// result cache may key entries by (graph, generation) and treat them as
+// valid for as long as the generation stands. [Engine.RelationQuery]
+// reports the generation it ran under, read inside the query's lock.
+func (e *Engine) Generation() uint64 { return e.gen.Load() }
 
 // frozen returns the engine's cached immutable CSR snapshot of the bound
 // graph, freezing it on first use. Must be called with mu read-held and
@@ -392,36 +408,202 @@ func (e *Engine) queryOracle(ctx context.Context) (DistOracle, time.Duration, er
 	}
 }
 
+// RelSemantics identifies one of the four relation-valued matching
+// semantics the engine serves through one internal query path.
+type RelSemantics int
+
+const (
+	// RelMatch is bounded simulation — the paper's cubic-time Match.
+	RelMatch RelSemantics = iota
+	// RelSim is plain graph simulation (all bounds 1).
+	RelSim
+	// RelDual is dual simulation (child + parent constraints).
+	RelDual
+	// RelStrong is strong simulation (dual inside diameter balls).
+	RelStrong
+)
+
+// String names the semantics the way the server routes spell it.
+func (s RelSemantics) String() string {
+	switch s {
+	case RelMatch:
+		return "match"
+	case RelSim:
+		return "sim"
+	case RelDual:
+		return "dual"
+	case RelStrong:
+		return "strong"
+	}
+	return fmt.Sprintf("RelSemantics(%d)", int(s))
+}
+
+// ParseRelSemantics recognises the four relation-semantics names.
+func ParseRelSemantics(s string) (RelSemantics, error) {
+	switch s {
+	case "match":
+		return RelMatch, nil
+	case "sim":
+		return RelSim, nil
+	case "dual":
+		return RelDual, nil
+	case "strong":
+		return RelStrong, nil
+	}
+	return 0, fmt.Errorf("gpm: unknown relation semantics %q (want match, sim, dual or strong)", s)
+}
+
+// RelationQuery describes one relation-valued query — the shared
+// descriptor behind [Engine.Match], [Engine.Simulate],
+// [Engine.DualSimulate] and [Engine.StrongSimulate].
+type RelationQuery struct {
+	Semantics RelSemantics
+	Pattern   *Pattern
+
+	// Seed, when non-nil, restricts each pattern node's initial candidate
+	// set to the given data nodes instead of scanning the whole graph
+	// (one slice per pattern node). The caller guarantees the seed is a
+	// superset of the true relation — typically the filtered relation of
+	// a containing pattern (see pattern containment in internal/pattern):
+	// the greatest fixpoint inside any such superset is exactly the
+	// maximum relation, so seeded answers are bit-identical to unseeded
+	// ones. Strong simulation does not support seeding (its ball
+	// extraction is not a plain fixpoint).
+	Seed [][]int32
+}
+
+// RelationResult is the uniform outcome of [Engine.RelationQuery]: the
+// relation rows (fresh copies, ascending data-node ids per pattern
+// node), whether every pattern node matched, the graph generation the
+// query observed (see [Engine.Generation]) and the query stats.
+type RelationResult struct {
+	Relation   [][]int32
+	OK         bool
+	Generation uint64
+	Stats      MatchStats
+}
+
+// RelationQuery runs one relation-valued query through the engine's
+// unified dispatch. The Generation in the result is read under the same
+// lock as the query itself, so a cache may key the answer by it without
+// racing concurrent updates.
+func (e *Engine) RelationQuery(ctx context.Context, q RelationQuery) (*RelationResult, error) {
+	if q.Seed != nil {
+		q.Seed = normalizeSeed(q.Seed, e.g.N())
+	}
+	res, stats, gen, err := e.relationQuery(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return &RelationResult{Relation: res.Relation(), OK: res.OK(), Generation: gen, Stats: stats}, nil
+}
+
+// normalizeSeed returns a copy of seed with every row ascending, deduped
+// and clipped to [0, n) — the form the fixpoint initialisers require.
+func normalizeSeed(seed [][]int32, n int) [][]int32 {
+	out := make([][]int32, len(seed))
+	for u, row := range seed {
+		r := append([]int32(nil), row...)
+		sort.Slice(r, func(i, j int) bool { return r[i] < r[j] })
+		dst := r[:0]
+		for i, x := range r {
+			if x < 0 || int(x) >= n || (i > 0 && x == r[i-1]) {
+				continue
+			}
+			dst = append(dst, x)
+		}
+		out[u] = dst
+	}
+	return out
+}
+
+// relationQuery is the single dispatch behind the four relation-valued
+// semantics. It holds the read lock across oracle acquisition, the
+// fixpoint and the generation read, so the returned generation is
+// exactly the graph version the relation describes.
+func (e *Engine) relationQuery(ctx context.Context, q RelationQuery) (*core.Result, MatchStats, uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, MatchStats{}, 0, err
+	}
+	p := q.Pattern
+	if q.Seed != nil {
+		if q.Semantics == RelStrong {
+			return nil, MatchStats{}, 0, fmt.Errorf("gpm: strong simulation does not support seeded queries")
+		}
+		if len(q.Seed) != p.N() {
+			return nil, MatchStats{}, 0, fmt.Errorf("gpm: seed has %d rows for a %d-node pattern", len(q.Seed), p.N())
+		}
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	gen := e.gen.Load()
+	switch q.Semantics {
+	case RelMatch:
+		o, built, err := e.queryOracle(ctx)
+		if err != nil {
+			return nil, MatchStats{}, 0, err
+		}
+		var cs core.Stats
+		start := time.Now()
+		res, err := core.MatchOpts(ctx, p, e.g, o, &cs, core.MatchOptions{
+			Workers: e.workers,
+			Frozen:  e.frozen(),
+			Seed:    q.Seed,
+		})
+		if err != nil {
+			return nil, MatchStats{}, 0, err
+		}
+		return res, MatchStats{
+			Oracle:        e.kind,
+			OracleBuild:   built,
+			MatchTime:     time.Since(start),
+			OracleQueries: cs.OracleQueries,
+			Removals:      cs.Removals,
+			InitialPairs:  cs.InitialPairs,
+		}, gen, nil
+	case RelSim:
+		start := time.Now()
+		rel, ok, err := simulation.RunFrozenSeeded(ctx, p, e.frozen(), q.Seed)
+		if err != nil {
+			return nil, MatchStats{}, 0, err
+		}
+		return core.NewResult(p, e.g, rel, ok), MatchStats{
+			Oracle:    OracleNone,
+			MatchTime: time.Since(start),
+		}, gen, nil
+	case RelDual:
+		start := time.Now()
+		rel, ok, err := topo.DualSim(ctx, p, e.frozen(), topo.Options{Workers: e.workers, Seed: q.Seed})
+		if err != nil {
+			return nil, MatchStats{}, 0, err
+		}
+		return core.NewResult(p, e.g, rel, ok), MatchStats{
+			Oracle:    OracleNone,
+			MatchTime: time.Since(start),
+		}, gen, nil
+	case RelStrong:
+		start := time.Now()
+		rel, ok, err := topo.StrongSim(ctx, p, e.frozen(), topo.Options{Workers: e.workers})
+		if err != nil {
+			return nil, MatchStats{}, 0, err
+		}
+		return core.NewResult(p, e.g, rel, ok), MatchStats{
+			Oracle:    OracleNone,
+			MatchTime: time.Since(start),
+		}, gen, nil
+	}
+	return nil, MatchStats{}, 0, fmt.Errorf("gpm: unknown relation semantics %v", q.Semantics)
+}
+
 // Match computes the maximum bounded-simulation match of p against the
 // bound graph — the paper's cubic-time Match, served from the engine's
 // cached oracle. Cancelling ctx aborts the fixpoint with ctx.Err().
 func (e *Engine) Match(ctx context.Context, p *Pattern) (*MatchResult, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	o, built, err := e.queryOracle(ctx)
+	res, stats, _, err := e.relationQuery(ctx, RelationQuery{Semantics: RelMatch, Pattern: p})
 	if err != nil {
 		return nil, err
 	}
-	var cs core.Stats
-	start := time.Now()
-	res, err := core.MatchOpts(ctx, p, e.g, o, &cs, core.MatchOptions{
-		Workers: e.workers,
-		Frozen:  e.frozen(),
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &MatchResult{Result: res, Stats: MatchStats{
-		Oracle:        e.kind,
-		OracleBuild:   built,
-		MatchTime:     time.Since(start),
-		OracleQueries: cs.OracleQueries,
-		Removals:      cs.Removals,
-		InitialPairs:  cs.InitialPairs,
-	}}, nil
+	return &MatchResult{Result: res, Stats: stats}, nil
 }
 
 // MatchBatch computes the maximum bounded-simulation match of every
@@ -526,20 +708,11 @@ func (e *Engine) MatchBatch(ctx context.Context, ps []*Pattern) ([]*MatchResult,
 // Simulate computes plain graph simulation of p (every pattern edge
 // bound must be 1) against the bound graph.
 func (e *Engine) Simulate(ctx context.Context, p *Pattern) (*SimulationResult, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	start := time.Now()
-	rel, ok, err := simulation.RunFrozen(ctx, p, e.frozen())
+	res, stats, _, err := e.relationQuery(ctx, RelationQuery{Semantics: RelSim, Pattern: p})
 	if err != nil {
 		return nil, err
 	}
-	return &SimulationResult{Relation: rel, OK: ok, Stats: MatchStats{
-		Oracle:    OracleNone,
-		MatchTime: time.Since(start),
-	}}, nil
+	return &SimulationResult{Relation: res.Relation(), OK: res.OK(), Stats: stats}, nil
 }
 
 // DualSimulate computes the maximum dual simulation of p (every pattern
@@ -550,20 +723,11 @@ func (e *Engine) Simulate(ctx context.Context, p *Pattern) (*SimulationResult, e
 // across the engine's workers (see WithWorkers); every worker count
 // returns bit-identical relations.
 func (e *Engine) DualSimulate(ctx context.Context, p *Pattern) (*TopoResult, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	start := time.Now()
-	rel, ok, err := topo.DualSim(ctx, p, e.frozen(), topo.Options{Workers: e.workers})
+	res, stats, _, err := e.relationQuery(ctx, RelationQuery{Semantics: RelDual, Pattern: p})
 	if err != nil {
 		return nil, err
 	}
-	return &TopoResult{Result: core.NewResult(p, e.g, rel, ok), Stats: MatchStats{
-		Oracle:    OracleNone,
-		MatchTime: time.Since(start),
-	}}, nil
+	return &TopoResult{Result: res, Stats: stats}, nil
 }
 
 // StrongSimulate computes strong simulation of p (every pattern edge
@@ -575,20 +739,11 @@ func (e *Engine) DualSimulate(ctx context.Context, p *Pattern) (*TopoResult, err
 // engine's workers (see WithWorkers); every worker count returns
 // bit-identical relations.
 func (e *Engine) StrongSimulate(ctx context.Context, p *Pattern) (*TopoResult, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	start := time.Now()
-	rel, ok, err := topo.StrongSim(ctx, p, e.frozen(), topo.Options{Workers: e.workers})
+	res, stats, _, err := e.relationQuery(ctx, RelationQuery{Semantics: RelStrong, Pattern: p})
 	if err != nil {
 		return nil, err
 	}
-	return &TopoResult{Result: core.NewResult(p, e.g, rel, ok), Stats: MatchStats{
-		Oracle:    OracleNone,
-		MatchTime: time.Since(start),
-	}}, nil
+	return &TopoResult{Result: res, Stats: stats}, nil
 }
 
 // usePlanner reports whether Enumerate/CountEmbeddings should consult the
@@ -838,6 +993,7 @@ func (e *Engine) Update(updates ...Update) ([]WatchDelta, error) {
 	if ins, dels := incremental.NetEffects(updates); len(ins) == 0 && len(dels) == 0 {
 		return deltas, nil
 	}
+	e.gen.Add(1)
 	// The main matrix was maintained in place; color submatrices, the
 	// 2-hop labelling, the PLL labelling and the frozen CSR snapshot
 	// were not, so drop them for lazy rebuild.

@@ -87,6 +87,7 @@ func All(cfg Config) []*Table {
 		IncSimSpeedup(cfg),
 		ServeThroughput(cfg),
 		ServeRecovery(cfg),
+		CacheSpeedup(cfg),
 	}
 }
 
@@ -157,7 +158,9 @@ func ByID(id string, cfg Config) ([]*Table, error) {
 		return []*Table{ServeThroughput(cfg), ServeRecovery(cfg)}, nil
 	case "serve-recovery":
 		return []*Table{ServeRecovery(cfg)}, nil
+	case "cache":
+		return []*Table{CacheSpeedup(cfg)}, nil
 	default:
-		return nil, fmt.Errorf("bench: unknown experiment %q (want all, datasets, 6a, 6b, 6c, 6d, 6e, 6f, 6g, 6h, 6i, 6j, 6k, fig9, gr, aff, 2hop, oracle, oracle-parallel, million, ablation, engine, parallel, topo, plan, incsim, serve, serve-recovery)", id)
+		return nil, fmt.Errorf("bench: unknown experiment %q (want all, datasets, 6a, 6b, 6c, 6d, 6e, 6f, 6g, 6h, 6i, 6j, 6k, fig9, gr, aff, 2hop, oracle, oracle-parallel, million, ablation, engine, parallel, topo, plan, incsim, serve, serve-recovery, cache)", id)
 	}
 }

@@ -170,6 +170,14 @@ type MatchOptions struct {
 	// many queries (the engine layer) pass their cached snapshot so each
 	// query skips the O(|V|+|E|) freeze.
 	Frozen *graph.Frozen
+	// Seed, when non-nil, restricts each pattern node's initial candidate
+	// set to the given data nodes (ascending, deduped, in-range; one
+	// slice per pattern node) instead of scanning the whole graph. The
+	// caller guarantees the seed is a superset of the true relation; the
+	// greatest fixpoint inside any such superset is the maximum match, so
+	// seeded runs return bit-identical results. Seeded initialisation is
+	// sequential (the scan it replaces is the part worth sharding).
+	Seed [][]int32
 }
 
 // MatchOpts is MatchContext with explicit MatchOptions.
@@ -185,7 +193,14 @@ func MatchOpts(ctx context.Context, p *pattern.Pattern, g *graph.Graph, o DistOr
 	st.f = opts.Frozen
 	st.poll = cancel.Every(ctx, cancelPollInterval)
 	st.stats = stats
+	st.seed = opts.Seed
 	workers := opts.Workers
+	if st.seed != nil {
+		if len(st.seed) != p.N() {
+			return nil, fmt.Errorf("core: seed has %d rows for a %d-node pattern", len(st.seed), p.N())
+		}
+		workers = 1
+	}
 	if _, ok := base.(WorkerCloner); !ok {
 		workers = 1
 	}
@@ -230,6 +245,7 @@ type state struct {
 	inCand  [][]bool
 	inMat   [][]bool
 	matSize []int
+	seed    [][]int32 // optional candidate restriction (MatchOptions.Seed)
 	cnt     [][]int32 // per pattern edge, indexed by data node
 	work    []removalItem
 	walks   *walkProber // lazy; only for ranged edges (§6 extension)
@@ -274,20 +290,37 @@ func (st *state) initCandidates() error {
 		needsOut := st.p.OutDegree(u) > 0
 		st.inCand[u] = make([]bool, n)
 		st.inMat[u] = make([]bool, n)
-		for x := 0; x < n; x++ {
+		admit := func(x int) error {
 			if err := st.poll.Err(); err != nil {
 				return err
 			}
-			if needsOut && st.g.OutDegree(x) == 0 {
-				continue
-			}
-			if !pred.Match(st.g.Attr(x)) {
-				continue
+			if st.inCand[u][x] || (needsOut && st.g.OutDegree(x) == 0) || !pred.Match(st.g.Attr(x)) {
+				return nil
 			}
 			st.cand[u] = append(st.cand[u], int32(x))
 			st.inCand[u][x] = true
 			st.inMat[u][x] = true
 			st.matSize[u]++
+			return nil
+		}
+		if st.seed != nil {
+			// Candidates come from the caller-supplied superset of the
+			// relation; the predicate and out-degree filters still apply
+			// (they only drop nodes that cannot be in the fixpoint).
+			for _, x := range st.seed[u] {
+				if x < 0 || int(x) >= n {
+					continue
+				}
+				if err := admit(int(x)); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		for x := 0; x < n; x++ {
+			if err := admit(x); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -46,6 +46,8 @@ import (
 
 	"gpm"
 	"gpm/client"
+	"gpm/internal/pattern"
+	"gpm/internal/qcache"
 	"gpm/internal/wal"
 )
 
@@ -69,6 +71,14 @@ type Config struct {
 	// batches accumulate in the log (bounding replay work after a crash).
 	// Zero disables automatic snapshots; Checkpoint can still be called.
 	SnapshotEvery int
+	// CacheBytes bounds the relation-result cache (internal/qcache):
+	// relation responses are cached under (graph, update generation,
+	// semantics, canonical pattern digest), and misses first try to seed
+	// the fixpoint from a cached containing pattern's relation. Zero
+	// disables caching. Invalidation is by generation token — effective
+	// updates orphan old entries, net-no-op batches evict nothing — so
+	// cached answers are always byte-identical to cold computations.
+	CacheBytes int64
 }
 
 const defaultMaxBody = 64 << 20
@@ -95,6 +105,12 @@ type Server struct {
 
 	stats    stats
 	recovery recoveryStats // written by Bind, read-only once serving
+
+	// cache is the relation-result cache; nil when Config.CacheBytes is
+	// zero. Entries key on the engine's generation token, so no update
+	// path needs to flush it — handleUpdate only calls DropStale to
+	// reclaim bytes from orphaned generations early.
+	cache *qcache.Cache
 }
 
 // recoveryStats aggregates what startup replay did across Bind calls.
@@ -140,6 +156,9 @@ func New(cfg Config) *Server {
 		stop:     stop,
 		bindings: make(map[string]*binding),
 		sessions: make(map[int64]*session),
+	}
+	if cfg.CacheBytes > 0 {
+		s.cache = qcache.New(cfg.CacheBytes)
 	}
 	if cfg.Recovery != nil {
 		// Watch ids survive crashes: resume the counter past every id the
@@ -414,66 +433,162 @@ func (s *Server) relationHandler(semantics string) http.HandlerFunc {
 			s.writeError(w, err)
 			return
 		}
-		rel, err := s.relationQuery(r, semantics, req)
+		rel, raw, err := s.relationQuery(r, semantics, req)
 		if err != nil {
 			s.writeError(w, err)
+			return
+		}
+		if raw != nil {
+			// A memoised hit response: already-encoded bytes, written as-is.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			w.Write(raw)
 			return
 		}
 		writeJSON(w, http.StatusOK, rel)
 	}
 }
 
-// relationQuery runs one relation-valued query end to end.
-func (s *Server) relationQuery(r *http.Request, semantics string, req client.QueryRequest) (*client.Relation, error) {
+// relationQuery runs one relation-valued query end to end through the
+// engine's unified dispatch, fronted by the result cache: exact
+// canonical-digest hits return the cached relation verbatim; on a miss
+// a cached containing pattern's relation seeds the fixpoint; either way
+// the response rows are byte-identical to a cold computation. A non-nil
+// raw return is the complete encoded response body (a memoised hit) and
+// takes precedence over the relation.
+func (s *Server) relationQuery(r *http.Request, semantics string, req client.QueryRequest) (*client.Relation, []byte, error) {
 	b, err := s.bindingOf(req.Graph)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	p, err := parsePattern(req.Pattern)
+	sem, err := gpm.ParseRelSemantics(semantics)
 	if err != nil {
-		return nil, err
+		return nil, nil, badRequest("unknown semantics %q", semantics)
 	}
 	ctx, stop, err := s.requestCtx(r, req.TimeoutMS)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer stop()
 
-	var rel *client.Relation
-	switch semantics {
-	case "match":
-		res, err := b.eng.Match(ctx, p)
+	// Fast path: a text whose canonical form is memoised skips the parse
+	// and the canonical search; if the key then hits, the whole request is
+	// a couple of map lookups. Texts only enter the memo after parsing
+	// successfully, so malformed patterns still fall through to the parse
+	// error below.
+	var (
+		key       qcache.Key
+		canonText string
+		cacheable bool
+		gen       uint64
+	)
+	if s.cache != nil {
+		if digest, ctext, ok := s.cache.Canon(req.Pattern); ok {
+			gen = b.eng.Generation()
+			key = qcache.Key{Graph: b.name, Generation: gen, Semantics: semantics, Digest: digest}
+			canonText = ctext
+			cacheable = true
+			if rel, raw, hit := s.cacheHit(b.name, semantics, key, canonText); hit {
+				return rel, raw, nil
+			}
+		}
+	}
+
+	p, err := parsePattern(req.Pattern)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Cache probe under the graph's current generation. Patterns too
+	// symmetric to canonicalise within budget are served uncached — a
+	// missing key is a performance event, never a correctness one.
+	if s.cache != nil && !cacheable {
+		if c, cerr := p.Canonical(); cerr == nil {
+			s.cache.PutCanon(req.Pattern, c.Digest, c.Text)
+			gen = b.eng.Generation()
+			key = qcache.Key{Graph: b.name, Generation: gen, Semantics: semantics, Digest: c.Digest}
+			canonText = c.Text
+			cacheable = true
+			if rel, raw, hit := s.cacheHit(b.name, semantics, key, canonText); hit {
+				return rel, raw, nil
+			}
+		}
+	}
+
+	// Containment fallback: a cached pattern that contains p (child
+	// witnesses for match/sim, child+parent for dual) seeds p's fixpoint
+	// with its relation rows. Strong simulation is not a plain fixpoint
+	// and only benefits from exact hits.
+	q := gpm.RelationQuery{Semantics: sem, Pattern: p}
+	marker := ""
+	if cacheable && sem != gpm.RelStrong {
+		mode := pattern.ContainChild
+		if sem == gpm.RelDual {
+			mode = pattern.ContainDual
+		}
+		if seed, found := s.cache.Seed(b.name, gen, semantics, p, mode); found {
+			q.Seed = seed
+			marker = "containment"
+		}
+	}
+	res, err := b.eng.RelationQuery(ctx, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	if q.Seed != nil && res.Generation != gen {
+		// An update landed between the containment probe and the query:
+		// the seed's superset guarantee is void. Recompute cold.
+		marker = ""
+		res, err = b.eng.RelationQuery(ctx, gpm.RelationQuery{Semantics: sem, Pattern: p})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		rel = relationOf(b.name, semantics, res.OK(), res.Pairs(), res.Relation(), res.Stats)
-	case "sim":
-		res, err := b.eng.Simulate(ctx, p)
-		if err != nil {
-			return nil, err
-		}
-		pairs := 0
-		for _, row := range res.Relation {
-			pairs += len(row)
-		}
-		rel = relationOf(b.name, semantics, res.OK, pairs, res.Relation, res.Stats)
-	case "dual":
-		res, err := b.eng.DualSimulate(ctx, p)
-		if err != nil {
-			return nil, err
-		}
-		rel = relationOf(b.name, semantics, res.OK(), res.Pairs(), res.Relation(), res.Stats)
-	case "strong":
-		res, err := b.eng.StrongSimulate(ctx, p)
-		if err != nil {
-			return nil, err
-		}
-		rel = relationOf(b.name, semantics, res.OK(), res.Pairs(), res.Relation(), res.Stats)
-	default:
-		return nil, badRequest("unknown semantics %q", semantics)
+	}
+	if cacheable {
+		// Store under the generation the query actually observed — it is
+		// exactly the graph state the relation describes.
+		key.Generation = res.Generation
+		s.cache.Put(key, canonText, p, res.Relation, res.OK)
+	}
+	rel := relationOf(b.name, semantics, res.OK, countPairs(res.Relation), res.Relation, res.Stats)
+	rel.Stats.Cache = marker
+	s.stats.record(semantics, rel.Stats)
+	return rel, nil, nil
+}
+
+// cacheHit serves one exact cache hit. The first hit for an entry builds
+// the response and memoises its encoded bytes in the cache; every later
+// hit returns those bytes verbatim, skipping the JSON encode. Hit
+// responses are deterministic — the graph name and semantics are part of
+// the key, the rows are immutable, and the stats block carries no
+// wall-clock readings — so replaying the bytes is byte-identical to
+// re-encoding.
+func (s *Server) cacheHit(graph, semantics string, key qcache.Key, canonText string) (*client.Relation, []byte, bool) {
+	cached, wire, resOK, hit := s.cache.Get(key, canonText)
+	if !hit {
+		return nil, nil, false
+	}
+	if wire != nil {
+		s.stats.record(semantics, client.Stats{Oracle: gpm.OracleNone.String(), Cache: "hit"})
+		return nil, wire, true
+	}
+	rel := relationOf(graph, semantics, resOK, countPairs(cached), cached, gpm.MatchStats{Oracle: gpm.OracleNone})
+	rel.Stats.Cache = "hit"
+	if body, err := json.Marshal(rel); err == nil {
+		// writeJSON goes through json.Encoder, which appends a newline;
+		// match it so memoised bytes are identical to the encoded path.
+		s.cache.SetWire(key, canonText, append(body, '\n'))
 	}
 	s.stats.record(semantics, rel.Stats)
-	return rel, nil
+	return rel, nil, true
+}
+
+func countPairs(rel [][]int32) int {
+	pairs := 0
+	for _, row := range rel {
+		pairs += len(row)
+	}
+	return pairs
 }
 
 func relationOf(graph, semantics string, ok bool, pairs int, matches [][]int32, st gpm.MatchStats) *client.Relation {
@@ -863,6 +978,11 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.stats.updates.Add(1)
 	s.stats.updateEdges.Add(int64(len(ups)))
+	if s.cache != nil {
+		// Reclaim entries the generation bump orphaned. A net-no-op batch
+		// leaves the generation — and every cached answer — in place.
+		s.cache.DropStale(b.name, b.eng.Generation())
+	}
 
 	// Materialise the delta lines under the registry lock, then stream
 	// with the lock released: a slow or stalled reader must not hold
@@ -1003,6 +1123,18 @@ func (s *Server) StatsSnapshot() client.ServerStats {
 			ws.TruncatedTail = s.cfg.Recovery.Truncated
 		}
 		out.WAL = ws
+	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		out.Cache = &client.CacheStats{
+			Hits:            cs.Hits,
+			Misses:          cs.Misses,
+			ContainmentHits: cs.ContainmentHits,
+			Evictions:       cs.Evictions,
+			Entries:         cs.Entries,
+			Bytes:           cs.Bytes,
+			MaxBytes:        cs.MaxBytes,
+		}
 	}
 	return out
 }

@@ -48,15 +48,29 @@ func Run(p *pattern.Pattern, g *graph.Graph) (rel [][]int32, ok bool, err error)
 // RunContext is Run with cancellation: ctx is polled inside the counter
 // and refinement loops, and a cancelled context aborts with ctx.Err().
 func RunContext(ctx context.Context, p *pattern.Pattern, g *graph.Graph) (rel [][]int32, ok bool, err error) {
-	return runCore(ctx, p, g, graphColor(g))
+	return runCore(ctx, p, g, graphColor(g), nil)
 }
 
 // RunFrozen is RunContext over an immutable CSR snapshot.
 func RunFrozen(ctx context.Context, p *pattern.Pattern, f *graph.Frozen) (rel [][]int32, ok bool, err error) {
-	return runCore(ctx, p, f, f.Color)
+	return runCore(ctx, p, f, f.Color, nil)
 }
 
-func runCore(ctx context.Context, p *pattern.Pattern, g adjacency, color colorFunc) (rel [][]int32, ok bool, err error) {
+// RunFrozenSeeded is RunFrozen with an optional candidate restriction:
+// when seed is non-nil it must hold, per pattern node, an ascending
+// superset of the true relation (e.g. the relation of a containing
+// pattern, see internal/pattern's Containment); candidate initialisation
+// then touches only the seeded nodes instead of scanning the graph. The
+// greatest fixpoint inside any superset of the maximum simulation is the
+// maximum simulation itself, so the result is bit-identical to RunFrozen.
+func RunFrozenSeeded(ctx context.Context, p *pattern.Pattern, f *graph.Frozen, seed [][]int32) (rel [][]int32, ok bool, err error) {
+	if seed != nil && len(seed) != p.N() {
+		return nil, false, fmt.Errorf("simulation: seed has %d rows for a %d-node pattern", len(seed), p.N())
+	}
+	return runCore(ctx, p, f, f.Color, seed)
+}
+
+func runCore(ctx context.Context, p *pattern.Pattern, g adjacency, color colorFunc, seed [][]int32) (rel [][]int32, ok bool, err error) {
 	poll := cancel.Every(ctx, 4096)
 	if !p.AllBoundsOne() {
 		return nil, false, fmt.Errorf("simulation: pattern has a bound != 1; use bounded simulation")
@@ -66,12 +80,25 @@ func runCore(ctx context.Context, p *pattern.Pattern, g adjacency, color colorFu
 	}
 	np, n := p.N(), g.N()
 
-	// sim[u] as a bitmap plus membership count.
+	// sim[u] as a bitmap plus membership count. A seed replaces the full
+	// candidate scan with a probe of its (superset) rows only.
 	sim := make([][]bool, np)
 	size := make([]int, np)
 	for u := 0; u < np; u++ {
 		sim[u] = make([]bool, n)
 		pred := p.Pred(u)
+		if seed != nil {
+			for _, x := range seed[u] {
+				if x < 0 || int(x) >= n || sim[u][x] {
+					continue
+				}
+				if pred.Match(g.Attr(int(x))) {
+					sim[u][x] = true
+					size[u]++
+				}
+			}
+			continue
+		}
 		for x := 0; x < n; x++ {
 			if pred.Match(g.Attr(x)) {
 				sim[u][x] = true

@@ -2,6 +2,7 @@ package topo
 
 import (
 	"context"
+	"fmt"
 
 	"gpm/internal/cancel"
 	"gpm/internal/graph"
@@ -61,36 +62,58 @@ func dualFixpoint(ctx context.Context, p *pattern.Pattern, f *graph.Frozen, opts
 		pollers[w] = cancel.Every(ctx, cancelPollInterval)
 	}
 
-	// Phase 1: candidate filtering, sharded over (pattern node, data-node
-	// span). Writes are disjoint: each (u, x) belongs to one task.
+	// Phase 1: candidate filtering. With a seed, only the seeded nodes are
+	// probed (sequentially — seeds are small by construction); otherwise
+	// the full scan shards over (pattern node, data-node span), writes
+	// disjoint because each (u, x) belongs to one task.
 	sim := make([][]bool, np)
 	for u := 0; u < np; u++ {
 		sim[u] = make([]bool, n)
 	}
-	type candTask struct {
-		u      int
-		lo, hi int
-	}
-	var candTasks []candTask
-	for u := 0; u < np; u++ {
-		for _, s := range shardSpans(n, workers, 1) {
-			candTasks = append(candTasks, candTask{u, s[0], s[1]})
+	if opts.Seed != nil {
+		if len(opts.Seed) != np {
+			return nil, fmt.Errorf("topo: seed has %d rows for a %d-node pattern", len(opts.Seed), np)
 		}
-	}
-	err := RunShards(workers, len(candTasks), func(w, t int) error {
-		task := candTasks[t]
-		pred := p.Pred(task.u)
-		row := sim[task.u]
-		for x := task.lo; x < task.hi; x++ {
-			if err := pollers[w].Err(); err != nil {
-				return err
+		poll := cancel.Every(ctx, cancelPollInterval)
+		for u := 0; u < np; u++ {
+			pred := p.Pred(u)
+			row := sim[u]
+			for _, x := range opts.Seed[u] {
+				if err := poll.Err(); err != nil {
+					return nil, err
+				}
+				if x < 0 || int(x) >= n || row[x] {
+					continue
+				}
+				row[x] = pred.Match(f.Attr(int(x)))
 			}
-			row[x] = pred.Match(f.Attr(x))
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
+	} else {
+		type candTask struct {
+			u      int
+			lo, hi int
+		}
+		var candTasks []candTask
+		for u := 0; u < np; u++ {
+			for _, s := range shardSpans(n, workers, 1) {
+				candTasks = append(candTasks, candTask{u, s[0], s[1]})
+			}
+		}
+		err := RunShards(workers, len(candTasks), func(w, t int) error {
+			task := candTasks[t]
+			pred := p.Pred(task.u)
+			row := sim[task.u]
+			for x := task.lo; x < task.hi; x++ {
+				if err := pollers[w].Err(); err != nil {
+					return err
+				}
+				row[x] = pred.Match(f.Attr(x))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// Phase 2: counter seeding, sharded over (pattern edge, data-node
@@ -125,7 +148,7 @@ func dualFixpoint(ctx context.Context, p *pattern.Pattern, f *graph.Frozen, opts
 		}
 	}
 	seeds := make([][]removal, len(cntTasks))
-	err = RunShards(workers, len(cntTasks), func(w, t int) error {
+	err := RunShards(workers, len(cntTasks), func(w, t int) error {
 		task := cntTasks[t]
 		e := p.EdgeAt(task.eid)
 		var local []removal

@@ -56,6 +56,17 @@ type Options struct {
 	// child-only dual simulation must equal simulation.Run and bounded
 	// simulation at k=1 — and is ignored by StrongSim.
 	ChildOnly bool
+
+	// Seed, when non-nil, restricts DualSim's candidate initialisation to
+	// the listed data nodes: Seed[u] must be an ascending, deduplicated
+	// superset of the true relation row of pattern node u (e.g. the dual
+	// relation of a containing pattern, see internal/pattern's
+	// Containment). The greatest fixpoint inside any superset of the
+	// maximum dual simulation is the maximum dual simulation, so seeding
+	// changes only the work done, never the result. Seeded initialisation
+	// runs sequentially. StrongSim ignores Seed: its per-ball fixpoints
+	// have no global relation to restrict.
+	Seed [][]int32
 }
 
 func (o Options) workers() int {
